@@ -1,0 +1,56 @@
+//! **ABL-CODEC** — encode/decode cost of the wire codec vs payload
+//! size. The paper (§5.2.1) attributes "a significant part of the cost
+//! associated with broadcasting a message" to serialisation; this
+//! bench quantifies our codec's share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
+use corona_types::message::{ClientRequest, ServerEvent};
+use corona_types::policy::DeliveryScope;
+use corona_types::state::{LoggedUpdate, StateUpdate, Timestamp};
+use corona_types::wire::{Decode, Encode};
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for payload in [100usize, 1000, 10_000] {
+        let request = ClientRequest::Broadcast {
+            group: GroupId::new(1),
+            update: StateUpdate::incremental(ObjectId::new(1), vec![0xAB; payload]),
+            scope: DeliveryScope::SenderInclusive,
+        };
+        let event = ServerEvent::Multicast {
+            group: GroupId::new(1),
+            logged: LoggedUpdate {
+                seq: SeqNo::new(42),
+                sender: ClientId::new(7),
+                timestamp: Timestamp::from_micros(1),
+                update: StateUpdate::incremental(ObjectId::new(1), vec![0xCD; payload]),
+            },
+        };
+        let encoded_req = request.encode_to_vec();
+        let encoded_ev = event.encode_to_vec();
+
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_with_input(BenchmarkId::new("encode_request", payload), &request, |b, r| {
+            b.iter(|| black_box(r.encode_to_vec()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_request", payload),
+            &encoded_req,
+            |b, bytes| b.iter(|| black_box(ClientRequest::decode_exact(bytes).unwrap())),
+        );
+        group.bench_with_input(BenchmarkId::new("encode_event", payload), &event, |b, e| {
+            b.iter(|| black_box(e.encode_to_vec()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("decode_event", payload),
+            &encoded_ev,
+            |b, bytes| b.iter(|| black_box(ServerEvent::decode_exact(bytes).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

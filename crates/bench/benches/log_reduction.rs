@@ -1,0 +1,71 @@
+//! **ABL-REDUCE** — the value of §3.2 log reduction: the cost of the
+//! reduction itself, and the recovery-replay cost a checkpoint saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corona_statelog::GroupLog;
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
+use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use std::hint::black_box;
+
+fn build_log(n: u64) -> GroupLog {
+    let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+    for i in 0..n {
+        log.append(
+            ClientId::new(1),
+            StateUpdate::incremental(ObjectId::new(i % 4), vec![0x42; 500]),
+            Timestamp::from_micros(i),
+        );
+    }
+    log
+}
+
+fn bench_log_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("log_reduction");
+    for n in [500u64, 2000, 8000] {
+        // Cost of folding 80% of the log into the checkpoint.
+        group.bench_with_input(BenchmarkId::new("reduce_80pct", n), &n, |b, &n| {
+            b.iter_batched(
+                || build_log(n),
+                |mut log| {
+                    log.reduce(SeqNo::new(n * 8 / 10)).unwrap();
+                    black_box(log)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        // Recovery replay: un-reduced log (replay everything) vs
+        // reduced log (checkpoint + 20% suffix replay).
+        let full = build_log(n);
+        group.bench_with_input(BenchmarkId::new("restore_unreduced", n), &full, |b, log| {
+            b.iter(|| {
+                black_box(GroupLog::restore(
+                    log.group(),
+                    log.checkpoint_state().clone(),
+                    log.checkpoint_seq(),
+                    log.suffix_iter().cloned().collect(),
+                ))
+            })
+        });
+        let mut reduced = build_log(n);
+        reduced.reduce(SeqNo::new(n * 8 / 10)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("restore_reduced", n),
+            &reduced,
+            |b, log| {
+                b.iter(|| {
+                    black_box(GroupLog::restore(
+                        log.group(),
+                        log.checkpoint_state().clone(),
+                        log.checkpoint_seq(),
+                        log.suffix_iter().cloned().collect(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_log_reduction);
+criterion_main!(benches);

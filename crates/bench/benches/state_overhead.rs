@@ -1,0 +1,143 @@
+//! **ABL-LOG** — the paper's central performance claim, measured on
+//! the *real* state machine: maintaining shared state at the server
+//! adds negligible cost to the multicast path, because the in-memory
+//! apply is cheap and disk logging is off the critical path.
+//!
+//! Three configurations of one `ServerCore` broadcast dispatch:
+//! * `stateless` — sequencer only (Figure 3's baseline);
+//! * `stateful_memory` — in-memory state log (Figure 3's stateful
+//!   curve; disk effects emitted but not executed, as when the logger
+//!   thread absorbs them);
+//! * `stateful_disk_on_path` — every record written AND fsynced
+//!   synchronously before the fan-out (what the paper's design
+//!   avoids).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use corona_core::{Effect, LogEffect, ServerCore, ServerConfig};
+use corona_statelog::{ReductionPolicy, StableStore, SyncPolicy};
+use corona_types::id::{ClientId, GroupId, ObjectId, ServerId};
+use corona_types::message::ClientRequest;
+use corona_types::policy::{
+    DeliveryScope, MemberRole, Persistence, StateTransferPolicy,
+};
+use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use std::hint::black_box;
+
+const G: GroupId = GroupId(1);
+
+/// Builds a core with 8 members and one group.
+fn build_core(config: ServerConfig) -> (ServerCore, Vec<ClientId>) {
+    let mut core = ServerCore::new(&config);
+    let mut clients = Vec::new();
+    for i in 0..8 {
+        let (id, _) = core.client_hello(format!("c{i}"), None);
+        clients.push(id);
+    }
+    core.handle_request(
+        clients[0],
+        ClientRequest::CreateGroup {
+            group: G,
+            persistence: Persistence::Persistent,
+            initial_state: SharedState::new(),
+        },
+        Timestamp::ZERO,
+    );
+    for &c in &clients {
+        core.handle_request(
+            c,
+            ClientRequest::Join {
+                group: G,
+                role: MemberRole::Principal,
+                policy: StateTransferPolicy::None,
+                notify_membership: false,
+            },
+            Timestamp::ZERO,
+        );
+    }
+    (core, clients)
+}
+
+fn broadcast_once(core: &mut ServerCore, sender: ClientId, payload: &[u8]) -> Vec<Effect> {
+    core.handle_request(
+        sender,
+        ClientRequest::Broadcast {
+            group: G,
+            // `bcastState` (override) keeps the benched object at a
+            // constant size across millions of iterations; an
+            // `Incremental` stream would grow the object without bound
+            // (a real application periodically overrides for exactly
+            // this reason) and turn the bench quadratic.
+            update: StateUpdate::set_state(ObjectId::new(1), payload.to_vec()),
+            scope: DeliveryScope::SenderInclusive,
+        },
+        Timestamp::from_micros(1),
+    )
+}
+
+fn bench_state_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_overhead");
+    for payload_len in [1000usize, 10_000] {
+        let payload = vec![0x5A_u8; payload_len];
+        group.throughput(Throughput::Bytes(payload_len as u64));
+
+        // Stateless sequencer.
+        let (mut core, clients) = build_core(ServerConfig::stateless(ServerId::new(1)));
+        group.bench_with_input(
+            BenchmarkId::new("stateless", payload_len),
+            &payload,
+            |b, p| b.iter(|| black_box(broadcast_once(&mut core, clients[0], p))),
+        );
+
+        // Stateful, logging absorbed asynchronously (the design). A
+        // bounded reduction policy keeps the log from growing without
+        // limit across bench iterations (as a long-lived server would
+        // configure it).
+        let (mut core, clients) = build_core(
+            ServerConfig::stateful(ServerId::new(1))
+                .with_reduction(ReductionPolicy::MaxUpdates { max: 1024, keep: 128 }),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stateful_memory", payload_len),
+            &payload,
+            |b, p| b.iter(|| black_box(broadcast_once(&mut core, clients[0], p))),
+        );
+
+        // Stateful with synchronous durable logging on the path.
+        let dir = std::env::temp_dir().join(format!(
+            "corona-bench-disk-{}-{}",
+            std::process::id(),
+            payload_len
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = StableStore::open(&dir, SyncPolicy::EveryRecord).unwrap();
+        let mut handle = store
+            .create_group(G, Persistence::Persistent, &SharedState::new())
+            .unwrap();
+        let (mut core, clients) = build_core(
+            ServerConfig::stateful(ServerId::new(1))
+                .with_storage(&dir)
+                .with_reduction(ReductionPolicy::MaxUpdates { max: 1024, keep: 128 }),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stateful_disk_on_path", payload_len),
+            &payload,
+            |b, p| {
+                b.iter(|| {
+                    let effects = broadcast_once(&mut core, clients[0], p);
+                    for e in &effects {
+                        if let Effect::Log(LogEffect::Append { update, .. }) = e {
+                            handle.append_update(update).unwrap();
+                            handle.sync().unwrap();
+                        }
+                    }
+                    black_box(effects)
+                })
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_overhead);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **ABL-XFER** — cost of the §3.2 state-transfer policies as the
+//! accumulated group state grows: the customised-transfer argument is
+//! that a slow client should not pay for state it does not need.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use corona_statelog::GroupLog;
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
+use corona_types::policy::StateTransferPolicy;
+use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use std::hint::black_box;
+
+/// Builds a log with `n` updates of 1000 bytes spread over 8 objects.
+fn build_log(n: u64) -> GroupLog {
+    let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+    for i in 0..n {
+        log.append(
+            ClientId::new(1 + i % 4),
+            StateUpdate::incremental(ObjectId::new(i % 8), vec![0x55; 1000]),
+            Timestamp::from_micros(i),
+        );
+    }
+    log
+}
+
+fn bench_state_transfer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_transfer");
+    for n in [100u64, 1000, 4000] {
+        let log = build_log(n);
+        let policies: Vec<(&str, StateTransferPolicy)> = vec![
+            ("full_state", StateTransferPolicy::FullState),
+            ("last_10", StateTransferPolicy::LastUpdates(10)),
+            (
+                "two_objects",
+                StateTransferPolicy::Objects(vec![ObjectId::new(0), ObjectId::new(1)]),
+            ),
+            (
+                "updates_since_90pct",
+                StateTransferPolicy::UpdatesSince(SeqNo::new(n * 9 / 10)),
+            ),
+        ];
+        for (name, policy) in policies {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &(&log, policy),
+                |b, (log, policy)| b.iter(|| black_box(log.transfer(policy))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_state_transfer);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **TAB1** — regenerates Table 1 of the paper: "Server throughput
+//! obtained using multicast messages of size 1000/10000 bytes" on the
+//! UltraSparc 1 (Solaris) and the quad Pentium II 200 (Windows NT).
+//!
+//! Configuration mirrors §5.2.2: 6 clients on separate machines
+//! "multicasting data as fast as possible" (closed loop) through one
+//! Corona server on a shared 10 Mbps Ethernet; the reported number is
+//! the aggregate delivered throughput in kB/s.
+
+use corona_bench::{header, row};
+use corona_sim::{throughput, ExperimentConfig, PENTIUM_II_200, ULTRASPARC_1};
+
+fn main() {
+    println!("TAB1: server throughput (kB/s), 6 closed-loop senders, 10 Mbps shared Ethernet");
+    println!("(deterministic simulation over a 60 s virtual window)\n");
+    let widths = [24, 14, 14, 12];
+    println!(
+        "{}",
+        header(&["server host", "1000 B", "10000 B", "srv util@10k"], &widths)
+    );
+
+    let window = 60_000_000; // 60 virtual seconds
+    for profile in [ULTRASPARC_1, PENTIUM_II_200] {
+        let cfg = |payload| ExperimentConfig {
+            n_clients: 6,
+            payload,
+            server_profile: profile,
+            ..ExperimentConfig::default()
+        };
+        let t1k = throughput(cfg(1000), window);
+        let t10k = throughput(cfg(10_000), window);
+        println!(
+            "{}",
+            row(
+                &[
+                    profile.name.to_string(),
+                    format!("{:.0}", t1k.kbytes_per_sec),
+                    format!("{:.0}", t10k.kbytes_per_sec),
+                    format!("{:.0}%", t10k.server_utilization * 100.0),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!(
+        "\nShape check: throughput rises with message size (per-message overhead amortised);\n\
+         the Pentium II outruns the UltraSparc at 1000 B where the server CPU is the\n\
+         bottleneck, while at 10 000 B the shared wire saturates — the paper's own\n\
+         finding ('the limitation ... not ... in the server code [but] in the network\n\
+         capacity'). The paper sustained ~600 kB/s on the NT host."
+    );
+}

@@ -1,0 +1,66 @@
+//! # corona-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the
+//! paper's evaluation (§5.2), plus ablations of the design decisions.
+//!
+//! | Artefact | Regenerate with |
+//! |---|---|
+//! | Figure 3 (round-trip vs #clients, stateful vs stateless) | `cargo run -p corona-bench --bin fig3_roundtrip` |
+//! | §5.2.1 10 000-byte variant | `cargo run -p corona-bench --bin fig3_roundtrip -- --payload 10000` |
+//! | Table 1 (server throughput) | `cargo run -p corona-bench --bin table1_throughput` |
+//! | Table 2 (single vs replicated round-trip) | `cargo run -p corona-bench --bin table2_replicated` |
+//! | Micro-benchmarks / ablations | `cargo bench -p corona-bench` |
+//!
+//! The experiment binaries run on the deterministic simulator
+//! (`corona-sim`), so the full 300-client sweeps finish in
+//! milliseconds and reproduce bit-for-bit; the criterion benches
+//! exercise the *real* threaded server over loopback TCP and the real
+//! data structures.
+
+#![warn(missing_docs)]
+
+/// Renders one row of a fixed-width report table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Renders a header plus separator.
+pub fn header(cells: &[&str], widths: &[usize]) -> String {
+    let head = row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let sep = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    format!("{head}\n{sep}")
+}
+
+/// Parses a `--flag value` style argument from `std::env::args`.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_align() {
+        let widths = [6, 10];
+        let r = row(&["5".into(), "12.3".into()], &widths);
+        assert_eq!(r, "     5        12.3");
+        let h = header(&["n", "ms"], &widths);
+        assert!(h.contains("------"));
+    }
+}

@@ -1,0 +1,507 @@
+//! The Corona client library.
+//!
+//! [`CoronaClient`] wraps a transport connection and exposes the
+//! service's request/reply operations (create/join/leave, state
+//! transfer, membership queries, locks, log reduction) plus an
+//! asynchronous event stream (multicasts, awareness notifications).
+//!
+//! The server processes a client's requests in FIFO order and replies
+//! in order, so the client keeps at most one outstanding call and
+//! matches each reply by shape. Asynchronous events that interleave
+//! with a reply (a multicast arriving between `Join` and `Joined`) are
+//! routed to the event stream without disturbing the call.
+
+use crate::mirror::GroupMirror;
+use corona_types::error::{CoronaError, ErrorCode, Result};
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
+use corona_types::message::{ClientRequest, ServerEvent, StateTransfer, PROTOCOL_VERSION};
+use corona_types::policy::{
+    DeliveryScope, MemberInfo, MemberRole, Persistence, StateTransferPolicy,
+};
+use corona_types::state::{SharedState, StateUpdate};
+use corona_types::wire::{Decode, Encode};
+use corona_transport::Connection;
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Result of a lock acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResult {
+    /// The lock is held by this client.
+    Granted,
+    /// The lock is held by another member (non-waiting request).
+    Denied {
+        /// The current holder.
+        holder: ClientId,
+    },
+}
+
+struct Pending {
+    matcher: fn(&ServerEvent) -> bool,
+    tx: Sender<ServerEvent>,
+}
+
+/// A connected Corona client.
+pub struct CoronaClient {
+    conn: Arc<Box<dyn Connection>>,
+    client_id: ClientId,
+    server_id: ServerId,
+    events_rx: Receiver<ServerEvent>,
+    pending: Arc<Mutex<Option<Pending>>>,
+    call_guard: Mutex<()>,
+    call_timeout: Duration,
+}
+
+impl CoronaClient {
+    /// Connects over an established transport connection: sends
+    /// `Hello` and waits for `Welcome`.
+    ///
+    /// Pass the id from a previous session as `resume` to keep a
+    /// stable identity across reconnects.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or a protocol error if the server rejects the
+    /// handshake.
+    pub fn connect(
+        conn: Box<dyn Connection>,
+        display_name: impl Into<String>,
+        resume: Option<ClientId>,
+    ) -> Result<CoronaClient> {
+        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
+        let hello = ClientRequest::Hello {
+            version: PROTOCOL_VERSION,
+            display_name: display_name.into(),
+            resume,
+        };
+        conn.send(hello.encode_to_bytes())
+            .map_err(transport_to_corona)?;
+        let frame = conn.recv().map_err(transport_to_corona)?;
+        let (server_id, client_id) = match ServerEvent::decode_exact(&frame)? {
+            ServerEvent::Welcome { server, client, .. } => (server, client),
+            ServerEvent::Error { code, detail } => {
+                return Err(CoronaError::protocol(ErrorCode::from_wire(code), detail))
+            }
+            other => {
+                return Err(CoronaError::InvalidState(format!(
+                    "expected Welcome, got {other:?}"
+                )))
+            }
+        };
+
+        let (events_tx, events_rx) = channel::unbounded::<ServerEvent>();
+        let pending: Arc<Mutex<Option<Pending>>> = Arc::new(Mutex::new(None));
+
+        // Reader thread: decode and route.
+        {
+            let conn = Arc::clone(&conn);
+            let pending = Arc::clone(&pending);
+            std::thread::Builder::new()
+                .name(format!("corona-client-{client_id}"))
+                .spawn(move || {
+                    while let Ok(frame) = conn.recv() {
+                        let Ok(event) = ServerEvent::decode_exact(&frame) else {
+                            break;
+                        };
+                        match event {
+                            // Pure notifications: always the event stream.
+                            ServerEvent::Multicast { .. }
+                            | ServerEvent::MembershipChanged { .. } => {
+                                if events_tx.send(event).is_err() {
+                                    break;
+                                }
+                            }
+                            event => {
+                                let mut slot = pending.lock();
+                                let matched = match slot.as_ref() {
+                                    Some(p) => {
+                                        (p.matcher)(&event)
+                                            || matches!(event, ServerEvent::Error { .. })
+                                    }
+                                    None => false,
+                                };
+                                if matched {
+                                    let p = slot.take().expect("matched implies Some");
+                                    drop(slot);
+                                    let _ = p.tx.send(event);
+                                } else {
+                                    drop(slot);
+                                    if events_tx.send(event).is_err() {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Connection gone: wake any pending caller.
+                    pending.lock().take();
+                })
+                .expect("spawn client reader");
+        }
+
+        Ok(CoronaClient {
+            conn,
+            client_id,
+            server_id,
+            events_rx,
+            pending,
+            call_guard: Mutex::new(()),
+            call_timeout: Duration::from_secs(10),
+        })
+    }
+
+    /// The id the server assigned (or resumed) for this client.
+    pub fn client_id(&self) -> ClientId {
+        self.client_id
+    }
+
+    /// The id of the serving replica.
+    pub fn server_id(&self) -> ServerId {
+        self.server_id
+    }
+
+    /// Sets the timeout applied to request/reply calls.
+    pub fn set_call_timeout(&mut self, timeout: Duration) {
+        self.call_timeout = timeout;
+    }
+
+    // ----- request/reply operations ----------------------------------------
+
+    /// Creates a group with the given lifetime semantics and initial
+    /// shared state (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// `GroupExists`, `PolicyDenied`, or transport failures.
+    pub fn create_group(
+        &self,
+        group: GroupId,
+        persistence: Persistence,
+        initial_state: SharedState,
+    ) -> Result<()> {
+        self.call(
+            ClientRequest::CreateGroup {
+                group,
+                persistence,
+                initial_state,
+            },
+            |e| matches!(e, ServerEvent::GroupCreated { .. }),
+        )
+        .map(|_| ())
+    }
+
+    /// Deletes a group; its shared state is lost (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `PolicyDenied`, or transport failures.
+    pub fn delete_group(&self, group: GroupId) -> Result<()> {
+        self.call(ClientRequest::DeleteGroup { group }, |e| {
+            matches!(e, ServerEvent::GroupDeleted { .. })
+        })
+        .map(|_| ())
+    }
+
+    /// Joins a group, receiving the current membership and a state
+    /// transfer produced by `policy`. The join involves no existing
+    /// member (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `AlreadyMember`, `PolicyDenied`, or transport
+    /// failures.
+    pub fn join(
+        &self,
+        group: GroupId,
+        role: MemberRole,
+        policy: StateTransferPolicy,
+        notify_membership: bool,
+    ) -> Result<(Vec<MemberInfo>, StateTransfer)> {
+        match self.call(
+            ClientRequest::Join {
+                group,
+                role,
+                policy,
+                notify_membership,
+            },
+            |e| matches!(e, ServerEvent::Joined { .. }),
+        )? {
+            ServerEvent::Joined { members, transfer } => Ok((members, transfer)),
+            _ => unreachable!("matcher guarantees Joined"),
+        }
+    }
+
+    /// Joins and immediately builds a [`GroupMirror`] tracking the
+    /// group's shared state from the transfer onward.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoronaClient::join`].
+    pub fn join_mirrored(
+        &self,
+        group: GroupId,
+        role: MemberRole,
+        notify_membership: bool,
+    ) -> Result<(Vec<MemberInfo>, GroupMirror)> {
+        let (members, transfer) =
+            self.join(group, role, StateTransferPolicy::FullState, notify_membership)?;
+        Ok((members, GroupMirror::from_transfer(&transfer)))
+    }
+
+    /// Leaves a group.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `NotAMember`, or transport failures.
+    pub fn leave(&self, group: GroupId) -> Result<()> {
+        self.call(ClientRequest::Leave { group }, |e| {
+            matches!(e, ServerEvent::Left { .. })
+        })
+        .map(|_| ())
+    }
+
+    /// Broadcasts a full object state (`bcastState`): the payload
+    /// replaces the object's state. Fire-and-forget; delivery arrives
+    /// on the event stream (including to the sender, when
+    /// sender-inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; protocol rejections arrive as
+    /// [`ServerEvent::Error`] on the event stream.
+    pub fn bcast_state(
+        &self,
+        group: GroupId,
+        object: ObjectId,
+        payload: impl Into<bytes::Bytes>,
+        scope: DeliveryScope,
+    ) -> Result<()> {
+        self.send_raw(ClientRequest::Broadcast {
+            group,
+            update: StateUpdate::set_state(object, payload),
+            scope,
+        })
+    }
+
+    /// Broadcasts an incremental update (`bcastUpdate`): the payload is
+    /// appended to the object's state, preserving history.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CoronaClient::bcast_state`].
+    pub fn bcast_update(
+        &self,
+        group: GroupId,
+        object: ObjectId,
+        payload: impl Into<bytes::Bytes>,
+        scope: DeliveryScope,
+    ) -> Result<()> {
+        self.send_raw(ClientRequest::Broadcast {
+            group,
+            update: StateUpdate::incremental(object, payload),
+            scope,
+        })
+    }
+
+    /// Queries current membership (`getMembership`).
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `NotAMember`, or transport failures.
+    pub fn membership(&self, group: GroupId) -> Result<Vec<MemberInfo>> {
+        match self.call(ClientRequest::GetMembership { group }, |e| {
+            matches!(e, ServerEvent::Membership { .. })
+        })? {
+            ServerEvent::Membership { members, .. } => Ok(members),
+            _ => unreachable!("matcher guarantees Membership"),
+        }
+    }
+
+    /// Requests a state (re-)transfer under `policy` without
+    /// re-joining — the reconnection catch-up path.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `NotAMember`, or transport failures.
+    pub fn state(&self, group: GroupId, policy: StateTransferPolicy) -> Result<StateTransfer> {
+        match self.call(ClientRequest::GetState { group, policy }, |e| {
+            matches!(e, ServerEvent::State { .. })
+        })? {
+            ServerEvent::State { transfer } => Ok(transfer),
+            _ => unreachable!("matcher guarantees State"),
+        }
+    }
+
+    /// Acquires an exclusive lock on a shared object. With
+    /// `wait == true` the call blocks (up to the call timeout) until
+    /// the lock is granted.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup`, `NotAMember`, `PolicyDenied`, timeout while
+    /// waiting, or transport failures.
+    pub fn acquire_lock(&self, group: GroupId, object: ObjectId, wait: bool) -> Result<LockResult> {
+        match self.call(
+            ClientRequest::AcquireLock {
+                group,
+                object,
+                wait,
+            },
+            |e| {
+                matches!(
+                    e,
+                    ServerEvent::LockGranted { .. } | ServerEvent::LockDenied { .. }
+                )
+            },
+        )? {
+            ServerEvent::LockGranted { .. } => Ok(LockResult::Granted),
+            ServerEvent::LockDenied { holder, .. } => Ok(LockResult::Denied { holder }),
+            _ => unreachable!("matcher guarantees lock reply"),
+        }
+    }
+
+    /// Releases a lock.
+    ///
+    /// # Errors
+    ///
+    /// `LockNotHeld` or transport failures.
+    pub fn release_lock(&self, group: GroupId, object: ObjectId) -> Result<()> {
+        self.call(ClientRequest::ReleaseLock { group, object }, |e| {
+            matches!(e, ServerEvent::LockReleased { .. })
+        })
+        .map(|_| ())
+    }
+
+    /// Requests log reduction through `through` (or a server-chosen
+    /// point when `None`). Returns the sequence number reduced through.
+    ///
+    /// # Errors
+    ///
+    /// `BadReductionPoint`, `PolicyDenied`, `Unsupported` (stateless
+    /// server), or transport failures.
+    pub fn reduce_log(&self, group: GroupId, through: Option<SeqNo>) -> Result<SeqNo> {
+        match self.call(ClientRequest::ReduceLog { group, through }, |e| {
+            matches!(e, ServerEvent::LogReduced { .. })
+        })? {
+            ServerEvent::LogReduced { through, .. } => Ok(through),
+            _ => unreachable!("matcher guarantees LogReduced"),
+        }
+    }
+
+    /// Round-trip liveness probe. Returns the measured RTT.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or timeout.
+    pub fn ping(&self) -> Result<Duration> {
+        let started = std::time::Instant::now();
+        self.call(
+            ClientRequest::Ping {
+                nonce: started.elapsed().as_nanos() as u64,
+            },
+            |e| matches!(e, ServerEvent::Pong { .. }),
+        )?;
+        Ok(started.elapsed())
+    }
+
+    // ----- event stream -----------------------------------------------------
+
+    /// Blocks for the next asynchronous event (multicast, membership
+    /// change, group deletion notice, late lock grant, ...).
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Disconnected`] when the connection closes.
+    pub fn next_event(&self) -> Result<ServerEvent> {
+        self.events_rx.recv().map_err(|_| CoronaError::Disconnected)
+    }
+
+    /// Blocks up to `timeout` for the next asynchronous event.
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Timeout`] on expiry, [`CoronaError::Disconnected`]
+    /// when closed.
+    pub fn next_event_timeout(&self, timeout: Duration) -> Result<ServerEvent> {
+        self.events_rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => CoronaError::Timeout {
+                operation: "event stream",
+            },
+            channel::RecvTimeoutError::Disconnected => CoronaError::Disconnected,
+        })
+    }
+
+    /// Returns a pending event without blocking.
+    pub fn try_event(&self) -> Option<ServerEvent> {
+        self.events_rx.try_recv().ok()
+    }
+
+    /// Closes the session: best-effort `Goodbye`, then transport close.
+    pub fn close(&self) {
+        let _ = self.send_raw(ClientRequest::Goodbye);
+        self.conn.close();
+    }
+
+    // ----- internals --------------------------------------------------------
+
+    fn send_raw(&self, request: ClientRequest) -> Result<()> {
+        self.conn
+            .send(request.encode_to_bytes())
+            .map_err(transport_to_corona)
+    }
+
+    fn call(
+        &self,
+        request: ClientRequest,
+        matcher: fn(&ServerEvent) -> bool,
+    ) -> Result<ServerEvent> {
+        let _guard = self.call_guard.lock();
+        let (tx, rx) = channel::bounded(1);
+        *self.pending.lock() = Some(Pending { matcher, tx });
+        if let Err(e) = self.send_raw(request) {
+            self.pending.lock().take();
+            return Err(e);
+        }
+        match rx.recv_timeout(self.call_timeout) {
+            Ok(ServerEvent::Error { code, detail }) => {
+                Err(CoronaError::protocol(ErrorCode::from_wire(code), detail))
+            }
+            Ok(event) => Ok(event),
+            Err(channel::RecvTimeoutError::Timeout) => {
+                self.pending.lock().take();
+                Err(CoronaError::Timeout {
+                    operation: "server reply",
+                })
+            }
+            Err(channel::RecvTimeoutError::Disconnected) => Err(CoronaError::Disconnected),
+        }
+    }
+}
+
+impl Drop for CoronaClient {
+    fn drop(&mut self) {
+        self.conn.close();
+    }
+}
+
+impl std::fmt::Debug for CoronaClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoronaClient")
+            .field("client_id", &self.client_id)
+            .field("server_id", &self.server_id)
+            .finish_non_exhaustive()
+    }
+}
+
+fn transport_to_corona(e: corona_transport::TransportError) -> CoronaError {
+    use corona_transport::TransportError;
+    match e {
+        TransportError::Closed => CoronaError::Disconnected,
+        TransportError::Timeout => CoronaError::Timeout {
+            operation: "transport",
+        },
+        TransportError::Io(msg) => CoronaError::Io(std::io::Error::other(msg)),
+    }
+}

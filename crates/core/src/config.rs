@@ -1,0 +1,159 @@
+//! Server configuration.
+
+use crate::qos::QosPolicy;
+use corona_membership::{AllowAll, SessionPolicy};
+use corona_statelog::{ReductionPolicy, SyncPolicy};
+use corona_types::id::ServerId;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Whether the server maintains group shared state (the paper's
+/// stateful service) or acts as a pure sequencer (the stateless
+/// baseline measured in Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Statefulness {
+    /// Maintain state: log every multicast in memory (and on stable
+    /// storage when configured), serve state transfers on join.
+    #[default]
+    Stateful,
+    /// Sequencer only: assign sequence numbers and fan out, keep no
+    /// state, serve empty state transfers.
+    Stateless,
+}
+
+/// Configuration for a [`CoronaServer`](crate::server::CoronaServer).
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// This server's id (significant in the replicated architecture).
+    pub server_id: ServerId,
+    /// Stateful service or stateless sequencer baseline.
+    pub statefulness: Statefulness,
+    /// Directory for stable storage; `None` disables disk logging
+    /// (state is kept in memory only).
+    pub storage_dir: Option<PathBuf>,
+    /// fsync policy for the on-disk log.
+    pub sync_policy: SyncPolicy,
+    /// Automatic log-reduction policy applied per group.
+    pub reduction: ReductionPolicy,
+    /// The external workspace session manager (§3.2).
+    pub policy: Arc<dyn SessionPolicy>,
+    /// If `true`, disk logging blocks the multicast critical path
+    /// (ablation ABL-LOG); the paper's design is `false` — logging
+    /// happens on a dedicated thread in parallel with the fan-out.
+    pub log_on_critical_path: bool,
+    /// QoS-adaptive delivery policy (§5.3 extension): load-shed
+    /// expendable event classes to clients that cannot keep up.
+    pub qos: QosPolicy,
+}
+
+impl ServerConfig {
+    /// A stateful in-memory configuration (no disk).
+    pub fn stateful(server_id: ServerId) -> Self {
+        ServerConfig {
+            server_id,
+            statefulness: Statefulness::Stateful,
+            storage_dir: None,
+            sync_policy: SyncPolicy::OsDefault,
+            reduction: ReductionPolicy::Manual,
+            policy: Arc::new(AllowAll),
+            log_on_critical_path: false,
+            qos: QosPolicy::default(),
+        }
+    }
+
+    /// The stateless sequencer baseline.
+    pub fn stateless(server_id: ServerId) -> Self {
+        ServerConfig {
+            statefulness: Statefulness::Stateless,
+            ..ServerConfig::stateful(server_id)
+        }
+    }
+
+    /// Enables stable storage under `dir` (builder-style).
+    #[must_use]
+    pub fn with_storage(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.storage_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the fsync policy (builder-style).
+    #[must_use]
+    pub fn with_sync_policy(mut self, sync: SyncPolicy) -> Self {
+        self.sync_policy = sync;
+        self
+    }
+
+    /// Sets the automatic reduction policy (builder-style).
+    #[must_use]
+    pub fn with_reduction(mut self, reduction: ReductionPolicy) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Sets the session policy (builder-style).
+    #[must_use]
+    pub fn with_session_policy(mut self, policy: Arc<dyn SessionPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Forces disk logging onto the multicast critical path
+    /// (builder-style; ablation only).
+    #[must_use]
+    pub fn with_log_on_critical_path(mut self, on: bool) -> Self {
+        self.log_on_critical_path = on;
+        self
+    }
+
+    /// Sets the QoS-adaptive delivery policy (builder-style).
+    #[must_use]
+    pub fn with_qos(mut self, qos: QosPolicy) -> Self {
+        self.qos = qos;
+        self
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("server_id", &self.server_id)
+            .field("statefulness", &self.statefulness)
+            .field("storage_dir", &self.storage_dir)
+            .field("sync_policy", &self.sync_policy)
+            .field("reduction", &self.reduction)
+            .field("log_on_critical_path", &self.log_on_critical_path)
+            .field("qos", &self.qos)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ServerConfig::stateful(ServerId::new(1))
+            .with_storage("/tmp/x")
+            .with_sync_policy(SyncPolicy::EveryRecord)
+            .with_reduction(ReductionPolicy::default_interactive())
+            .with_log_on_critical_path(true);
+        assert_eq!(cfg.statefulness, Statefulness::Stateful);
+        assert_eq!(cfg.storage_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(cfg.sync_policy, SyncPolicy::EveryRecord);
+        assert!(cfg.log_on_critical_path);
+    }
+
+    #[test]
+    fn stateless_baseline() {
+        let cfg = ServerConfig::stateless(ServerId::new(2));
+        assert_eq!(cfg.statefulness, Statefulness::Stateless);
+        assert!(cfg.storage_dir.is_none());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", ServerConfig::stateful(ServerId::new(1)));
+        assert!(s.contains("ServerConfig"));
+    }
+}

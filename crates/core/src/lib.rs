@@ -1,0 +1,74 @@
+//! # corona-core
+//!
+//! The Corona stateful group-communication server and client library —
+//! the primary contribution of *"Stateful Group Communication
+//! Services"* (Litiu & Prakash, ICDCS 1999).
+//!
+//! The server maintains an up-to-date, type-opaque copy of each
+//! group's shared state, so that:
+//!
+//! * joins complete against the service alone — no member-to-member
+//!   state transfer, no view-agreement protocol on the join path;
+//! * clients pick a state-transfer policy matched to their link
+//!   (full state / last-n updates / selected objects / updates-since);
+//! * persistent groups outlive their members (and, with stable
+//!   storage, server restarts);
+//! * disk logging happens on a dedicated thread, off the multicast
+//!   critical path.
+//!
+//! The protocol logic lives in the I/O-free [`ServerCore`] state
+//! machine; [`server::CoronaServer`] wraps it in the threaded runtime,
+//! and the `corona-sim` crate drives the same core under virtual time
+//! to reproduce the paper's experiments deterministically.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use corona_core::{client::CoronaClient, config::ServerConfig, server::CoronaServer};
+//! use corona_transport::MemNetwork;
+//! use corona_types::{
+//!     id::{GroupId, ObjectId, ServerId},
+//!     policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy},
+//!     state::SharedState,
+//! };
+//!
+//! # fn main() -> corona_types::Result<()> {
+//! let net = MemNetwork::new();
+//! let listener = net.listen("server").map_err(|e| corona_types::CoronaError::InvalidState(e.to_string()))?;
+//! let server = CoronaServer::start(Box::new(listener), ServerConfig::stateful(ServerId::new(1)))?;
+//!
+//! let conn = net
+//!     .dial_from("alice", "server")
+//!     .map_err(|e| corona_types::CoronaError::InvalidState(e.to_string()))?;
+//! let alice = CoronaClient::connect(Box::new(conn), "alice", None)?;
+//!
+//! let group = GroupId::new(1);
+//! alice.create_group(group, Persistence::Persistent, SharedState::new())?;
+//! alice.join(group, MemberRole::Principal, StateTransferPolicy::FullState, false)?;
+//! alice.bcast_update(group, ObjectId::new(1), &b"hello"[..], DeliveryScope::SenderInclusive)?;
+//!
+//! // Sender-inclusive: the sequenced copy comes back to the sender.
+//! let event = alice.next_event()?;
+//! # drop(event);
+//! alice.close();
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod config;
+pub mod core;
+pub mod mirror;
+pub mod qos;
+pub mod server;
+
+pub use client::{CoronaClient, LockResult};
+pub use config::{ServerConfig, Statefulness};
+pub use core::{CoreCounters, Effect, LogEffect, ServerCore};
+pub use mirror::{ApplyOutcome, GroupMirror};
+pub use qos::{classify, EventClass, QosPolicy};
+pub use server::{CoronaServer, ServerStats};

@@ -1,0 +1,260 @@
+//! A client-side mirror of one group's shared state.
+//!
+//! The Corona service is type-opaque; clients interpret the byte
+//! streams. [`GroupMirror`] does the generic half of that job: it
+//! seeds state from a [`StateTransfer`] and keeps it current by
+//! applying the sequenced [`ServerEvent::Multicast`] stream, detecting
+//! duplicates and gaps (a gap means the client missed traffic — e.g.
+//! after a reconnect — and should issue a `GetState` catch-up with
+//! [`StateTransferPolicy::UpdatesSince`]).
+
+use corona_types::id::{GroupId, SeqNo};
+use corona_types::message::{ServerEvent, StateTransfer};
+use corona_types::policy::StateTransferPolicy;
+use corona_types::state::{SharedState, StateUpdate};
+
+/// Outcome of feeding one event to the mirror.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The event advanced the mirror.
+    Applied,
+    /// The event belongs to another group or is not a multicast.
+    Ignored,
+    /// The event was already applied (duplicate).
+    Duplicate,
+    /// A sequence gap was detected; the mirror is stale until resynced.
+    Gap {
+        /// Last sequence number the mirror holds.
+        have: SeqNo,
+        /// Sequence number that arrived.
+        got: SeqNo,
+    },
+}
+
+/// A client-side materialised view of a group's shared state.
+#[derive(Debug, Clone)]
+pub struct GroupMirror {
+    group: GroupId,
+    state: SharedState,
+    last_seq: SeqNo,
+    stale: bool,
+}
+
+impl GroupMirror {
+    /// Builds a mirror from a join/catch-up transfer.
+    pub fn from_transfer(transfer: &StateTransfer) -> Self {
+        GroupMirror {
+            group: transfer.group,
+            state: transfer.reconstruct(),
+            last_seq: transfer.through,
+            stale: false,
+        }
+    }
+
+    /// The mirrored group.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// The mirrored state.
+    pub fn state(&self) -> &SharedState {
+        &self.state
+    }
+
+    /// Sequence number of the newest applied update.
+    pub fn last_seq(&self) -> SeqNo {
+        self.last_seq
+    }
+
+    /// Whether a gap was detected (mirror needs a resync).
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
+    /// The catch-up request that repairs a stale mirror.
+    pub fn catch_up_policy(&self) -> StateTransferPolicy {
+        StateTransferPolicy::UpdatesSince(self.last_seq)
+    }
+
+    /// Applies a catch-up transfer obtained with
+    /// [`GroupMirror::catch_up_policy`] (or any fuller policy).
+    pub fn resync(&mut self, transfer: &StateTransfer) {
+        if !transfer.objects.is_empty() {
+            // Full(er) transfer: rebuild outright.
+            self.state = transfer.reconstruct();
+            self.last_seq = transfer.through;
+        } else {
+            for logged in &transfer.updates {
+                if logged.seq > self.last_seq {
+                    self.state.apply(&logged.update);
+                    self.last_seq = logged.seq;
+                }
+            }
+            self.last_seq = self.last_seq.max(transfer.through);
+        }
+        self.stale = false;
+    }
+
+    /// Feeds one server event to the mirror.
+    pub fn apply_event(&mut self, event: &ServerEvent) -> ApplyOutcome {
+        let ServerEvent::Multicast { group, logged } = event else {
+            return ApplyOutcome::Ignored;
+        };
+        if *group != self.group {
+            return ApplyOutcome::Ignored;
+        }
+        if logged.seq <= self.last_seq {
+            return ApplyOutcome::Duplicate;
+        }
+        if logged.seq != self.last_seq.next() {
+            self.stale = true;
+            return ApplyOutcome::Gap {
+                have: self.last_seq,
+                got: logged.seq,
+            };
+        }
+        self.state.apply(&logged.update);
+        self.last_seq = logged.seq;
+        ApplyOutcome::Applied
+    }
+
+    /// Applies a local update optimistically (before or instead of the
+    /// server echo). Useful for latency-hiding UIs; the mirror still
+    /// expects the sequenced copy and treats it as a duplicate only if
+    /// the sequence numbers line up, so optimistic use pairs best with
+    /// sender-exclusive broadcasts.
+    pub fn apply_local(&mut self, update: &StateUpdate) {
+        self.state.apply(update);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use corona_types::id::{ClientId, ObjectId};
+    use corona_types::state::{LoggedUpdate, Timestamp};
+
+    fn multicast(group: u64, seq: u64, payload: &str) -> ServerEvent {
+        ServerEvent::Multicast {
+            group: GroupId::new(group),
+            logged: LoggedUpdate {
+                seq: SeqNo::new(seq),
+                sender: ClientId::new(1),
+                timestamp: Timestamp::ZERO,
+                update: StateUpdate::incremental(ObjectId::new(1), payload.as_bytes().to_vec()),
+            },
+        }
+    }
+
+    fn fresh_mirror() -> GroupMirror {
+        GroupMirror::from_transfer(&StateTransfer::empty(GroupId::new(1), SeqNo::ZERO))
+    }
+
+    #[test]
+    fn applies_in_order() {
+        let mut m = fresh_mirror();
+        assert_eq!(m.apply_event(&multicast(1, 1, "a")), ApplyOutcome::Applied);
+        assert_eq!(m.apply_event(&multicast(1, 2, "b")), ApplyOutcome::Applied);
+        assert_eq!(
+            m.state().object(ObjectId::new(1)).unwrap().materialize(),
+            Bytes::from_static(b"ab")
+        );
+        assert_eq!(m.last_seq(), SeqNo::new(2));
+    }
+
+    #[test]
+    fn ignores_other_groups_and_event_kinds() {
+        let mut m = fresh_mirror();
+        assert_eq!(m.apply_event(&multicast(2, 1, "x")), ApplyOutcome::Ignored);
+        assert_eq!(
+            m.apply_event(&ServerEvent::Left {
+                group: GroupId::new(1)
+            }),
+            ApplyOutcome::Ignored
+        );
+    }
+
+    #[test]
+    fn detects_duplicates_and_gaps() {
+        let mut m = fresh_mirror();
+        m.apply_event(&multicast(1, 1, "a"));
+        assert_eq!(m.apply_event(&multicast(1, 1, "a")), ApplyOutcome::Duplicate);
+        assert_eq!(
+            m.apply_event(&multicast(1, 5, "z")),
+            ApplyOutcome::Gap {
+                have: SeqNo::new(1),
+                got: SeqNo::new(5)
+            }
+        );
+        assert!(m.is_stale());
+        assert_eq!(
+            m.catch_up_policy(),
+            StateTransferPolicy::UpdatesSince(SeqNo::new(1))
+        );
+    }
+
+    #[test]
+    fn resync_with_incremental_transfer() {
+        let mut m = fresh_mirror();
+        m.apply_event(&multicast(1, 1, "a"));
+        m.apply_event(&multicast(1, 5, "late")); // gap -> stale
+        let transfer = StateTransfer {
+            group: GroupId::new(1),
+            basis: SeqNo::new(1),
+            through: SeqNo::new(5),
+            objects: vec![],
+            updates: (2..=5)
+                .map(|s| LoggedUpdate {
+                    seq: SeqNo::new(s),
+                    sender: ClientId::new(1),
+                    timestamp: Timestamp::ZERO,
+                    update: StateUpdate::incremental(
+                        ObjectId::new(1),
+                        format!("{s}").into_bytes(),
+                    ),
+                })
+                .collect(),
+        };
+        m.resync(&transfer);
+        assert!(!m.is_stale());
+        assert_eq!(m.last_seq(), SeqNo::new(5));
+        assert_eq!(
+            m.state().object(ObjectId::new(1)).unwrap().materialize(),
+            Bytes::from_static(b"a2345")
+        );
+        // Stream continues seamlessly.
+        assert_eq!(m.apply_event(&multicast(1, 6, "!")), ApplyOutcome::Applied);
+    }
+
+    #[test]
+    fn resync_with_full_transfer_rebuilds() {
+        let mut m = fresh_mirror();
+        m.apply_event(&multicast(1, 1, "junk"));
+        let transfer = StateTransfer {
+            group: GroupId::new(1),
+            basis: SeqNo::new(9),
+            through: SeqNo::new(9),
+            objects: vec![(ObjectId::new(1), Bytes::from_static(b"authoritative"))],
+            updates: vec![],
+        };
+        m.resync(&transfer);
+        assert_eq!(
+            m.state().object(ObjectId::new(1)).unwrap().materialize(),
+            Bytes::from_static(b"authoritative")
+        );
+        assert_eq!(m.last_seq(), SeqNo::new(9));
+    }
+
+    #[test]
+    fn optimistic_local_apply() {
+        let mut m = fresh_mirror();
+        m.apply_local(&StateUpdate::incremental(ObjectId::new(1), &b"opt"[..]));
+        assert_eq!(
+            m.state().object(ObjectId::new(1)).unwrap().materialize(),
+            Bytes::from_static(b"opt")
+        );
+        // Sequence tracking unaffected.
+        assert_eq!(m.last_seq(), SeqNo::ZERO);
+    }
+}

@@ -1,0 +1,148 @@
+//! QoS-adaptive delivery — the paper's §5.3 extension.
+//!
+//! "We have implemented a QoS-based adaptive version of the Corona
+//! service, based on priorities and explicit control over the
+//! scheduling of different activities and on dynamic adjustment of its
+//! policies according to system load."
+//!
+//! This module reproduces the load-adaptive half of that extension:
+//! outbound events are classified into priority classes, and when a
+//! client's transmit backlog shows it cannot keep up, the server sheds
+//! the classes the deployment marked expendable (awareness
+//! notifications first — a stale "user joined" popup is worthless,
+//! while shared-state data must never be silently dropped, since a
+//! gap would desynchronise client mirrors).
+
+use corona_types::message::ServerEvent;
+
+/// Priority class of an outbound event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EventClass {
+    /// Sequenced shared-state traffic and log-reduction notices.
+    /// Never shed: dropping one desynchronises the client's mirror.
+    Data,
+    /// Request replies, lock grants, errors. Never shed: a client is
+    /// blocked waiting on these.
+    Control,
+    /// Awareness notifications (membership changes). Sheddable: they
+    /// are advisory, and a client that cares can always issue
+    /// `getMembership` (§3.2).
+    Awareness,
+}
+
+/// Classifies a server event for QoS purposes.
+pub fn classify(event: &ServerEvent) -> EventClass {
+    match event {
+        ServerEvent::Multicast { .. } | ServerEvent::LogReduced { .. } => EventClass::Data,
+        ServerEvent::MembershipChanged { .. } => EventClass::Awareness,
+        _ => EventClass::Control,
+    }
+}
+
+/// Load-adaptive delivery policy.
+///
+/// The default policy is non-adaptive (nothing is ever shed),
+/// matching the base system of §3; enable shedding with
+/// [`QosPolicy::shed_awareness_above`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QosPolicy {
+    /// When a client's transmit backlog (frames queued but not yet
+    /// handed to the transport) exceeds this bound, awareness events
+    /// for that client are shed. `None` disables shedding.
+    pub shed_awareness_above: Option<usize>,
+}
+
+impl QosPolicy {
+    /// A policy that sheds awareness traffic for clients more than
+    /// `backlog` frames behind.
+    pub fn shedding(backlog: usize) -> Self {
+        QosPolicy {
+            shed_awareness_above: Some(backlog),
+        }
+    }
+
+    /// Whether an event of `class` should be delivered to a client
+    /// whose transmit backlog is `backlog` frames.
+    pub fn should_deliver(&self, class: EventClass, backlog: usize) -> bool {
+        match (class, self.shed_awareness_above) {
+            (EventClass::Awareness, Some(bound)) => backlog <= bound,
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
+    use corona_types::policy::{MemberInfo, MemberRole, MembershipChange};
+    use corona_types::state::{LoggedUpdate, StateUpdate, Timestamp};
+
+    fn multicast() -> ServerEvent {
+        ServerEvent::Multicast {
+            group: GroupId::new(1),
+            logged: LoggedUpdate {
+                seq: SeqNo::new(1),
+                sender: ClientId::new(1),
+                timestamp: Timestamp::ZERO,
+                update: StateUpdate::incremental(ObjectId::new(1), &b"x"[..]),
+            },
+        }
+    }
+
+    fn membership_changed() -> ServerEvent {
+        ServerEvent::MembershipChanged {
+            group: GroupId::new(1),
+            change: MembershipChange::Joined(ClientId::new(2)),
+            info: MemberInfo::new(ClientId::new(2), MemberRole::Principal, "x"),
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify(&multicast()), EventClass::Data);
+        assert_eq!(classify(&membership_changed()), EventClass::Awareness);
+        assert_eq!(
+            classify(&ServerEvent::LockGranted {
+                group: GroupId::new(1),
+                object: ObjectId::new(1)
+            }),
+            EventClass::Control
+        );
+        assert_eq!(
+            classify(&ServerEvent::Welcome {
+                server: ServerId::new(1),
+                client: ClientId::new(1),
+                version: 1
+            }),
+            EventClass::Control
+        );
+        assert_eq!(
+            classify(&ServerEvent::LogReduced {
+                group: GroupId::new(1),
+                through: SeqNo::new(1)
+            }),
+            EventClass::Data,
+            "reduction notices affect mirror catch-up: never shed"
+        );
+    }
+
+    #[test]
+    fn default_policy_never_sheds() {
+        let policy = QosPolicy::default();
+        for class in [EventClass::Data, EventClass::Control, EventClass::Awareness] {
+            assert!(policy.should_deliver(class, usize::MAX));
+        }
+    }
+
+    #[test]
+    fn shedding_policy_drops_only_awareness_above_bound() {
+        let policy = QosPolicy::shedding(10);
+        // At or below the bound: deliver everything.
+        assert!(policy.should_deliver(EventClass::Awareness, 10));
+        // Above the bound: awareness shed, data and control kept.
+        assert!(!policy.should_deliver(EventClass::Awareness, 11));
+        assert!(policy.should_deliver(EventClass::Data, 1_000_000));
+        assert!(policy.should_deliver(EventClass::Control, 1_000_000));
+    }
+}

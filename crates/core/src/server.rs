@@ -1,0 +1,471 @@
+//! The threaded Corona server runtime.
+//!
+//! Thread structure (mirroring the multi-threaded design of §5.1):
+//!
+//! * **accept thread** — accepts transport connections and spawns a
+//!   reader per connection;
+//! * **reader threads** — decode inbound frames and forward them to
+//!   the dispatcher channel (per-connection order is preserved, giving
+//!   sender-FIFO);
+//! * **dispatcher thread** — owns the [`ServerCore`] state machine;
+//!   processing commands one at a time yields the per-group total
+//!   order;
+//! * **logger thread** — executes [`LogEffect`]s against stable
+//!   storage, *in parallel with* the multicast fan-out ("state logging
+//!   ... is not in the critical path", §6). The
+//!   [`ServerConfig::log_on_critical_path`] ablation switch moves this
+//!   work inline into the dispatcher instead.
+//!
+//! Outbound sends go through [`Connection::send`], which enqueues to
+//! the transport's writer machinery without blocking the dispatcher.
+
+use crate::config::ServerConfig;
+use crate::core::{Effect, LogEffect, ServerCore};
+use crate::qos::{classify, QosPolicy};
+use corona_statelog::{GroupStore, StableStore};
+use corona_types::error::{CoronaError, Result};
+use corona_types::id::{ClientId, GroupId};
+use corona_types::message::{ClientRequest, ServerEvent};
+use corona_types::state::Timestamp;
+use corona_types::wire::{Decode, Encode};
+use corona_transport::{Connection, Listener};
+use crossbeam::channel::{self, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A point-in-time statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Client broadcasts accepted and sequenced.
+    pub broadcasts: u64,
+    /// Multicast events fanned out (one per receiving member).
+    pub deliveries: u64,
+    /// Joins served.
+    pub joins: u64,
+    /// Log reductions performed.
+    pub reductions: u64,
+    /// Events shed by the QoS-adaptive delivery policy (§5.3).
+    pub shed: u64,
+    /// Live groups.
+    pub groups: usize,
+    /// Known clients (connected or resumable).
+    pub clients: usize,
+}
+
+enum Command {
+    Accepted {
+        conn_id: u64,
+        conn: Arc<Box<dyn Connection>>,
+    },
+    Frame {
+        conn_id: u64,
+        frame: bytes::Bytes,
+    },
+    Closed {
+        conn_id: u64,
+    },
+    Stats(Sender<ServerStats>),
+    Shutdown,
+}
+
+struct ConnState {
+    conn: Arc<Box<dyn Connection>>,
+    client: Option<ClientId>,
+}
+
+/// Executes log effects against a [`StableStore`].
+struct LoggerState {
+    store: StableStore,
+    handles: HashMap<GroupId, GroupStore>,
+}
+
+impl LoggerState {
+    fn apply(&mut self, effect: LogEffect) {
+        // Stable-storage failures must not take down the service; the
+        // paper accepts losing the newest unsynced updates (§6). A
+        // production system would surface these through telemetry.
+        let result: std::io::Result<()> = match effect {
+            LogEffect::CreateGroup {
+                group,
+                persistence,
+                initial,
+            } => self
+                .store
+                .create_group(group, persistence, &initial)
+                .map(|h| {
+                    self.handles.insert(group, h);
+                }),
+            LogEffect::Append { group, update } => match self.handles.get_mut(&group) {
+                Some(h) => h.append_update(&update),
+                None => Ok(()),
+            },
+            LogEffect::Checkpoint {
+                group,
+                persistence,
+                through,
+                state,
+                suffix,
+            } => match self.handles.get_mut(&group) {
+                Some(h) => h.write_checkpoint(persistence, through, &state, &suffix),
+                None => Ok(()),
+            },
+            LogEffect::DeleteGroup { group } => {
+                self.handles.remove(&group);
+                self.store.delete_group(group)
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("corona-server: stable storage error (continuing): {e}");
+        }
+    }
+
+    fn sync_all(&mut self) {
+        for handle in self.handles.values_mut() {
+            let _ = handle.sync();
+        }
+    }
+}
+
+/// A running Corona server.
+///
+/// Dropping the handle shuts the server down; prefer
+/// [`CoronaServer::shutdown`] for an orderly stop that syncs stable
+/// storage.
+pub struct CoronaServer {
+    addr: String,
+    cmd_tx: Sender<Command>,
+    dispatcher: Option<JoinHandle<()>>,
+    accept: Option<JoinHandle<()>>,
+    logger: Option<JoinHandle<()>>,
+    listener: Arc<Box<dyn Listener>>,
+}
+
+impl CoronaServer {
+    /// Starts a server on an already-bound listener.
+    ///
+    /// If the configuration names a storage directory, every group
+    /// found there is recovered (checkpoint + log replay) before the
+    /// first connection is accepted — this is how a persistent group's
+    /// state survives server restarts.
+    ///
+    /// # Errors
+    ///
+    /// Storage open/recovery failures.
+    pub fn start(listener: Box<dyn Listener>, config: ServerConfig) -> Result<CoronaServer> {
+        let addr = listener.local_addr();
+        let mut core = ServerCore::new(&config);
+
+        // Recover persistent groups before serving.
+        let mut logger_state = match &config.storage_dir {
+            Some(dir) => {
+                let store = StableStore::open(dir, config.sync_policy)?;
+                let mut handles = HashMap::new();
+                for group in store.list_groups()? {
+                    if let Some((recovered, handle)) = store.recover_group(group)? {
+                        core.install_recovered(recovered.persistence, recovered.log);
+                        handles.insert(group, handle);
+                    }
+                }
+                Some(LoggerState { store, handles })
+            }
+            None => None,
+        };
+
+        let (cmd_tx, cmd_rx) = channel::unbounded::<Command>();
+
+        // Logger thread (unless the ablation forces inline logging).
+        let (log_tx, logger_handle) = match (logger_state.take(), config.log_on_critical_path) {
+            (Some(state), false) => {
+                let (tx, rx) = channel::unbounded::<LogEffect>();
+                let handle = std::thread::Builder::new()
+                    .name("corona-logger".into())
+                    .spawn(move || logger_loop(state, rx))
+                    .expect("spawn logger thread");
+                (LogSink::Thread(tx), Some(handle))
+            }
+            (Some(state), true) => (LogSink::Inline(state), None),
+            (None, _) => (LogSink::Disabled, None),
+        };
+
+        // Dispatcher thread.
+        let qos = config.qos;
+        let dispatcher = {
+            let cmd_rx = cmd_rx.clone();
+            std::thread::Builder::new()
+                .name("corona-dispatcher".into())
+                .spawn(move || dispatcher_loop(core, cmd_rx, log_tx, qos))
+                .expect("spawn dispatcher thread")
+        };
+
+        // Accept thread.
+        let listener: Arc<Box<dyn Listener>> = Arc::new(listener);
+        let accept = {
+            let cmd_tx = cmd_tx.clone();
+            let listener = Arc::clone(&listener);
+            std::thread::Builder::new()
+                .name("corona-accept".into())
+                .spawn(move || accept_loop(listener, cmd_tx))
+                .expect("spawn accept thread")
+        };
+
+        Ok(CoronaServer {
+            addr,
+            cmd_tx,
+            dispatcher: Some(dispatcher),
+            accept: Some(accept),
+            logger: logger_handle,
+            listener,
+        })
+    }
+
+    /// The address clients dial.
+    pub fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+
+    /// A statistics snapshot (answered by the dispatcher, so the
+    /// numbers are mutually consistent).
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Closed`] if the server has shut down.
+    pub fn stats(&self) -> Result<ServerStats> {
+        let (tx, rx) = channel::bounded(1);
+        self.cmd_tx
+            .send(Command::Stats(tx))
+            .map_err(|_| CoronaError::Closed)?;
+        rx.recv().map_err(|_| CoronaError::Closed)
+    }
+
+    /// Orderly shutdown: stop accepting, close every connection, drain
+    /// the logger and sync stable storage.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.listener.shutdown();
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.logger.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CoronaServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for CoronaServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoronaServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+enum LogSink {
+    Disabled,
+    Thread(Sender<LogEffect>),
+    Inline(LoggerState),
+}
+
+impl LogSink {
+    fn apply(&mut self, effect: LogEffect) {
+        match self {
+            LogSink::Disabled => {}
+            LogSink::Thread(tx) => {
+                let _ = tx.send(effect);
+            }
+            LogSink::Inline(state) => {
+                state.apply(effect);
+                // The ablation measures the full durability cost.
+                state.sync_all();
+            }
+        }
+    }
+}
+
+fn logger_loop(mut state: LoggerState, rx: Receiver<LogEffect>) {
+    while let Ok(effect) = rx.recv() {
+        state.apply(effect);
+    }
+    state.sync_all();
+}
+
+fn accept_loop(listener: Arc<Box<dyn Listener>>, cmd_tx: Sender<Command>) {
+    let mut next_conn: u64 = 1;
+    loop {
+        let Ok(conn) = listener.accept() else { break };
+        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
+        let conn_id = next_conn;
+        next_conn += 1;
+        if cmd_tx
+            .send(Command::Accepted {
+                conn_id,
+                conn: Arc::clone(&conn),
+            })
+            .is_err()
+        {
+            break;
+        }
+        let reader_tx = cmd_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("corona-conn-{conn_id}"))
+            .spawn(move || {
+                loop {
+                    match conn.recv() {
+                        Ok(frame) => {
+                            if reader_tx.send(Command::Frame { conn_id, frame }).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let _ = reader_tx.send(Command::Closed { conn_id });
+            })
+            .expect("spawn connection reader");
+    }
+}
+
+fn dispatcher_loop(
+    mut core: ServerCore,
+    cmd_rx: Receiver<Command>,
+    mut log: LogSink,
+    qos: QosPolicy,
+) {
+    let mut conns: HashMap<u64, ConnState> = HashMap::new();
+    let mut client_conn: HashMap<ClientId, u64> = HashMap::new();
+    let mut shed: u64 = 0;
+
+    while let Ok(cmd) = cmd_rx.recv() {
+        match cmd {
+            Command::Accepted { conn_id, conn } => {
+                conns.insert(conn_id, ConnState { conn, client: None });
+            }
+            Command::Frame { conn_id, frame } => {
+                let request = match ClientRequest::decode_exact(&frame) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // Malformed frame: drop the connection (it may
+                        // be version-skewed or hostile).
+                        if let Some(state) = conns.get(&conn_id) {
+                            state.conn.close();
+                        }
+                        continue;
+                    }
+                };
+                let now = Timestamp::now();
+                let effects = match conns.get(&conn_id).and_then(|s| s.client) {
+                    None => match request {
+                        ClientRequest::Hello {
+                            display_name,
+                            resume,
+                            ..
+                        } => {
+                            let (client, effects) = core.client_hello(display_name, resume);
+                            if let Some(state) = conns.get_mut(&conn_id) {
+                                state.client = Some(client);
+                            }
+                            client_conn.insert(client, conn_id);
+                            effects
+                        }
+                        _ => {
+                            // First message must be Hello.
+                            if let Some(state) = conns.get(&conn_id) {
+                                state.conn.close();
+                            }
+                            continue;
+                        }
+                    },
+                    Some(client) => {
+                        let goodbye = matches!(request, ClientRequest::Goodbye);
+                        let effects = core.handle_request(client, request, now);
+                        if goodbye {
+                            if let Some(state) = conns.get(&conn_id) {
+                                state.conn.close();
+                            }
+                            client_conn.remove(&client);
+                            if let Some(state) = conns.get_mut(&conn_id) {
+                                state.client = None;
+                            }
+                        }
+                        effects
+                    }
+                };
+                execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut shed);
+            }
+            Command::Closed { conn_id } => {
+                if let Some(state) = conns.remove(&conn_id) {
+                    if let Some(client) = state.client {
+                        client_conn.remove(&client);
+                        let effects = core.client_disconnected(client);
+                        execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut shed);
+                    }
+                }
+            }
+            Command::Stats(reply) => {
+                let c = core.counters();
+                let _ = reply.send(ServerStats {
+                    broadcasts: c.broadcasts,
+                    deliveries: c.deliveries,
+                    joins: c.joins,
+                    reductions: c.reductions,
+                    shed,
+                    groups: core.group_count(),
+                    clients: core.client_count(),
+                });
+            }
+            Command::Shutdown => break,
+        }
+    }
+    // Close every connection so reader threads exit.
+    for state in conns.values() {
+        state.conn.close();
+    }
+    // Dropping `log` (LogSink::Thread) closes the logger channel; the
+    // logger thread then syncs and exits.
+}
+
+fn execute_effects(
+    effects: Vec<Effect>,
+    conns: &HashMap<u64, ConnState>,
+    client_conn: &HashMap<ClientId, u64>,
+    log: &mut LogSink,
+    qos: &QosPolicy,
+    shed: &mut u64,
+) {
+    for effect in effects {
+        match effect {
+            Effect::Send { to, event } => {
+                if let Some(conn_id) = client_conn.get(&to) {
+                    if let Some(state) = conns.get(conn_id) {
+                        // QoS-adaptive delivery (§5.3): expendable
+                        // classes are shed for clients whose transmit
+                        // backlog shows they cannot keep up.
+                        if !qos.should_deliver(classify(&event), state.conn.backlog()) {
+                            *shed += 1;
+                            continue;
+                        }
+                        let _ = state.conn.send(encode_event(&event));
+                    }
+                }
+            }
+            Effect::Log(log_effect) => log.apply(log_effect),
+        }
+    }
+}
+
+fn encode_event(event: &ServerEvent) -> bytes::Bytes {
+    event.encode_to_bytes()
+}

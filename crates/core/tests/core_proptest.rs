@@ -1,0 +1,257 @@
+//! Property-based tests of the [`ServerCore`] state machine under
+//! arbitrary request sequences: no panics, membership/log invariants,
+//! and convergence of a client mirror fed by the emitted effects.
+
+use corona_core::{config::ServerConfig, core::Effect, mirror::GroupMirror, ServerCore};
+use corona_types::id::{GroupId, ObjectId, SeqNo, ServerId};
+use corona_types::message::{ClientRequest, ServerEvent, StateTransfer};
+use corona_types::policy::{
+    DeliveryScope, MemberRole, Persistence, StateTransferPolicy,
+};
+use corona_types::state::{SharedState, StateUpdate, Timestamp, UpdateKind};
+use proptest::prelude::*;
+
+/// A bounded universe keeps collisions (already-member, no-such-group)
+/// frequent, which is exactly what we want to fuzz.
+const CLIENTS: u64 = 4;
+const GROUPS: u64 = 3;
+const OBJECTS: u64 = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create { client: u64, group: u64, persistent: bool },
+    Delete { client: u64, group: u64 },
+    Join { client: u64, group: u64, observer: bool, notify: bool },
+    Leave { client: u64, group: u64 },
+    Broadcast { client: u64, group: u64, object: u64, set: bool, payload: Vec<u8>, exclusive: bool },
+    Lock { client: u64, group: u64, object: u64, wait: bool },
+    Unlock { client: u64, group: u64, object: u64 },
+    Reduce { client: u64, group: u64 },
+    Disconnect { client: u64 },
+    GetState { client: u64, group: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let c = 0..CLIENTS;
+    let g = 0..GROUPS;
+    let o = 0..OBJECTS;
+    prop_oneof![
+        2 => (c.clone(), g.clone(), any::<bool>())
+            .prop_map(|(client, group, persistent)| Op::Create { client, group, persistent }),
+        1 => (c.clone(), g.clone()).prop_map(|(client, group)| Op::Delete { client, group }),
+        4 => (c.clone(), g.clone(), any::<bool>(), any::<bool>())
+            .prop_map(|(client, group, observer, notify)| Op::Join { client, group, observer, notify }),
+        2 => (c.clone(), g.clone()).prop_map(|(client, group)| Op::Leave { client, group }),
+        6 => (c.clone(), g.clone(), o.clone(), any::<bool>(), proptest::collection::vec(any::<u8>(), 0..16), any::<bool>())
+            .prop_map(|(client, group, object, set, payload, exclusive)| Op::Broadcast {
+                client, group, object, set, payload, exclusive
+            }),
+        2 => (c.clone(), g.clone(), o.clone(), any::<bool>())
+            .prop_map(|(client, group, object, wait)| Op::Lock { client, group, object, wait }),
+        2 => (c.clone(), g.clone(), o).prop_map(|(client, group, object)| Op::Unlock { client, group, object }),
+        1 => (c.clone(), g.clone()).prop_map(|(client, group)| Op::Reduce { client, group }),
+        1 => c.clone().prop_map(|client| Op::Disconnect { client }),
+        1 => (c, g).prop_map(|(client, group)| Op::GetState { client, group }),
+    ]
+}
+
+fn to_request(op: &Op) -> Option<(u64, ClientRequest)> {
+    let gid = |g: u64| GroupId::new(g + 1);
+    let oid = |o: u64| ObjectId::new(o + 1);
+    Some(match op {
+        Op::Create { client, group, persistent } => (
+            *client,
+            ClientRequest::CreateGroup {
+                group: gid(*group),
+                persistence: if *persistent { Persistence::Persistent } else { Persistence::Transient },
+                initial_state: SharedState::new(),
+            },
+        ),
+        Op::Delete { client, group } => (*client, ClientRequest::DeleteGroup { group: gid(*group) }),
+        Op::Join { client, group, observer, notify } => (
+            *client,
+            ClientRequest::Join {
+                group: gid(*group),
+                role: if *observer { MemberRole::Observer } else { MemberRole::Principal },
+                policy: StateTransferPolicy::FullState,
+                notify_membership: *notify,
+            },
+        ),
+        Op::Leave { client, group } => (*client, ClientRequest::Leave { group: gid(*group) }),
+        Op::Broadcast { client, group, object, set, payload, exclusive } => (
+            *client,
+            ClientRequest::Broadcast {
+                group: gid(*group),
+                update: StateUpdate {
+                    object: oid(*object),
+                    kind: if *set { UpdateKind::SetState } else { UpdateKind::Incremental },
+                    payload: payload.clone().into(),
+                },
+                scope: if *exclusive { DeliveryScope::SenderExclusive } else { DeliveryScope::SenderInclusive },
+            },
+        ),
+        Op::Lock { client, group, object, wait } => (
+            *client,
+            ClientRequest::AcquireLock { group: gid(*group), object: oid(*object), wait: *wait },
+        ),
+        Op::Unlock { client, group, object } => (
+            *client,
+            ClientRequest::ReleaseLock { group: gid(*group), object: oid(*object) },
+        ),
+        Op::Reduce { client, group } => (
+            *client,
+            ClientRequest::ReduceLog { group: gid(*group), through: None },
+        ),
+        Op::GetState { client, group } => (
+            *client,
+            ClientRequest::GetState { group: gid(*group), policy: StateTransferPolicy::FullState },
+        ),
+        Op::Disconnect { .. } => return None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary request sequences never panic the core, and all
+    /// internal log invariants hold afterwards.
+    #[test]
+    fn core_survives_arbitrary_requests(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut core = ServerCore::new(&ServerConfig::stateful(ServerId::new(1)));
+        let mut ids = Vec::new();
+        for i in 0..CLIENTS {
+            let (id, _) = core.client_hello(format!("c{i}"), None);
+            ids.push(id);
+        }
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Disconnect { client } => {
+                    core.client_disconnected(ids[*client as usize]);
+                    // Reconnect immediately so later ops have a live client.
+                    let (id, _) = core.client_hello(format!("c{client}"), Some(ids[*client as usize]));
+                    prop_assert_eq!(id, ids[*client as usize]);
+                }
+                op => {
+                    let (client, request) = to_request(op).expect("non-disconnect op");
+                    core.handle_request(ids[client as usize], request, Timestamp::from_micros(step as u64));
+                }
+            }
+        }
+        // Invariants: every group in the registry has a log whose
+        // internal checkpoint/suffix/live relation holds.
+        for group in core.registry().group_ids() {
+            let log = core.group_log(group).expect("stateful group has a log");
+            prop_assert!(log.check_invariants(), "invariant broken for {}", group);
+        }
+    }
+
+    /// A mirror fed by the sender-inclusive multicast stream of one
+    /// member matches a FullState transfer taken at the end.
+    #[test]
+    fn mirror_converges_with_full_transfer(
+        payloads in proptest::collection::vec((0..OBJECTS, any::<bool>(), proptest::collection::vec(any::<u8>(), 0..12)), 1..60),
+    ) {
+        let mut core = ServerCore::new(&ServerConfig::stateful(ServerId::new(1)));
+        let (writer, _) = core.client_hello("writer".into(), None);
+        let (observer, _) = core.client_hello("observer".into(), None);
+        let g = GroupId::new(1);
+        core.handle_request(writer, ClientRequest::CreateGroup {
+            group: g,
+            persistence: Persistence::Transient,
+            initial_state: SharedState::new(),
+        }, Timestamp::ZERO);
+        for c in [writer, observer] {
+            core.handle_request(c, ClientRequest::Join {
+                group: g,
+                role: if c == writer { MemberRole::Principal } else { MemberRole::Observer },
+                policy: StateTransferPolicy::FullState,
+                notify_membership: false,
+            }, Timestamp::ZERO);
+        }
+
+        let mut mirror = GroupMirror::from_transfer(&StateTransfer::empty(g, SeqNo::ZERO));
+        for (object, set, payload) in &payloads {
+            let effects = core.handle_request(writer, ClientRequest::Broadcast {
+                group: g,
+                update: StateUpdate {
+                    object: ObjectId::new(object + 1),
+                    kind: if *set { UpdateKind::SetState } else { UpdateKind::Incremental },
+                    payload: payload.clone().into(),
+                },
+                scope: DeliveryScope::SenderInclusive,
+            }, Timestamp::ZERO);
+            for effect in &effects {
+                if let Effect::Send { to, event } = effect {
+                    if *to == observer {
+                        if let ServerEvent::Multicast { .. } = event {
+                            mirror.apply_event(event);
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(!mirror.is_stale());
+
+        // Compare against an end-of-run full transfer.
+        let log = core.group_log(g).expect("log");
+        let authoritative = log.transfer(&StateTransferPolicy::FullState).reconstruct();
+        prop_assert_eq!(mirror.state().object_ids(), authoritative.object_ids());
+        for id in authoritative.object_ids() {
+            prop_assert_eq!(
+                mirror.state().object(id).unwrap().materialize(),
+                authoritative.object(id).unwrap().materialize()
+            );
+        }
+    }
+
+    /// Effects never address clients the core has never seen, and
+    /// sequence numbers on the multicast stream are strictly
+    /// increasing per group.
+    #[test]
+    fn effects_are_well_formed(ops in proptest::collection::vec(arb_op(), 0..100)) {
+        let mut core = ServerCore::new(&ServerConfig::stateful(ServerId::new(1)));
+        let mut ids = Vec::new();
+        for i in 0..CLIENTS {
+            let (id, _) = core.client_hello(format!("c{i}"), None);
+            ids.push(id);
+        }
+        let mut last_seq: std::collections::HashMap<GroupId, SeqNo> = Default::default();
+        for (step, op) in ops.iter().enumerate() {
+            let effects = match op {
+                Op::Disconnect { client } => {
+                    let effects = core.client_disconnected(ids[*client as usize]);
+                    core.client_hello(format!("c{client}"), Some(ids[*client as usize]));
+                    effects
+                }
+                op => {
+                    let (client, request) = to_request(op).expect("non-disconnect");
+                    core.handle_request(ids[client as usize], request, Timestamp::from_micros(step as u64))
+                }
+            };
+            let mut seen_this_broadcast: std::collections::HashMap<GroupId, SeqNo> = Default::default();
+            for effect in &effects {
+                if let Effect::Send { to, event } = effect {
+                    prop_assert!(ids.contains(to), "effect addressed to unknown client {to:?}");
+                    if let ServerEvent::GroupCreated { group } = event {
+                        // A deleted-and-recreated group is a NEW group:
+                        // its sequence space legitimately restarts.
+                        last_seq.remove(group);
+                    }
+                    if let ServerEvent::Multicast { group, logged } = event {
+                        // Within one request all copies carry the same seq;
+                        // across requests the seq strictly increases.
+                        if let Some(prev) = seen_this_broadcast.get(group) {
+                            prop_assert_eq!(*prev, logged.seq);
+                        } else {
+                            if let Some(prev) = last_seq.get(group) {
+                                prop_assert!(logged.seq > *prev, "seq not increasing");
+                            }
+                            seen_this_broadcast.insert(*group, logged.seq);
+                            last_seq.insert(*group, logged.seq);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

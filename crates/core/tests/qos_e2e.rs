@@ -1,0 +1,213 @@
+//! End-to-end test of the QoS-adaptive delivery extension (§5.3):
+//! a client that stops draining its connection gets its awareness
+//! notifications shed once its backlog crosses the configured bound,
+//! while sequenced data traffic is always delivered.
+
+use corona_core::{client::CoronaClient, config::ServerConfig, server::CoronaServer, QosPolicy};
+use corona_transport::{Connection, MemNetwork};
+use corona_types::id::{GroupId, ObjectId, ServerId};
+use corona_types::message::{ClientRequest, ServerEvent, PROTOCOL_VERSION};
+use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
+use corona_types::state::SharedState;
+use corona_types::wire::{Decode, Encode};
+use std::time::Duration;
+
+const G: GroupId = GroupId(1);
+const O: ObjectId = ObjectId(1);
+const SHED_BOUND: usize = 4;
+
+/// A protocol-speaking client that does NOT drain its inbound queue —
+/// its connection backlog grows, triggering the shedding policy.
+struct SluggishClient {
+    conn: corona_transport::MemConnection,
+}
+
+impl SluggishClient {
+    fn connect(net: &MemNetwork, name: &str) -> SluggishClient {
+        let conn = net.dial_from(name, "server").unwrap();
+        conn.send(
+            ClientRequest::Hello {
+                version: PROTOCOL_VERSION,
+                display_name: name.into(),
+                resume: None,
+            }
+            .encode_to_bytes(),
+        )
+        .unwrap();
+        // Consume only the Welcome.
+        let frame = conn.recv().unwrap();
+        assert!(matches!(
+            ServerEvent::decode_exact(&frame).unwrap(),
+            ServerEvent::Welcome { .. }
+        ));
+        SluggishClient { conn }
+    }
+
+    fn join(&self) {
+        self.conn
+            .send(
+                ClientRequest::Join {
+                    group: G,
+                    role: MemberRole::Observer,
+                    policy: StateTransferPolicy::None,
+                    notify_membership: true,
+                }
+                .encode_to_bytes(),
+            )
+            .unwrap();
+        // Consume the Joined reply, nothing after it.
+        let frame = self.conn.recv().unwrap();
+        assert!(matches!(
+            ServerEvent::decode_exact(&frame).unwrap(),
+            ServerEvent::Joined { .. }
+        ));
+    }
+
+    /// Drains everything buffered, returning the event kinds.
+    fn drain(&self) -> Vec<ServerEvent> {
+        let mut out = Vec::new();
+        while let Ok(Some(frame)) = self.conn.try_recv() {
+            out.push(ServerEvent::decode_exact(&frame).unwrap());
+        }
+        out
+    }
+}
+
+#[test]
+fn awareness_is_shed_for_backlogged_clients_but_data_is_not() {
+    let net = MemNetwork::new();
+    let listener = net.listen("server").unwrap();
+    let server = CoronaServer::start(
+        Box::new(listener),
+        ServerConfig::stateful(ServerId::new(1)).with_qos(QosPolicy::shedding(SHED_BOUND)),
+    )
+    .unwrap();
+
+    // An active writer drives both data and awareness traffic.
+    let writer = CoronaClient::connect(
+        Box::new(net.dial_from("writer", "server").unwrap()),
+        "writer",
+        None,
+    )
+    .unwrap();
+    writer
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    writer
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+
+    // The sluggish observer joins with awareness subscription, then
+    // stops reading.
+    let sluggish = SluggishClient::connect(&net, "sluggish");
+    sluggish.join();
+
+    // Generate interleaved data (multicasts to the observer) and
+    // awareness (visitors joining and leaving) traffic.
+    const ROUNDS: usize = 30;
+    for i in 0..ROUNDS {
+        writer
+            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .unwrap();
+        let visitor = CoronaClient::connect(
+            Box::new(net.dial_from(&format!("v{i}"), "server").unwrap()),
+            format!("v{i}"),
+            None,
+        )
+        .unwrap();
+        visitor
+            .join(G, MemberRole::Observer, StateTransferPolicy::None, false)
+            .unwrap();
+        visitor.leave(G).unwrap();
+        visitor.close();
+    }
+    writer.ping().unwrap(); // flush the dispatcher
+
+    // Give the (instant) mem transport a beat, then inspect.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = server.stats().unwrap();
+    assert!(
+        stats.shed > 0,
+        "no events were shed despite a {SHED_BOUND}-frame bound and {ROUNDS} awareness rounds"
+    );
+
+    let events = sluggish.drain();
+    let data: Vec<String> = events
+        .iter()
+        .filter_map(|e| match e {
+            ServerEvent::Multicast { logged, .. } => {
+                Some(String::from_utf8_lossy(&logged.update.payload).into_owned())
+            }
+            _ => None,
+        })
+        .collect();
+    let awareness = events
+        .iter()
+        .filter(|e| matches!(e, ServerEvent::MembershipChanged { .. }))
+        .count();
+
+    // EVERY data update arrived, in order, despite the backlog.
+    let expected: Vec<String> = (0..ROUNDS).map(|i| format!("{i};")).collect();
+    assert_eq!(data, expected, "data must never be shed");
+    // Awareness was shed: fewer than the 2*ROUNDS join/leave
+    // notifications were delivered.
+    assert!(
+        awareness < 2 * ROUNDS,
+        "expected shedding, but all {awareness} notifications arrived"
+    );
+
+    writer.close();
+    server.shutdown();
+}
+
+#[test]
+fn default_policy_sheds_nothing() {
+    let net = MemNetwork::new();
+    let listener = net.listen("server").unwrap();
+    let server = CoronaServer::start(
+        Box::new(listener),
+        ServerConfig::stateful(ServerId::new(1)),
+    )
+    .unwrap();
+    let writer = CoronaClient::connect(
+        Box::new(net.dial_from("writer", "server").unwrap()),
+        "writer",
+        None,
+    )
+    .unwrap();
+    writer
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    writer
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+
+    let sluggish = SluggishClient::connect(&net, "sluggish");
+    sluggish.join();
+    for i in 0..20 {
+        let visitor = CoronaClient::connect(
+            Box::new(net.dial_from(&format!("v{i}"), "server").unwrap()),
+            format!("v{i}"),
+            None,
+        )
+        .unwrap();
+        visitor
+            .join(G, MemberRole::Observer, StateTransferPolicy::None, false)
+            .unwrap();
+        visitor.leave(G).unwrap();
+        visitor.close();
+    }
+    writer.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let stats = server.stats().unwrap();
+    assert_eq!(stats.shed, 0, "base system must never shed");
+    let awareness = sluggish
+        .drain()
+        .iter()
+        .filter(|e| matches!(e, ServerEvent::MembershipChanged { .. }))
+        .count();
+    assert_eq!(awareness, 40, "all join+leave notifications delivered");
+    writer.close();
+    server.shutdown();
+}

@@ -1,0 +1,790 @@
+//! Tests of the [`ServerCore`] state machine: every service of §3.2
+//! exercised at the protocol level, without threads or I/O.
+
+use corona_core::{config::ServerConfig, core::{Effect, LogEffect, ServerCore}};
+use corona_membership::{AclPolicy, Capability, DenyAll};
+use corona_types::error::ErrorCode;
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
+use corona_types::message::{ClientRequest, ServerEvent};
+use corona_types::policy::{
+    DeliveryScope, MemberRole, MembershipChange, Persistence, StateTransferPolicy,
+};
+use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use std::sync::Arc;
+
+const G: GroupId = GroupId(1);
+const O: ObjectId = ObjectId(1);
+
+fn now() -> Timestamp {
+    Timestamp::from_micros(1_000)
+}
+
+fn stateful_core() -> ServerCore {
+    ServerCore::new(&ServerConfig::stateful(ServerId::new(1)))
+}
+
+fn stateless_core() -> ServerCore {
+    ServerCore::new(&ServerConfig::stateless(ServerId::new(1)))
+}
+
+/// Connects a client and returns its id.
+fn hello(core: &mut ServerCore, name: &str) -> ClientId {
+    let (id, effects) = core.client_hello(name.to_string(), None);
+    assert!(matches!(
+        &effects[..],
+        [Effect::Send {
+            event: ServerEvent::Welcome { .. },
+            ..
+        }]
+    ));
+    id
+}
+
+fn create(core: &mut ServerCore, client: ClientId, persistence: Persistence) {
+    let effects = core.handle_request(
+        client,
+        ClientRequest::CreateGroup {
+            group: G,
+            persistence,
+            initial_state: SharedState::new(),
+        },
+        now(),
+    );
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Send { event: ServerEvent::GroupCreated { .. }, .. })));
+}
+
+fn join(core: &mut ServerCore, client: ClientId) {
+    join_with(core, client, MemberRole::Principal, false);
+}
+
+fn join_with(core: &mut ServerCore, client: ClientId, role: MemberRole, notify: bool) {
+    let effects = core.handle_request(
+        client,
+        ClientRequest::Join {
+            group: G,
+            role,
+            policy: StateTransferPolicy::FullState,
+            notify_membership: notify,
+        },
+        now(),
+    );
+    assert!(
+        effects.iter().any(|e| matches!(
+            e,
+            Effect::Send { to, event: ServerEvent::Joined { .. } } if *to == client
+        )),
+        "join failed: {effects:?}"
+    );
+}
+
+fn broadcast(core: &mut ServerCore, client: ClientId, payload: &str) -> Vec<Effect> {
+    core.handle_request(
+        client,
+        ClientRequest::Broadcast {
+            group: G,
+            update: StateUpdate::incremental(O, payload.as_bytes().to_vec()),
+            scope: DeliveryScope::SenderInclusive,
+        },
+        now(),
+    )
+}
+
+fn sends_to(effects: &[Effect], client: ClientId) -> Vec<&ServerEvent> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            Effect::Send { to, event } if *to == client => Some(event),
+            _ => None,
+        })
+        .collect()
+}
+
+fn error_code(effects: &[Effect], client: ClientId) -> Option<ErrorCode> {
+    sends_to(effects, client).iter().find_map(|e| match e {
+        ServerEvent::Error { code, .. } => Some(ErrorCode::from_wire(*code)),
+        _ => None,
+    })
+}
+
+#[test]
+fn hello_assigns_unique_ids_and_resume_keeps_identity() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    assert_ne!(a, b);
+    // Resume with a's id.
+    let (resumed, _) = core.client_hello("a2".into(), Some(a));
+    assert_eq!(resumed, a);
+    // Resume with an id this server never issued (post-restart
+    // reconnect): honoured.
+    let foreign = ClientId::new(999);
+    let (resumed, _) = core.client_hello("x".into(), Some(foreign));
+    assert_eq!(resumed, foreign);
+}
+
+#[test]
+fn duplicate_hello_is_rejected() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let effects = core.handle_request(
+        a,
+        ClientRequest::Hello {
+            version: 1,
+            display_name: "again".into(),
+            resume: None,
+        },
+        now(),
+    );
+    assert_eq!(error_code(&effects, a), Some(ErrorCode::BadRequest));
+}
+
+#[test]
+fn broadcast_assigns_total_order_and_fans_out() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    join(&mut core, b);
+
+    let e1 = broadcast(&mut core, a, "x");
+    let e2 = broadcast(&mut core, b, "y");
+    // Both members receive both messages with increasing seq.
+    for (effects, expect_seq) in [(&e1, 1), (&e2, 2)] {
+        for client in [a, b] {
+            let seqs: Vec<u64> = sends_to(effects, client)
+                .iter()
+                .filter_map(|e| match e {
+                    ServerEvent::Multicast { logged, .. } => Some(logged.seq.raw()),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(seqs, vec![expect_seq]);
+        }
+    }
+}
+
+#[test]
+fn sender_exclusive_skips_sender() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    join(&mut core, b);
+
+    let effects = core.handle_request(
+        a,
+        ClientRequest::Broadcast {
+            group: G,
+            update: StateUpdate::incremental(O, &b"m"[..]),
+            scope: DeliveryScope::SenderExclusive,
+        },
+        now(),
+    );
+    assert!(sends_to(&effects, a).is_empty(), "sender excluded");
+    assert_eq!(sends_to(&effects, b).len(), 1);
+}
+
+#[test]
+fn sender_inclusive_carries_server_timestamp() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    let stamp = Timestamp::from_micros(42_000);
+    let effects = core.handle_request(
+        a,
+        ClientRequest::Broadcast {
+            group: G,
+            update: StateUpdate::incremental(O, &b"m"[..]),
+            scope: DeliveryScope::SenderInclusive,
+        },
+        stamp,
+    );
+    match sends_to(&effects, a)[0] {
+        ServerEvent::Multicast { logged, .. } => assert_eq!(logged.timestamp, stamp),
+        other => panic!("expected multicast, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_member_and_observer_broadcasts_rejected() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let obs = hello(&mut core, "obs");
+    let outsider = hello(&mut core, "out");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    join_with(&mut core, obs, MemberRole::Observer, false);
+
+    let effects = broadcast(&mut core, outsider, "nope");
+    assert_eq!(error_code(&effects, outsider), Some(ErrorCode::NotAMember));
+
+    let effects = broadcast(&mut core, obs, "nope");
+    assert_eq!(error_code(&effects, obs), Some(ErrorCode::PolicyDenied));
+
+    // Observer still receives traffic.
+    let effects = broadcast(&mut core, a, "data");
+    assert_eq!(sends_to(&effects, obs).len(), 1);
+}
+
+#[test]
+fn join_transfers_current_state_without_involving_members() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    broadcast(&mut core, a, "hello ");
+    broadcast(&mut core, a, "world");
+
+    let b = hello(&mut core, "b");
+    let effects = core.handle_request(
+        b,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::FullState,
+            notify_membership: false,
+        },
+        now(),
+    );
+    // The ONLY effects are to b (the joiner) — existing member a is
+    // not involved and not even notified (it did not subscribe).
+    assert!(sends_to(&effects, a).is_empty());
+    match sends_to(&effects, b).as_slice() {
+        [ServerEvent::Joined { members, transfer }] => {
+            assert_eq!(members.len(), 2);
+            let state = transfer.reconstruct();
+            assert_eq!(
+                state.object(O).unwrap().materialize().as_ref(),
+                b"hello world"
+            );
+            assert_eq!(transfer.through, SeqNo::new(2));
+        }
+        other => panic!("expected Joined, got {other:?}"),
+    }
+}
+
+#[test]
+fn join_policies_shape_the_transfer() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    for i in 0..10 {
+        broadcast(&mut core, a, &format!("{i};"));
+    }
+
+    // LastUpdates(3)
+    let b = hello(&mut core, "b");
+    let effects = core.handle_request(
+        b,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::LastUpdates(3),
+            notify_membership: false,
+        },
+        now(),
+    );
+    match sends_to(&effects, b)[0] {
+        ServerEvent::Joined { transfer, .. } => {
+            assert_eq!(transfer.updates.len(), 3);
+            assert!(transfer.objects.is_empty());
+            assert_eq!(transfer.basis, SeqNo::new(7));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Objects(…): second object does not exist.
+    let c = hello(&mut core, "c");
+    let effects = core.handle_request(
+        c,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::Objects(vec![O, ObjectId::new(99)]),
+            notify_membership: false,
+        },
+        now(),
+    );
+    match sends_to(&effects, c)[0] {
+        ServerEvent::Joined { transfer, .. } => {
+            assert_eq!(transfer.objects.len(), 1);
+            assert_eq!(transfer.objects[0].0, O);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn membership_notifications_only_to_subscribers() {
+    let mut core = stateful_core();
+    let sub = hello(&mut core, "sub");
+    let nosub = hello(&mut core, "nosub");
+    create(&mut core, sub, Persistence::Transient);
+    join_with(&mut core, sub, MemberRole::Principal, true);
+    join_with(&mut core, nosub, MemberRole::Principal, false);
+
+    let newcomer = hello(&mut core, "new");
+    let effects = core.handle_request(
+        newcomer,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::None,
+            notify_membership: false,
+        },
+        now(),
+    );
+    let sub_events = sends_to(&effects, sub);
+    assert!(matches!(
+        sub_events[0],
+        ServerEvent::MembershipChanged {
+            change: MembershipChange::Joined(c),
+            ..
+        } if *c == newcomer
+    ));
+    assert!(sends_to(&effects, nosub).is_empty());
+
+    // Leave notification too.
+    let effects = core.handle_request(newcomer, ClientRequest::Leave { group: G }, now());
+    assert!(matches!(
+        sends_to(&effects, sub)[0],
+        ServerEvent::MembershipChanged {
+            change: MembershipChange::Left(c),
+            ..
+        } if *c == newcomer
+    ));
+}
+
+#[test]
+fn disconnect_cleans_up_membership_and_locks() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Persistent);
+    join_with(&mut core, a, MemberRole::Principal, true);
+    join(&mut core, b);
+
+    // b holds a lock; a waits on it.
+    core.handle_request(
+        b,
+        ClientRequest::AcquireLock {
+            group: G,
+            object: O,
+            wait: false,
+        },
+        now(),
+    );
+    core.handle_request(
+        a,
+        ClientRequest::AcquireLock {
+            group: G,
+            object: O,
+            wait: true,
+        },
+        now(),
+    );
+
+    let effects = core.client_disconnected(b);
+    // a is notified of the disconnect (awareness) AND granted the lock.
+    assert!(sends_to(&effects, a).iter().any(|e| matches!(
+        e,
+        ServerEvent::MembershipChanged {
+            change: MembershipChange::Disconnected(c),
+            ..
+        } if *c == b
+    )));
+    assert!(sends_to(&effects, a)
+        .iter()
+        .any(|e| matches!(e, ServerEvent::LockGranted { .. })));
+    assert_eq!(core.registry().get(G).unwrap().member_count(), 1);
+}
+
+#[test]
+fn transient_group_dissolves_and_state_is_lost() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    broadcast(&mut core, a, "ephemeral");
+    core.handle_request(a, ClientRequest::Leave { group: G }, now());
+    assert_eq!(core.group_count(), 0);
+    assert!(core.group_log(G).is_none(), "state is lost (§3.1)");
+}
+
+#[test]
+fn persistent_group_retains_state_at_null_membership() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Persistent);
+    join(&mut core, a);
+    broadcast(&mut core, a, "durable");
+    core.handle_request(a, ClientRequest::Leave { group: G }, now());
+    assert_eq!(core.group_count(), 1);
+
+    // A later client joins the memberless group and gets the state.
+    let b = hello(&mut core, "b");
+    let effects = core.handle_request(
+        b,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::FullState,
+            notify_membership: false,
+        },
+        now(),
+    );
+    match sends_to(&effects, b)[0] {
+        ServerEvent::Joined { transfer, .. } => {
+            assert_eq!(
+                transfer.reconstruct().object(O).unwrap().materialize().as_ref(),
+                b"durable"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn delete_group_notifies_members_and_drops_state() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Persistent);
+    join(&mut core, a);
+    join(&mut core, b);
+    let effects = core.handle_request(a, ClientRequest::DeleteGroup { group: G }, now());
+    for c in [a, b] {
+        assert!(sends_to(&effects, c)
+            .iter()
+            .any(|e| matches!(e, ServerEvent::GroupDeleted { .. })));
+    }
+    assert_eq!(core.group_count(), 0);
+    assert!(core.group_log(G).is_none());
+}
+
+#[test]
+fn lock_protocol_grant_deny_queue_release() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    join(&mut core, b);
+
+    let effects = core.handle_request(
+        a,
+        ClientRequest::AcquireLock { group: G, object: O, wait: false },
+        now(),
+    );
+    assert!(matches!(sends_to(&effects, a)[0], ServerEvent::LockGranted { .. }));
+
+    let effects = core.handle_request(
+        b,
+        ClientRequest::AcquireLock { group: G, object: O, wait: false },
+        now(),
+    );
+    assert!(matches!(
+        sends_to(&effects, b)[0],
+        ServerEvent::LockDenied { holder, .. } if *holder == a
+    ));
+
+    // Queued acquire emits nothing immediately.
+    let effects = core.handle_request(
+        b,
+        ClientRequest::AcquireLock { group: G, object: O, wait: true },
+        now(),
+    );
+    assert!(effects.is_empty());
+
+    // Release hands over.
+    let effects = core.handle_request(
+        a,
+        ClientRequest::ReleaseLock { group: G, object: O },
+        now(),
+    );
+    assert!(matches!(sends_to(&effects, a)[0], ServerEvent::LockReleased { .. }));
+    assert!(matches!(sends_to(&effects, b)[0], ServerEvent::LockGranted { .. }));
+
+    // Releasing a lock you don't hold errors.
+    let effects = core.handle_request(
+        a,
+        ClientRequest::ReleaseLock { group: G, object: O },
+        now(),
+    );
+    assert_eq!(error_code(&effects, a), Some(ErrorCode::LockNotHeld));
+}
+
+#[test]
+fn client_requested_log_reduction() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    for i in 0..6 {
+        broadcast(&mut core, a, &format!("{i}"));
+    }
+    let effects = core.handle_request(
+        a,
+        ClientRequest::ReduceLog {
+            group: G,
+            through: Some(SeqNo::new(4)),
+        },
+        now(),
+    );
+    assert!(matches!(
+        sends_to(&effects, a)[0],
+        ServerEvent::LogReduced { through, .. } if *through == SeqNo::new(4)
+    ));
+    let log = core.group_log(G).unwrap();
+    assert_eq!(log.checkpoint_seq(), SeqNo::new(4));
+    assert_eq!(log.suffix_len(), 2);
+
+    // Out-of-range point is rejected.
+    let effects = core.handle_request(
+        a,
+        ClientRequest::ReduceLog {
+            group: G,
+            through: Some(SeqNo::new(100)),
+        },
+        now(),
+    );
+    assert_eq!(error_code(&effects, a), Some(ErrorCode::BadReductionPoint));
+}
+
+#[test]
+fn automatic_reduction_fires_from_policy() {
+    use corona_statelog::ReductionPolicy;
+    let config = ServerConfig::stateful(ServerId::new(1))
+        .with_reduction(ReductionPolicy::MaxUpdates { max: 5, keep: 2 });
+    let mut core = ServerCore::new(&config);
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    let mut reduced_notices = 0;
+    for i in 0..12 {
+        let effects = broadcast(&mut core, a, &format!("{i}"));
+        reduced_notices += sends_to(&effects, a)
+            .iter()
+            .filter(|e| matches!(e, ServerEvent::LogReduced { .. }))
+            .count();
+    }
+    assert!(reduced_notices >= 1, "policy never fired");
+    assert!(core.group_log(G).unwrap().suffix_len() <= 5);
+    assert!(core.counters().reductions >= 1);
+    // Live state unharmed.
+    let expected: String = (0..12).map(|i| i.to_string()).collect();
+    assert_eq!(
+        core.group_log(G)
+            .unwrap()
+            .current_state()
+            .object(O)
+            .unwrap()
+            .materialize()
+            .as_ref(),
+        expected.as_bytes()
+    );
+}
+
+#[test]
+fn stateless_mode_sequences_but_keeps_nothing() {
+    let mut core = stateless_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    let e1 = broadcast(&mut core, a, "x");
+    let e2 = broadcast(&mut core, a, "y");
+    let seq_of = |effects: &[Effect]| match sends_to(effects, a)[0] {
+        ServerEvent::Multicast { logged, .. } => logged.seq,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(seq_of(&e1), SeqNo::new(1));
+    assert_eq!(seq_of(&e2), SeqNo::new(2));
+    assert!(core.group_log(G).is_none(), "no log in stateless mode");
+
+    // Join gets an empty transfer at the current seq.
+    let b = hello(&mut core, "b");
+    let effects = core.handle_request(
+        b,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::FullState,
+            notify_membership: false,
+        },
+        now(),
+    );
+    match sends_to(&effects, b)[0] {
+        ServerEvent::Joined { transfer, .. } => {
+            assert!(transfer.objects.is_empty());
+            assert_eq!(transfer.through, SeqNo::new(2));
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // Log reduction is meaningless.
+    let effects = core.handle_request(
+        a,
+        ClientRequest::ReduceLog { group: G, through: None },
+        now(),
+    );
+    assert_eq!(error_code(&effects, a), Some(ErrorCode::Unsupported));
+}
+
+#[test]
+fn session_policy_gates_actions() {
+    let acl = AclPolicy::default()
+        .allow_create(ClientId::new(1))
+        .grant(ClientId::new(1), G, Capability::Manage)
+        .grant(ClientId::new(2), G, Capability::Observe);
+    let config =
+        ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(acl));
+    let mut core = ServerCore::new(&config);
+    let a = hello(&mut core, "a"); // ClientId 1
+    let b = hello(&mut core, "b"); // ClientId 2
+    assert_eq!(a, ClientId::new(1));
+    assert_eq!(b, ClientId::new(2));
+
+    create(&mut core, a, Persistence::Transient);
+    // b may not create.
+    let effects = core.handle_request(
+        b,
+        ClientRequest::CreateGroup {
+            group: GroupId::new(2),
+            persistence: Persistence::Transient,
+            initial_state: SharedState::new(),
+        },
+        now(),
+    );
+    assert_eq!(error_code(&effects, b), Some(ErrorCode::PolicyDenied));
+
+    // b may join as observer but not principal.
+    let effects = core.handle_request(
+        b,
+        ClientRequest::Join {
+            group: G,
+            role: MemberRole::Principal,
+            policy: StateTransferPolicy::None,
+            notify_membership: false,
+        },
+        now(),
+    );
+    assert_eq!(error_code(&effects, b), Some(ErrorCode::PolicyDenied));
+    join_with(&mut core, b, MemberRole::Observer, false);
+}
+
+#[test]
+fn deny_all_policy_blocks_everything() {
+    let config =
+        ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(DenyAll));
+    let mut core = ServerCore::new(&config);
+    let a = hello(&mut core, "a");
+    let effects = core.handle_request(
+        a,
+        ClientRequest::CreateGroup {
+            group: G,
+            persistence: Persistence::Transient,
+            initial_state: SharedState::new(),
+        },
+        now(),
+    );
+    assert_eq!(error_code(&effects, a), Some(ErrorCode::PolicyDenied));
+}
+
+#[test]
+fn storage_effects_emitted_only_for_persistent_groups_with_storage() {
+    // With a storage dir configured, persistent groups produce log
+    // effects, transient ones do not.
+    let config = ServerConfig::stateful(ServerId::new(1)).with_storage("/tmp/unused-core-test");
+    let mut core = ServerCore::new(&config);
+    let a = hello(&mut core, "a");
+
+    let effects = core.handle_request(
+        a,
+        ClientRequest::CreateGroup {
+            group: G,
+            persistence: Persistence::Persistent,
+            initial_state: SharedState::new(),
+        },
+        now(),
+    );
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Log(LogEffect::CreateGroup { .. }))));
+
+    join(&mut core, a);
+    let effects = broadcast(&mut core, a, "logged");
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, Effect::Log(LogEffect::Append { .. }))));
+
+    // Transient group: no storage effects at all.
+    let g2 = GroupId::new(2);
+    let effects = core.handle_request(
+        a,
+        ClientRequest::CreateGroup {
+            group: g2,
+            persistence: Persistence::Transient,
+            initial_state: SharedState::new(),
+        },
+        now(),
+    );
+    assert!(!effects.iter().any(|e| matches!(e, Effect::Log(_))));
+}
+
+#[test]
+fn get_state_supports_reconnection_catchup() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    for i in 0..5 {
+        broadcast(&mut core, a, &format!("{i}"));
+    }
+    let effects = core.handle_request(
+        a,
+        ClientRequest::GetState {
+            group: G,
+            policy: StateTransferPolicy::UpdatesSince(SeqNo::new(3)),
+        },
+        now(),
+    );
+    match sends_to(&effects, a)[0] {
+        ServerEvent::State { transfer } => {
+            assert_eq!(transfer.updates.len(), 2);
+            assert_eq!(transfer.updates[0].seq, SeqNo::new(4));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn counters_track_activity() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    let b = hello(&mut core, "b");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    join(&mut core, b);
+    broadcast(&mut core, a, "1");
+    broadcast(&mut core, b, "2");
+    let c = core.counters();
+    assert_eq!(c.joins, 2);
+    assert_eq!(c.broadcasts, 2);
+    assert_eq!(c.deliveries, 4, "2 broadcasts x 2 members");
+}
+
+#[test]
+fn goodbye_equals_disconnect() {
+    let mut core = stateful_core();
+    let a = hello(&mut core, "a");
+    create(&mut core, a, Persistence::Transient);
+    join(&mut core, a);
+    core.handle_request(a, ClientRequest::Goodbye, now());
+    assert_eq!(core.group_count(), 0, "transient group dissolved");
+}

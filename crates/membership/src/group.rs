@@ -1,0 +1,231 @@
+//! A single communication group's membership record.
+//!
+//! "A group consists of a set of processes, called members, that
+//! communicate with each other by exchanging messages and operate on
+//! the shared state ... Only members of a group can operate on the
+//! shared state of the group" (§3.1).
+
+use corona_types::id::{ClientId, GroupId};
+use corona_types::policy::{MemberInfo, MemberRole, Persistence};
+use std::collections::BTreeMap;
+
+/// Per-member bookkeeping beyond the public [`MemberInfo`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberRecord {
+    /// Public info (id, role, display name).
+    pub info: MemberInfo,
+    /// Whether this member subscribed to membership change
+    /// notifications ("unless they request explicitly membership
+    /// change notifications", §3.2).
+    pub notify_membership: bool,
+}
+
+/// Errors from group membership operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The client is already a member.
+    AlreadyMember,
+    /// The client is not a member.
+    NotAMember,
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::AlreadyMember => f.write_str("already a member"),
+            MembershipError::NotAMember => f.write_str("not a member"),
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+/// One group's identity, lifetime semantics and member set.
+#[derive(Debug, Clone)]
+pub struct Group {
+    id: GroupId,
+    persistence: Persistence,
+    members: BTreeMap<ClientId, MemberRecord>,
+}
+
+impl Group {
+    /// Creates an empty group.
+    pub fn new(id: GroupId, persistence: Persistence) -> Self {
+        Group {
+            id,
+            persistence,
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// The group id.
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// Persistent or transient (§3.1).
+    pub fn persistence(&self) -> Persistence {
+        self.persistence
+    }
+
+    /// Number of current members.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the group currently has no members ("null membership").
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `client` is a member.
+    pub fn is_member(&self, client: ClientId) -> bool {
+        self.members.contains_key(&client)
+    }
+
+    /// The member's role, if a member.
+    pub fn role_of(&self, client: ClientId) -> Option<MemberRole> {
+        self.members.get(&client).map(|m| m.info.role)
+    }
+
+    /// The member's public info, if a member.
+    pub fn member_info(&self, client: ClientId) -> Option<&MemberInfo> {
+        self.members.get(&client).map(|m| &m.info)
+    }
+
+    /// Public info for every member, in client-id order.
+    pub fn member_infos(&self) -> Vec<MemberInfo> {
+        self.members.values().map(|m| m.info.clone()).collect()
+    }
+
+    /// Ids of all members.
+    pub fn member_ids(&self) -> Vec<ClientId> {
+        self.members.keys().copied().collect()
+    }
+
+    /// Ids of members that subscribed to membership notifications.
+    pub fn notification_subscribers(&self) -> Vec<ClientId> {
+        self.members
+            .iter()
+            .filter(|(_, m)| m.notify_membership)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Adds a member.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::AlreadyMember`] if the client already joined.
+    pub fn join(
+        &mut self,
+        info: MemberInfo,
+        notify_membership: bool,
+    ) -> Result<(), MembershipError> {
+        if self.members.contains_key(&info.client) {
+            return Err(MembershipError::AlreadyMember);
+        }
+        self.members.insert(
+            info.client,
+            MemberRecord {
+                info,
+                notify_membership,
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a member, returning its record.
+    ///
+    /// # Errors
+    ///
+    /// [`MembershipError::NotAMember`] if the client is not a member.
+    pub fn leave(&mut self, client: ClientId) -> Result<MemberRecord, MembershipError> {
+        self.members
+            .remove(&client)
+            .ok_or(MembershipError::NotAMember)
+    }
+
+    /// Whether a group with null membership should be dissolved: only
+    /// transient groups cease to exist when empty (§3.1).
+    pub fn dissolves_when_empty(&self) -> bool {
+        matches!(self.persistence, Persistence::Transient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(n: u64) -> MemberInfo {
+        MemberInfo::new(ClientId::new(n), MemberRole::Principal, format!("user{n}"))
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        g.join(info(1), false).unwrap();
+        g.join(info(2), true).unwrap();
+        assert_eq!(g.member_count(), 2);
+        assert!(g.is_member(ClientId::new(1)));
+        let rec = g.leave(ClientId::new(1)).unwrap();
+        assert_eq!(rec.info.client, ClientId::new(1));
+        assert_eq!(g.member_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_join_rejected() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        g.join(info(1), false).unwrap();
+        assert_eq!(g.join(info(1), false), Err(MembershipError::AlreadyMember));
+    }
+
+    #[test]
+    fn leave_nonmember_rejected() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        assert!(matches!(
+            g.leave(ClientId::new(9)),
+            Err(MembershipError::NotAMember)
+        ));
+    }
+
+    #[test]
+    fn notification_subscribers_filtered() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        g.join(info(1), true).unwrap();
+        g.join(info(2), false).unwrap();
+        g.join(info(3), true).unwrap();
+        assert_eq!(
+            g.notification_subscribers(),
+            vec![ClientId::new(1), ClientId::new(3)]
+        );
+    }
+
+    #[test]
+    fn dissolution_semantics_follow_persistence() {
+        assert!(Group::new(GroupId::new(1), Persistence::Transient).dissolves_when_empty());
+        assert!(!Group::new(GroupId::new(1), Persistence::Persistent).dissolves_when_empty());
+    }
+
+    #[test]
+    fn roles_are_tracked() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        g.join(
+            MemberInfo::new(ClientId::new(1), MemberRole::Observer, "watcher"),
+            false,
+        )
+        .unwrap();
+        assert_eq!(g.role_of(ClientId::new(1)), Some(MemberRole::Observer));
+        assert_eq!(g.role_of(ClientId::new(2)), None);
+    }
+
+    #[test]
+    fn member_infos_sorted_by_client_id() {
+        let mut g = Group::new(GroupId::new(1), Persistence::Transient);
+        g.join(info(5), false).unwrap();
+        g.join(info(2), false).unwrap();
+        let infos = g.member_infos();
+        assert_eq!(infos[0].client, ClientId::new(2));
+        assert_eq!(infos[1].client, ClientId::new(5));
+    }
+}

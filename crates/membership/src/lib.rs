@@ -1,0 +1,51 @@
+//! # corona-membership
+//!
+//! Group membership for Corona: group records, the per-server group
+//! registry, the exclusive-lock synchronisation service, and the
+//! pluggable session-manager authorisation policy.
+//!
+//! "In a collaborative system, group membership takes on an important
+//! social aspect of awareness — users collaborating over shared state
+//! want to be aware of each other and their activities" (§1). This
+//! crate provides the bookkeeping; the server in `corona-core` turns
+//! membership changes into awareness notifications.
+//!
+//! All types here are plain data structures: the owning dispatcher
+//! thread (or the deterministic simulator) provides mutual exclusion.
+//!
+//! ## Example
+//!
+//! ```
+//! use corona_membership::{GroupRegistry, LockTable, AcquireOutcome};
+//! use corona_types::{
+//!     id::{ClientId, GroupId, ObjectId},
+//!     policy::{MemberInfo, MemberRole, Persistence},
+//! };
+//!
+//! let mut registry = GroupRegistry::new();
+//! registry.create(GroupId::new(1), Persistence::Persistent).unwrap();
+//! registry
+//!     .join(
+//!         GroupId::new(1),
+//!         MemberInfo::new(ClientId::new(1), MemberRole::Principal, "ann"),
+//!         true,
+//!     )
+//!     .unwrap();
+//!
+//! let mut locks = LockTable::new();
+//! let outcome = locks.acquire(GroupId::new(1), ObjectId::new(7), ClientId::new(1), false);
+//! assert_eq!(outcome, AcquireOutcome::Granted);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod group;
+pub mod locks;
+pub mod policy;
+pub mod registry;
+
+pub use group::{Group, MemberRecord, MembershipError};
+pub use locks::{AcquireOutcome, LockError, LockTable};
+pub use policy::{AclPolicy, Action, AllowAll, Capability, DenyAll, SessionPolicy};
+pub use registry::{GroupRegistry, RegistryError, RemovalOutcome};

@@ -1,0 +1,328 @@
+//! Per-object exclusive locks: the synchronisation service.
+//!
+//! "Corona also provides interfaces for synchronizing client updates
+//! through locks" (§3.2). Locks are scoped to `(group, object)`. A
+//! request either fails fast (`wait == false`) or queues FIFO behind
+//! the current holder. Locks are released explicitly, or implicitly
+//! when the holder leaves the group or disconnects.
+
+use corona_types::id::{ClientId, GroupId, ObjectId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Result of an acquire attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireOutcome {
+    /// The caller now holds the lock.
+    Granted,
+    /// The lock is held and the caller declined to wait.
+    Denied {
+        /// The current holder.
+        holder: ClientId,
+    },
+    /// The caller is queued and will be granted on release.
+    Queued {
+        /// Position in the wait queue (0 = next).
+        position: usize,
+    },
+}
+
+/// Errors from lock operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// Release by a client that does not hold the lock.
+    NotHeld,
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::NotHeld => f.write_str("lock not held by caller"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug, Clone)]
+struct LockState {
+    holder: ClientId,
+    waiters: VecDeque<ClientId>,
+}
+
+/// All locks of one logical server.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    locks: BTreeMap<(GroupId, ObjectId), LockState>,
+}
+
+impl LockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Current holder of a lock, if locked.
+    pub fn holder(&self, group: GroupId, object: ObjectId) -> Option<ClientId> {
+        self.locks.get(&(group, object)).map(|l| l.holder)
+    }
+
+    /// Number of currently held locks.
+    pub fn held_count(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Attempts to acquire `(group, object)` for `client`.
+    ///
+    /// Re-acquiring a lock the caller already holds is granted
+    /// idempotently (interactive clients retry on reconnect).
+    pub fn acquire(
+        &mut self,
+        group: GroupId,
+        object: ObjectId,
+        client: ClientId,
+        wait: bool,
+    ) -> AcquireOutcome {
+        match self.locks.get_mut(&(group, object)) {
+            None => {
+                self.locks.insert(
+                    (group, object),
+                    LockState {
+                        holder: client,
+                        waiters: VecDeque::new(),
+                    },
+                );
+                AcquireOutcome::Granted
+            }
+            Some(state) if state.holder == client => AcquireOutcome::Granted,
+            Some(state) => {
+                if !wait {
+                    return AcquireOutcome::Denied {
+                        holder: state.holder,
+                    };
+                }
+                if let Some(pos) = state.waiters.iter().position(|w| *w == client) {
+                    return AcquireOutcome::Queued { position: pos };
+                }
+                state.waiters.push_back(client);
+                AcquireOutcome::Queued {
+                    position: state.waiters.len() - 1,
+                }
+            }
+        }
+    }
+
+    /// Releases a lock held by `client`. Returns the next waiter now
+    /// granted the lock, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::NotHeld`] if `client` is not the holder (a queued
+    /// waiter may cancel via [`LockTable::cancel_wait`] instead).
+    pub fn release(
+        &mut self,
+        group: GroupId,
+        object: ObjectId,
+        client: ClientId,
+    ) -> Result<Option<ClientId>, LockError> {
+        let key = (group, object);
+        let state = self.locks.get_mut(&key).ok_or(LockError::NotHeld)?;
+        if state.holder != client {
+            return Err(LockError::NotHeld);
+        }
+        match state.waiters.pop_front() {
+            Some(next) => {
+                state.holder = next;
+                Ok(Some(next))
+            }
+            None => {
+                self.locks.remove(&key);
+                Ok(None)
+            }
+        }
+    }
+
+    /// Removes `client` from a wait queue without affecting the holder.
+    /// Returns whether the client was queued.
+    pub fn cancel_wait(&mut self, group: GroupId, object: ObjectId, client: ClientId) -> bool {
+        if let Some(state) = self.locks.get_mut(&(group, object)) {
+            if let Some(pos) = state.waiters.iter().position(|w| *w == client) {
+                state.waiters.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Releases every lock held by `client` and removes it from every
+    /// wait queue (leave/disconnect cleanup). Returns
+    /// `(group, object, newly granted holder)` for each released lock.
+    pub fn release_all(
+        &mut self,
+        client: ClientId,
+    ) -> Vec<(GroupId, ObjectId, Option<ClientId>)> {
+        // First drop the client from all wait queues.
+        for state in self.locks.values_mut() {
+            state.waiters.retain(|w| *w != client);
+        }
+        // Then release held locks.
+        let held: Vec<(GroupId, ObjectId)> = self
+            .locks
+            .iter()
+            .filter(|(_, s)| s.holder == client)
+            .map(|(k, _)| *k)
+            .collect();
+        held.into_iter()
+            .map(|(g, o)| {
+                let next = self
+                    .release(g, o, client)
+                    .expect("holder checked just above");
+                (g, o, next)
+            })
+            .collect()
+    }
+
+    /// Releases every lock `client` holds within `group` and removes
+    /// it from that group's wait queues (leave cleanup — the member's
+    /// locks in *other* groups are unaffected). Returns
+    /// `(object, newly granted holder)` per released lock.
+    pub fn release_client_group(
+        &mut self,
+        group: GroupId,
+        client: ClientId,
+    ) -> Vec<(ObjectId, Option<ClientId>)> {
+        for ((g, _), state) in self.locks.iter_mut() {
+            if *g == group {
+                state.waiters.retain(|w| *w != client);
+            }
+        }
+        let held: Vec<ObjectId> = self
+            .locks
+            .iter()
+            .filter(|((g, _), s)| *g == group && s.holder == client)
+            .map(|((_, o), _)| *o)
+            .collect();
+        held.into_iter()
+            .map(|o| {
+                let next = self
+                    .release(group, o, client)
+                    .expect("holder checked just above");
+                (o, next)
+            })
+            .collect()
+    }
+
+    /// Releases every lock scoped to `group` (group deletion cleanup).
+    pub fn clear_group(&mut self, group: GroupId) {
+        self.locks.retain(|(g, _), _| *g != group);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: GroupId = GroupId(1);
+    const O: ObjectId = ObjectId(1);
+
+    fn cid(n: u64) -> ClientId {
+        ClientId::new(n)
+    }
+
+    #[test]
+    fn grant_then_deny_then_release() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(G, O, cid(1), false), AcquireOutcome::Granted);
+        assert_eq!(
+            t.acquire(G, O, cid(2), false),
+            AcquireOutcome::Denied { holder: cid(1) }
+        );
+        assert_eq!(t.release(G, O, cid(1)).unwrap(), None);
+        assert_eq!(t.acquire(G, O, cid(2), false), AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire(G, O, cid(1), false), AcquireOutcome::Granted);
+        assert_eq!(t.acquire(G, O, cid(1), true), AcquireOutcome::Granted);
+    }
+
+    #[test]
+    fn fifo_wait_queue() {
+        let mut t = LockTable::new();
+        t.acquire(G, O, cid(1), false);
+        assert_eq!(t.acquire(G, O, cid(2), true), AcquireOutcome::Queued { position: 0 });
+        assert_eq!(t.acquire(G, O, cid(3), true), AcquireOutcome::Queued { position: 1 });
+        // Duplicate wait keeps the original position.
+        assert_eq!(t.acquire(G, O, cid(2), true), AcquireOutcome::Queued { position: 0 });
+        assert_eq!(t.release(G, O, cid(1)).unwrap(), Some(cid(2)));
+        assert_eq!(t.holder(G, O), Some(cid(2)));
+        assert_eq!(t.release(G, O, cid(2)).unwrap(), Some(cid(3)));
+        assert_eq!(t.release(G, O, cid(3)).unwrap(), None);
+        assert_eq!(t.holder(G, O), None);
+    }
+
+    #[test]
+    fn release_by_nonholder_fails() {
+        let mut t = LockTable::new();
+        t.acquire(G, O, cid(1), false);
+        assert_eq!(t.release(G, O, cid(2)), Err(LockError::NotHeld));
+        assert_eq!(t.release(G, ObjectId::new(9), cid(1)), Err(LockError::NotHeld));
+    }
+
+    #[test]
+    fn cancel_wait_removes_from_queue() {
+        let mut t = LockTable::new();
+        t.acquire(G, O, cid(1), false);
+        t.acquire(G, O, cid(2), true);
+        t.acquire(G, O, cid(3), true);
+        assert!(t.cancel_wait(G, O, cid(2)));
+        assert!(!t.cancel_wait(G, O, cid(2)), "second cancel is a no-op");
+        assert_eq!(t.release(G, O, cid(1)).unwrap(), Some(cid(3)));
+    }
+
+    #[test]
+    fn release_all_hands_over_and_dequeues() {
+        let mut t = LockTable::new();
+        let o2 = ObjectId::new(2);
+        t.acquire(G, O, cid(1), false);
+        t.acquire(G, o2, cid(1), false);
+        t.acquire(G, O, cid(2), true);
+        // Client 1 also waits on a lock held by client 3 elsewhere.
+        let g2 = GroupId::new(2);
+        t.acquire(g2, O, cid(3), false);
+        t.acquire(g2, O, cid(1), true);
+
+        let released = t.release_all(cid(1));
+        assert_eq!(released.len(), 2);
+        assert!(released.contains(&(G, O, Some(cid(2)))));
+        assert!(released.contains(&(G, o2, None)));
+        // Client 1 no longer queued behind client 3.
+        assert_eq!(t.release(g2, O, cid(3)).unwrap(), None);
+    }
+
+    #[test]
+    fn release_client_group_is_scoped() {
+        let mut t = LockTable::new();
+        let g2 = GroupId::new(2);
+        t.acquire(G, O, cid(1), false);
+        t.acquire(g2, O, cid(1), false);
+        t.acquire(G, O, cid(2), true);
+        let released = t.release_client_group(G, cid(1));
+        assert_eq!(released, vec![(O, Some(cid(2)))]);
+        assert_eq!(t.holder(G, O), Some(cid(2)));
+        assert_eq!(t.holder(g2, O), Some(cid(1)), "other group untouched");
+    }
+
+    #[test]
+    fn clear_group_releases_scoped_locks_only() {
+        let mut t = LockTable::new();
+        let g2 = GroupId::new(2);
+        t.acquire(G, O, cid(1), false);
+        t.acquire(g2, O, cid(1), false);
+        t.clear_group(G);
+        assert_eq!(t.holder(G, O), None);
+        assert_eq!(t.holder(g2, O), Some(cid(1)));
+        assert_eq!(t.held_count(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! The external session-policy hook.
+//!
+//! "The Corona server works in conjunction with an external workspace
+//! session manager that determines which client is allowed to execute
+//! these actions" (§3.2). We model the session manager as a trait the
+//! server consults before every group-management action; deployments
+//! plug in their own implementation.
+
+use corona_types::id::{ClientId, GroupId, ObjectId};
+use corona_types::policy::MemberRole;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An action subject to authorisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Create a group.
+    CreateGroup(GroupId),
+    /// Delete a group and its state.
+    DeleteGroup(GroupId),
+    /// Join a group with a role.
+    Join {
+        /// Target group.
+        group: GroupId,
+        /// Requested role.
+        role: MemberRole,
+    },
+    /// Broadcast an update to an object.
+    Broadcast {
+        /// Target group.
+        group: GroupId,
+        /// Target object.
+        object: ObjectId,
+    },
+    /// Reduce a group's state log.
+    ReduceLog(GroupId),
+}
+
+impl Action {
+    /// The group the action targets.
+    pub fn group(&self) -> GroupId {
+        match self {
+            Action::CreateGroup(g)
+            | Action::DeleteGroup(g)
+            | Action::Join { group: g, .. }
+            | Action::Broadcast { group: g, .. }
+            | Action::ReduceLog(g) => *g,
+        }
+    }
+}
+
+/// The workspace session manager interface.
+///
+/// Implementations must be cheap and non-blocking: the server consults
+/// the policy on its dispatch path.
+pub trait SessionPolicy: Send + Sync {
+    /// Whether `client` may perform `action`.
+    fn authorize(&self, client: ClientId, action: &Action) -> bool;
+}
+
+/// Permits everything — the default for the trusted collaborative
+/// settings the paper targets ("clients are trusted, subject to
+/// authentication and access control", §6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl SessionPolicy for AllowAll {
+    fn authorize(&self, _client: ClientId, _action: &Action) -> bool {
+        true
+    }
+}
+
+/// A deny-all policy, useful for tests and for fail-closed defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenyAll;
+
+impl SessionPolicy for DenyAll {
+    fn authorize(&self, _client: ClientId, _action: &Action) -> bool {
+        false
+    }
+}
+
+/// What a client may do within one group under [`AclPolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Capability {
+    /// No access at all.
+    #[default]
+    NoAccess,
+    /// May join as observer only.
+    Observe,
+    /// May join as principal and broadcast.
+    Participate,
+    /// Full control: may also delete the group and reduce its log.
+    Manage,
+}
+
+/// A simple access-control-list policy: per-(client, group) grants with
+/// a global default, plus a set of clients allowed to create groups.
+#[derive(Debug, Clone, Default)]
+pub struct AclPolicy {
+    default: Capability,
+    grants: BTreeMap<(ClientId, GroupId), Capability>,
+    creators: BTreeSet<ClientId>,
+    anyone_may_create: bool,
+}
+
+impl AclPolicy {
+    /// Creates a policy where ungranted access falls back to `default`.
+    pub fn with_default(default: Capability) -> Self {
+        AclPolicy {
+            default,
+            ..AclPolicy::default()
+        }
+    }
+
+    /// Grants `capability` to `client` in `group` (builder-style).
+    pub fn grant(mut self, client: ClientId, group: GroupId, capability: Capability) -> Self {
+        self.grants.insert((client, group), capability);
+        self
+    }
+
+    /// Allows `client` to create groups (builder-style).
+    pub fn allow_create(mut self, client: ClientId) -> Self {
+        self.creators.insert(client);
+        self
+    }
+
+    /// Allows any client to create groups (builder-style).
+    pub fn allow_create_by_anyone(mut self) -> Self {
+        self.anyone_may_create = true;
+        self
+    }
+
+    fn capability(&self, client: ClientId, group: GroupId) -> Capability {
+        self.grants
+            .get(&(client, group))
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+impl SessionPolicy for AclPolicy {
+    fn authorize(&self, client: ClientId, action: &Action) -> bool {
+        match action {
+            Action::CreateGroup(_) => self.anyone_may_create || self.creators.contains(&client),
+            Action::DeleteGroup(g) | Action::ReduceLog(g) => {
+                self.capability(client, *g) >= Capability::Manage
+            }
+            Action::Join { group, role } => match role {
+                MemberRole::Observer => self.capability(client, *group) >= Capability::Observe,
+                MemberRole::Principal => {
+                    self.capability(client, *group) >= Capability::Participate
+                }
+            },
+            Action::Broadcast { group, .. } => {
+                self.capability(client, *group) >= Capability::Participate
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: u64) -> ClientId {
+        ClientId::new(n)
+    }
+
+    const G: GroupId = GroupId(1);
+    const O: ObjectId = ObjectId(1);
+
+    #[test]
+    fn allow_all_and_deny_all() {
+        let action = Action::CreateGroup(G);
+        assert!(AllowAll.authorize(cid(1), &action));
+        assert!(!DenyAll.authorize(cid(1), &action));
+    }
+
+    #[test]
+    fn acl_create_permissions() {
+        let acl = AclPolicy::default().allow_create(cid(1));
+        assert!(acl.authorize(cid(1), &Action::CreateGroup(G)));
+        assert!(!acl.authorize(cid(2), &Action::CreateGroup(G)));
+        let open = AclPolicy::default().allow_create_by_anyone();
+        assert!(open.authorize(cid(2), &Action::CreateGroup(G)));
+    }
+
+    #[test]
+    fn acl_capability_ladder() {
+        let acl = AclPolicy::default()
+            .grant(cid(1), G, Capability::Observe)
+            .grant(cid(2), G, Capability::Participate)
+            .grant(cid(3), G, Capability::Manage);
+
+        let observe = Action::Join {
+            group: G,
+            role: MemberRole::Observer,
+        };
+        let participate = Action::Join {
+            group: G,
+            role: MemberRole::Principal,
+        };
+        let broadcast = Action::Broadcast { group: G, object: O };
+        let delete = Action::DeleteGroup(G);
+
+        // Observer-level client.
+        assert!(acl.authorize(cid(1), &observe));
+        assert!(!acl.authorize(cid(1), &participate));
+        assert!(!acl.authorize(cid(1), &broadcast));
+        // Participant-level client.
+        assert!(acl.authorize(cid(2), &observe));
+        assert!(acl.authorize(cid(2), &participate));
+        assert!(acl.authorize(cid(2), &broadcast));
+        assert!(!acl.authorize(cid(2), &delete));
+        // Manager-level client.
+        assert!(acl.authorize(cid(3), &delete));
+        assert!(acl.authorize(cid(3), &Action::ReduceLog(G)));
+        // Ungranted client with NoAccess default.
+        assert!(!acl.authorize(cid(9), &observe));
+    }
+
+    #[test]
+    fn acl_default_capability_applies() {
+        let acl = AclPolicy::with_default(Capability::Participate);
+        assert!(acl.authorize(
+            cid(5),
+            &Action::Join {
+                group: G,
+                role: MemberRole::Principal
+            }
+        ));
+        assert!(!acl.authorize(cid(5), &Action::DeleteGroup(G)));
+    }
+
+    #[test]
+    fn action_group_accessor() {
+        assert_eq!(Action::CreateGroup(G).group(), G);
+        assert_eq!(Action::Broadcast { group: G, object: O }.group(), G);
+    }
+}

@@ -1,0 +1,330 @@
+//! The group registry: every group known to one logical server.
+//!
+//! Pure data structure — the owning dispatcher thread provides mutual
+//! exclusion, so the registry itself carries no locks (and is trivially
+//! testable and usable from the deterministic simulator).
+
+use crate::group::{Group, MembershipError};
+use corona_types::id::{ClientId, GroupId};
+use corona_types::policy::{MemberInfo, Persistence};
+use std::collections::BTreeMap;
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The group does not exist.
+    NoSuchGroup,
+    /// A group with that id already exists.
+    GroupExists,
+    /// Underlying membership error.
+    Membership(MembershipError),
+}
+
+impl From<MembershipError> for RegistryError {
+    fn from(e: MembershipError) -> Self {
+        RegistryError::Membership(e)
+    }
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::NoSuchGroup => f.write_str("no such group"),
+            RegistryError::GroupExists => f.write_str("group already exists"),
+            RegistryError::Membership(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Outcome of removing a member (leave or disconnect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemovalOutcome {
+    /// The removed member's public info.
+    pub info: MemberInfo,
+    /// Whether the group reached null membership and, being transient,
+    /// was dissolved by this removal.
+    pub dissolved: bool,
+}
+
+/// All groups known to one logical server.
+#[derive(Debug, Default)]
+pub struct GroupRegistry {
+    groups: BTreeMap<GroupId, Group>,
+}
+
+impl GroupRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        GroupRegistry::default()
+    }
+
+    /// Number of live groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Whether a group exists.
+    pub fn contains(&self, group: GroupId) -> bool {
+        self.groups.contains_key(&group)
+    }
+
+    /// Borrows a group.
+    pub fn get(&self, group: GroupId) -> Option<&Group> {
+        self.groups.get(&group)
+    }
+
+    /// Mutably borrows a group.
+    pub fn get_mut(&mut self, group: GroupId) -> Option<&mut Group> {
+        self.groups.get_mut(&group)
+    }
+
+    /// Ids of all live groups.
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        self.groups.keys().copied().collect()
+    }
+
+    /// Creates a group.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::GroupExists`] on id collision.
+    pub fn create(
+        &mut self,
+        group: GroupId,
+        persistence: Persistence,
+    ) -> Result<&mut Group, RegistryError> {
+        if self.groups.contains_key(&group) {
+            return Err(RegistryError::GroupExists);
+        }
+        Ok(self
+            .groups
+            .entry(group)
+            .or_insert_with(|| Group::new(group, persistence)))
+    }
+
+    /// Registers a group recovered from stable storage (bypasses the
+    /// exists check failure mode by returning it as an error anyway —
+    /// recovery code treats duplicates as corruption).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::GroupExists`] on id collision.
+    pub fn install_recovered(
+        &mut self,
+        group: GroupId,
+        persistence: Persistence,
+    ) -> Result<&mut Group, RegistryError> {
+        self.create(group, persistence)
+    }
+
+    /// Deletes a group explicitly (`deleteGroup`, §3.2). Returns its
+    /// final member list so the caller can notify them.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NoSuchGroup`] if absent.
+    pub fn delete(&mut self, group: GroupId) -> Result<Group, RegistryError> {
+        self.groups.remove(&group).ok_or(RegistryError::NoSuchGroup)
+    }
+
+    /// Adds a member to a group.
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup` or `AlreadyMember`.
+    pub fn join(
+        &mut self,
+        group: GroupId,
+        info: MemberInfo,
+        notify_membership: bool,
+    ) -> Result<&Group, RegistryError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(RegistryError::NoSuchGroup)?;
+        g.join(info, notify_membership)?;
+        Ok(g)
+    }
+
+    /// Removes a member; dissolves a transient group that becomes
+    /// empty ("a transient group ceases to exist when it has no
+    /// members, and its shared state is lost", §3.1).
+    ///
+    /// # Errors
+    ///
+    /// `NoSuchGroup` or `NotAMember`.
+    pub fn leave(
+        &mut self,
+        group: GroupId,
+        client: ClientId,
+    ) -> Result<RemovalOutcome, RegistryError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(RegistryError::NoSuchGroup)?;
+        let record = g.leave(client)?;
+        let dissolved = g.is_empty() && g.dissolves_when_empty();
+        if dissolved {
+            self.groups.remove(&group);
+        }
+        Ok(RemovalOutcome {
+            info: record.info,
+            dissolved,
+        })
+    }
+
+    /// Removes a client from every group it belongs to (crash or
+    /// disconnect cleanup). Returns the affected groups in id order.
+    pub fn disconnect(&mut self, client: ClientId) -> Vec<(GroupId, RemovalOutcome)> {
+        let affected: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.is_member(client))
+            .map(|(id, _)| *id)
+            .collect();
+        affected
+            .into_iter()
+            .map(|gid| {
+                let outcome = self
+                    .leave(gid, client)
+                    .expect("membership checked just above");
+                (gid, outcome)
+            })
+            .collect()
+    }
+
+    /// Groups the client belongs to.
+    pub fn groups_of(&self, client: ClientId) -> Vec<GroupId> {
+        self.groups
+            .iter()
+            .filter(|(_, g)| g.is_member(client))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corona_types::policy::MemberRole;
+
+    fn info(n: u64) -> MemberInfo {
+        MemberInfo::new(ClientId::new(n), MemberRole::Principal, format!("u{n}"))
+    }
+
+    #[test]
+    fn create_join_leave_lifecycle() {
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Transient).unwrap();
+        reg.join(GroupId::new(1), info(1), false).unwrap();
+        reg.join(GroupId::new(1), info(2), false).unwrap();
+        assert_eq!(reg.get(GroupId::new(1)).unwrap().member_count(), 2);
+
+        let out = reg.leave(GroupId::new(1), ClientId::new(1)).unwrap();
+        assert!(!out.dissolved);
+        let out = reg.leave(GroupId::new(1), ClientId::new(2)).unwrap();
+        assert!(out.dissolved, "transient group dissolves when empty");
+        assert!(!reg.contains(GroupId::new(1)));
+    }
+
+    #[test]
+    fn persistent_group_survives_null_membership() {
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        reg.join(GroupId::new(1), info(1), false).unwrap();
+        let out = reg.leave(GroupId::new(1), ClientId::new(1)).unwrap();
+        assert!(!out.dissolved);
+        assert!(reg.contains(GroupId::new(1)));
+        assert!(reg.get(GroupId::new(1)).unwrap().is_empty());
+        // And can be re-joined later.
+        reg.join(GroupId::new(1), info(2), false).unwrap();
+        assert_eq!(reg.get(GroupId::new(1)).unwrap().member_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Transient).unwrap();
+        assert_eq!(
+            reg.create(GroupId::new(1), Persistence::Persistent).unwrap_err(),
+            RegistryError::GroupExists
+        );
+    }
+
+    #[test]
+    fn operations_on_missing_group_fail() {
+        let mut reg = GroupRegistry::new();
+        assert_eq!(
+            reg.join(GroupId::new(9), info(1), false).unwrap_err(),
+            RegistryError::NoSuchGroup
+        );
+        assert_eq!(
+            reg.leave(GroupId::new(9), ClientId::new(1)).unwrap_err(),
+            RegistryError::NoSuchGroup
+        );
+        assert!(matches!(
+            reg.delete(GroupId::new(9)),
+            Err(RegistryError::NoSuchGroup)
+        ));
+    }
+
+    #[test]
+    fn delete_returns_final_members() {
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        reg.join(GroupId::new(1), info(1), false).unwrap();
+        let g = reg.delete(GroupId::new(1)).unwrap();
+        assert_eq!(g.member_ids(), vec![ClientId::new(1)]);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn disconnect_sweeps_all_groups() {
+        let mut reg = GroupRegistry::new();
+        for gid in 1..=3u64 {
+            reg.create(GroupId::new(gid), Persistence::Transient).unwrap();
+            reg.join(GroupId::new(gid), info(7), false).unwrap();
+        }
+        reg.join(GroupId::new(2), info(8), false).unwrap();
+        let removed = reg.disconnect(ClientId::new(7));
+        assert_eq!(removed.len(), 3);
+        // Groups 1 and 3 dissolved (only member); group 2 survives.
+        assert!(!reg.contains(GroupId::new(1)));
+        assert!(reg.contains(GroupId::new(2)));
+        assert!(!reg.contains(GroupId::new(3)));
+        assert!(reg.groups_of(ClientId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn groups_of_lists_memberships() {
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Transient).unwrap();
+        reg.create(GroupId::new(2), Persistence::Transient).unwrap();
+        reg.join(GroupId::new(2), info(1), false).unwrap();
+        assert_eq!(reg.groups_of(ClientId::new(1)), vec![GroupId::new(2)]);
+    }
+
+    #[test]
+    fn concurrent_joins_and_leaves_do_not_interfere() {
+        // "existing processes in the group should be able to carry on
+        // with their operations in the presence of multiple, concurrent
+        // joins and leaves" (§1) — at the registry level this means a
+        // join/leave never perturbs other members' records.
+        let mut reg = GroupRegistry::new();
+        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        for n in 1..=20u64 {
+            reg.join(GroupId::new(1), info(n), n % 2 == 0).unwrap();
+        }
+        let before: Vec<_> = reg.get(GroupId::new(1)).unwrap().member_infos();
+        reg.join(GroupId::new(1), info(100), false).unwrap();
+        reg.leave(GroupId::new(1), ClientId::new(100)).unwrap();
+        assert_eq!(reg.get(GroupId::new(1)).unwrap().member_infos(), before);
+    }
+}

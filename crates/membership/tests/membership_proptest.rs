@@ -1,0 +1,200 @@
+//! Property-based tests for membership, locks and the ACL policy.
+
+use corona_membership::{
+    AcquireOutcome, AclPolicy, Action, Capability, GroupRegistry, LockTable, SessionPolicy,
+};
+use corona_types::id::{ClientId, GroupId, ObjectId};
+use corona_types::policy::{MemberInfo, MemberRole, Persistence};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone)]
+enum RegOp {
+    Create { group: u64, persistent: bool },
+    Delete { group: u64 },
+    Join { group: u64, client: u64 },
+    Leave { group: u64, client: u64 },
+    Disconnect { client: u64 },
+}
+
+fn arb_reg_op() -> impl Strategy<Value = RegOp> {
+    prop_oneof![
+        (0..4u64, any::<bool>()).prop_map(|(group, persistent)| RegOp::Create { group, persistent }),
+        (0..4u64).prop_map(|group| RegOp::Delete { group }),
+        (0..4u64, 0..5u64).prop_map(|(group, client)| RegOp::Join { group, client }),
+        (0..4u64, 0..5u64).prop_map(|(group, client)| RegOp::Leave { group, client }),
+        (0..5u64).prop_map(|client| RegOp::Disconnect { client }),
+    ]
+}
+
+proptest! {
+    /// The registry agrees with a naive model (a map of sets) after
+    /// any operation sequence, including transient-group dissolution.
+    #[test]
+    fn registry_matches_reference_model(ops in proptest::collection::vec(arb_reg_op(), 0..120)) {
+        let mut reg = GroupRegistry::new();
+        let mut model: HashMap<u64, (bool, HashSet<u64>)> = HashMap::new(); // group -> (persistent, members)
+        for op in &ops {
+            match op {
+                RegOp::Create { group, persistent } => {
+                    let r = reg.create(GroupId::new(*group), if *persistent { Persistence::Persistent } else { Persistence::Transient });
+                    if model.contains_key(group) {
+                        prop_assert!(r.is_err());
+                    } else {
+                        prop_assert!(r.is_ok());
+                        model.insert(*group, (*persistent, HashSet::new()));
+                    }
+                }
+                RegOp::Delete { group } => {
+                    let r = reg.delete(GroupId::new(*group));
+                    prop_assert_eq!(r.is_ok(), model.remove(group).is_some());
+                }
+                RegOp::Join { group, client } => {
+                    let info = MemberInfo::new(ClientId::new(*client), MemberRole::Principal, "");
+                    let r = reg.join(GroupId::new(*group), info, false);
+                    match model.get_mut(group) {
+                        Some((_, members)) => {
+                            prop_assert_eq!(r.is_ok(), members.insert(*client));
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                RegOp::Leave { group, client } => {
+                    let r = reg.leave(GroupId::new(*group), ClientId::new(*client));
+                    match model.get_mut(group) {
+                        Some((persistent, members)) => {
+                            let was_member = members.remove(client);
+                            prop_assert_eq!(r.is_ok(), was_member);
+                            if was_member && members.is_empty() && !*persistent {
+                                model.remove(group); // transient dissolution
+                            }
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                RegOp::Disconnect { client } => {
+                    reg.disconnect(ClientId::new(*client));
+                    let emptied: Vec<u64> = model
+                        .iter_mut()
+                        .filter_map(|(g, (persistent, members))| {
+                            // Dissolution only triggers when the
+                            // disconnect actually removed a member.
+                            let was_member = members.remove(client);
+                            (was_member && members.is_empty() && !*persistent).then_some(*g)
+                        })
+                        .collect();
+                    for g in emptied {
+                        model.remove(&g);
+                    }
+                }
+            }
+            // Full-state comparison after every step.
+            let mut live: Vec<u64> = reg.group_ids().iter().map(|g| g.raw()).collect();
+            live.sort_unstable();
+            let mut expect: Vec<u64> = model.keys().copied().collect();
+            expect.sort_unstable();
+            prop_assert_eq!(&live, &expect);
+            for (g, (_, members)) in &model {
+                let got: HashSet<u64> = reg
+                    .get(GroupId::new(*g))
+                    .expect("model says it exists")
+                    .member_ids()
+                    .iter()
+                    .map(|c| c.raw())
+                    .collect();
+                prop_assert_eq!(&got, members);
+            }
+        }
+    }
+
+    /// Lock table: mutual exclusion always holds (one holder per
+    /// object) and a full release drains everything.
+    #[test]
+    fn lock_mutual_exclusion(
+        ops in proptest::collection::vec((0..4u64, 0..3u64, any::<bool>(), any::<bool>()), 0..100),
+    ) {
+        let mut table = LockTable::new();
+        let g = GroupId::new(1);
+        let mut holders: HashMap<u64, u64> = HashMap::new(); // object -> holder
+        for (client, object, wait, release) in ops {
+            let (c, o) = (ClientId::new(client), ObjectId::new(object));
+            if release {
+                let r = table.release(g, o, c);
+                if holders.get(&object) == Some(&client) {
+                    prop_assert!(r.is_ok());
+                    match r.unwrap() {
+                        Some(next) => { holders.insert(object, next.raw()); }
+                        None => { holders.remove(&object); }
+                    }
+                } else {
+                    prop_assert!(r.is_err());
+                }
+            } else {
+                match table.acquire(g, o, c, wait) {
+                    AcquireOutcome::Granted => {
+                        let prev = holders.insert(object, client);
+                        prop_assert!(prev.is_none() || prev == Some(client),
+                            "grant while {prev:?} held the lock");
+                    }
+                    AcquireOutcome::Denied { holder } => {
+                        prop_assert_eq!(Some(holder.raw()), holders.get(&object).copied());
+                    }
+                    AcquireOutcome::Queued { .. } => {
+                        prop_assert!(holders.contains_key(&object));
+                    }
+                }
+            }
+            // Cross-check the table's view of holders.
+            for (obj, holder) in &holders {
+                prop_assert_eq!(
+                    table.holder(g, ObjectId::new(*obj)).map(|c| c.raw()),
+                    Some(*holder)
+                );
+            }
+        }
+        // Releasing everything for every client leaves the table empty.
+        for client in 0..4u64 {
+            table.release_all(ClientId::new(client));
+        }
+        prop_assert_eq!(table.held_count(), 0);
+    }
+
+    /// ACL capability ladder is monotone: anything a capability
+    /// permits, every higher capability also permits.
+    #[test]
+    fn acl_capabilities_are_monotone(
+        group in 0..3u64,
+        object in 0..3u64,
+        observer in any::<bool>(),
+        action_pick in 0..5usize,
+    ) {
+        let caps = [
+            Capability::NoAccess,
+            Capability::Observe,
+            Capability::Participate,
+            Capability::Manage,
+        ];
+        let g = GroupId::new(group);
+        let action = match action_pick {
+            0 => Action::DeleteGroup(g),
+            1 => Action::Join {
+                group: g,
+                role: if observer { MemberRole::Observer } else { MemberRole::Principal },
+            },
+            2 => Action::Broadcast { group: g, object: ObjectId::new(object) },
+            3 => Action::ReduceLog(g),
+            _ => Action::CreateGroup(g),
+        };
+        let client = ClientId::new(1);
+        let mut prev_allowed = false;
+        for cap in caps {
+            let policy = AclPolicy::with_default(cap).allow_create_by_anyone();
+            let allowed = policy.authorize(client, &action);
+            prop_assert!(
+                allowed || !prev_allowed,
+                "capability ladder not monotone at {cap:?} for {action:?}"
+            );
+            prev_allowed = allowed;
+        }
+    }
+}

@@ -1,0 +1,676 @@
+//! Coordinator failure detection and election (§4.2).
+//!
+//! All servers keep a list of the other servers "sorted in the order
+//! the servers have been brought up". The coordinator heartbeats every
+//! server; a server that misses heartbeats long enough suspects the
+//! coordinator. Suspicion timeouts *increase with list rank* — the
+//! first server in the list waits `t`, the second `2t`, and so on —
+//! so that under k simultaneous crashes the first *live* server claims
+//! first ("a system made up by k+1 servers can tolerate k simultaneous
+//! crashes by using increasing timeouts").
+//!
+//! A claimant proposes epoch `current + 1` and becomes coordinator on
+//! acknowledgments from ⌈(n+1)/2⌉ servers (counting itself). A server
+//! that has heard a recent heartbeat nacks, naming the coordinator it
+//! believes in ("if the first server wrongfully assumes that the
+//! coordinator is down, (some of) the other servers ... will respond
+//! with a nack").
+//!
+//! This core is pure: time is a `u64` millisecond count supplied by
+//! the caller, and outputs are [`ElectionEffect`]s.
+
+use corona_types::id::{Epoch, ServerId};
+use corona_types::message::PeerMessage;
+use std::collections::HashSet;
+
+/// Role of this server in the current epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Role {
+    /// Following the named coordinator.
+    Follower {
+        /// The coordinator being followed.
+        coordinator: ServerId,
+    },
+    /// Claimed coordinatorship; collecting acks for `epoch`.
+    Candidate {
+        /// Servers (including self) that acked the claim.
+        acks: HashSet<ServerId>,
+    },
+    /// Acting coordinator.
+    Coordinator,
+}
+
+/// Outputs of the election core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionEffect {
+    /// Send a peer message to a specific server.
+    SendTo(ServerId, PeerMessage),
+    /// This server has won the election and must assume the
+    /// coordinator role (start sequencing, rebuild authoritative
+    /// state from replica announcements).
+    BecomeCoordinator,
+    /// This server should (re-)attach to the named coordinator.
+    FollowCoordinator(ServerId),
+}
+
+/// Election state machine for one server.
+#[derive(Debug, Clone)]
+pub struct ElectionCore {
+    me: ServerId,
+    /// All servers in startup order (including `me`).
+    servers: Vec<ServerId>,
+    epoch: Epoch,
+    role: Role,
+    /// Milliseconds of silence after which rank-0 suspects the
+    /// coordinator; rank r waits `(r + 1) * base_timeout_ms`.
+    base_timeout_ms: u64,
+    last_heartbeat_ms: u64,
+    /// One vote per epoch: the candidate this server acked (itself,
+    /// when claiming). Prevents two same-epoch majorities.
+    voted: Option<(Epoch, ServerId)>,
+}
+
+impl ElectionCore {
+    /// Creates the core for `me`. `servers` is the startup-ordered
+    /// list (must contain `me`); the first entry is the initial
+    /// coordinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or does not contain `me`.
+    pub fn new(me: ServerId, servers: Vec<ServerId>, base_timeout_ms: u64, now_ms: u64) -> Self {
+        assert!(!servers.is_empty(), "server list must not be empty");
+        assert!(servers.contains(&me), "server list must contain self");
+        let coordinator = servers[0];
+        let role = if coordinator == me {
+            Role::Coordinator
+        } else {
+            Role::Follower { coordinator }
+        };
+        ElectionCore {
+            me,
+            servers,
+            epoch: Epoch::ZERO,
+            role,
+            base_timeout_ms,
+            last_heartbeat_ms: now_ms,
+            voted: None,
+        }
+    }
+
+    /// This server's id.
+    pub fn me(&self) -> ServerId {
+        self.me
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The current role.
+    pub fn role(&self) -> &Role {
+        &self.role
+    }
+
+    /// The coordinator this server currently believes in, if any.
+    pub fn coordinator(&self) -> Option<ServerId> {
+        match &self.role {
+            Role::Follower { coordinator } => Some(*coordinator),
+            Role::Coordinator => Some(self.me),
+            Role::Candidate { .. } => None,
+        }
+    }
+
+    /// The startup-ordered server list.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Whether this server is the acting coordinator.
+    pub fn is_coordinator(&self) -> bool {
+        matches!(self.role, Role::Coordinator)
+    }
+
+    /// Rank among the servers that are *ahead of me* in startup order
+    /// and not the (suspected) coordinator.
+    fn my_rank(&self) -> u64 {
+        let coord = match &self.role {
+            Role::Follower { coordinator } => Some(*coordinator),
+            _ => None,
+        };
+        self.servers
+            .iter()
+            .filter(|s| Some(**s) != coord)
+            .position(|s| *s == self.me)
+            .unwrap_or(0) as u64
+    }
+
+    /// Acks needed to win: half + 1 of all servers (counting self).
+    fn majority(&self) -> usize {
+        self.servers.len() / 2 + 1
+    }
+
+    /// Records a heartbeat from the coordinator. Returns effects (a
+    /// deposed candidate returns to following a higher-epoch
+    /// coordinator).
+    pub fn on_heartbeat(&mut self, from: ServerId, epoch: Epoch, now_ms: u64) -> Vec<ElectionEffect> {
+        if epoch < self.epoch {
+            return Vec::new(); // stale coordinator
+        }
+        if epoch > self.epoch || !matches!(self.role, Role::Coordinator) {
+            self.last_heartbeat_ms = now_ms;
+        }
+        if epoch > self.epoch {
+            // A new coordinator we did not know about.
+            self.epoch = epoch;
+            self.role = Role::Follower { coordinator: from };
+            return vec![ElectionEffect::FollowCoordinator(from)];
+        }
+        match &self.role {
+            Role::Follower { coordinator } if *coordinator == from => Vec::new(),
+            Role::Follower { .. } => {
+                // Same epoch, different coordinator: trust the sender
+                // (it is heartbeating, our record is stale).
+                self.role = Role::Follower { coordinator: from };
+                vec![ElectionEffect::FollowCoordinator(from)]
+            }
+            Role::Candidate { .. } => {
+                // The coordinator is alive after all: abandon the claim.
+                self.role = Role::Follower { coordinator: from };
+                vec![ElectionEffect::FollowCoordinator(from)]
+            }
+            Role::Coordinator => Vec::new(),
+        }
+    }
+
+    /// Periodic timer. A follower whose rank-scaled timeout has
+    /// elapsed without a heartbeat claims coordinatorship.
+    pub fn on_tick(&mut self, now_ms: u64) -> Vec<ElectionEffect> {
+        let Role::Follower { .. } = self.role else {
+            return Vec::new();
+        };
+        let timeout = (self.my_rank() + 1) * self.base_timeout_ms;
+        if now_ms.saturating_sub(self.last_heartbeat_ms) < timeout {
+            return Vec::new();
+        }
+        // Suspect the coordinator: claim epoch + 1.
+        let epoch = self.epoch.next();
+        self.epoch = epoch;
+        self.voted = Some((epoch, self.me));
+        let mut acks = HashSet::new();
+        acks.insert(self.me);
+        self.role = Role::Candidate { acks };
+        let mut effects: Vec<ElectionEffect> = self
+            .servers
+            .iter()
+            .filter(|s| **s != self.me)
+            .map(|s| {
+                ElectionEffect::SendTo(
+                    *s,
+                    PeerMessage::ElectionClaim {
+                        candidate: self.me,
+                        epoch,
+                    },
+                )
+            })
+            .collect();
+        // Single-server degenerate case: immediate win.
+        if 1 >= self.majority() {
+            self.role = Role::Coordinator;
+            effects.push(ElectionEffect::BecomeCoordinator);
+        }
+        effects
+    }
+
+    /// Handles a claim from another server.
+    pub fn on_claim(
+        &mut self,
+        candidate: ServerId,
+        epoch: Epoch,
+        now_ms: u64,
+    ) -> Vec<ElectionEffect> {
+        if epoch < self.epoch {
+            // Stale claim: nack with what we believe.
+            let current = self.coordinator().unwrap_or(candidate);
+            return vec![ElectionEffect::SendTo(
+                candidate,
+                PeerMessage::ElectionNack {
+                    voter: self.me,
+                    epoch,
+                    current_coordinator: current,
+                },
+            )];
+        }
+        if epoch == self.epoch {
+            // One vote per epoch: re-ack the candidate we already
+            // voted for; nack anyone else, naming our vote. (Two
+            // same-instant claimants therefore split the vote and the
+            // epoch may fail; the next rank-scaled timeout retries —
+            // safety over liveness.)
+            return match self.voted {
+                Some((e, v)) if e == epoch && v == candidate => {
+                    vec![ElectionEffect::SendTo(
+                        candidate,
+                        PeerMessage::ElectionAck {
+                            voter: self.me,
+                            epoch,
+                        },
+                    )]
+                }
+                Some((e, v)) if e == epoch => vec![ElectionEffect::SendTo(
+                    candidate,
+                    PeerMessage::ElectionNack {
+                        voter: self.me,
+                        epoch,
+                        current_coordinator: v,
+                    },
+                )],
+                _ => {
+                    // Same epoch adopted without voting (e.g. via a
+                    // ServerList): we may vote now, unless we ARE the
+                    // established coordinator.
+                    if matches!(self.role, Role::Coordinator) {
+                        vec![ElectionEffect::SendTo(
+                            candidate,
+                            PeerMessage::ElectionNack {
+                                voter: self.me,
+                                epoch,
+                                current_coordinator: self.me,
+                            },
+                        )]
+                    } else {
+                        self.vote_for(candidate, epoch, now_ms)
+                    }
+                }
+            };
+        }
+        // If we have heard the coordinator recently, the claimant is
+        // wrong: nack (but remember nothing — the claimant will back
+        // off when the coordinator heartbeats it).
+        if let Role::Follower { coordinator } = &self.role {
+            let my_timeout = self.base_timeout_ms; // generous: rank-0 patience
+            if now_ms.saturating_sub(self.last_heartbeat_ms) < my_timeout {
+                return vec![ElectionEffect::SendTo(
+                    candidate,
+                    PeerMessage::ElectionNack {
+                        voter: self.me,
+                        epoch,
+                        current_coordinator: *coordinator,
+                    },
+                )];
+            }
+        }
+        // A newer epoch: accept the claim and vote.
+        self.epoch = epoch;
+        self.vote_for(candidate, epoch, now_ms)
+    }
+
+    fn vote_for(&mut self, candidate: ServerId, epoch: Epoch, now_ms: u64) -> Vec<ElectionEffect> {
+        self.voted = Some((epoch, candidate));
+        self.role = Role::Follower {
+            coordinator: candidate,
+        };
+        // Give the claimant one full rank-0 window to win and start
+        // heartbeating before we suspect again.
+        self.last_heartbeat_ms = now_ms;
+        vec![ElectionEffect::SendTo(
+            candidate,
+            PeerMessage::ElectionAck {
+                voter: self.me,
+                epoch,
+            },
+        )]
+    }
+
+    /// Handles an ack for our claim.
+    pub fn on_ack(&mut self, voter: ServerId, epoch: Epoch) -> Vec<ElectionEffect> {
+        if epoch != self.epoch {
+            return Vec::new();
+        }
+        let Role::Candidate { acks } = &mut self.role else {
+            return Vec::new();
+        };
+        acks.insert(voter);
+        if acks.len() >= self.majority() {
+            self.role = Role::Coordinator;
+            let epoch = self.epoch;
+            let coordinator = self.me;
+            let servers = self.servers.clone();
+            let mut effects = vec![ElectionEffect::BecomeCoordinator];
+            for s in self.servers.iter().filter(|s| **s != coordinator) {
+                effects.push(ElectionEffect::SendTo(
+                    *s,
+                    PeerMessage::ServerList {
+                        epoch,
+                        coordinator,
+                        servers: servers.clone(),
+                    },
+                ));
+            }
+            effects
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Handles a nack: abandon the claim and follow the coordinator
+    /// the voter named.
+    pub fn on_nack(
+        &mut self,
+        epoch: Epoch,
+        current_coordinator: ServerId,
+        now_ms: u64,
+    ) -> Vec<ElectionEffect> {
+        if epoch != self.epoch || !matches!(self.role, Role::Candidate { .. }) {
+            return Vec::new();
+        }
+        if current_coordinator == self.me {
+            // A concurrent (lower-ranked) candidate conceding in my
+            // favour — keep campaigning.
+            return Vec::new();
+        }
+        self.role = Role::Follower {
+            coordinator: current_coordinator,
+        };
+        self.last_heartbeat_ms = now_ms;
+        vec![ElectionEffect::FollowCoordinator(current_coordinator)]
+    }
+
+    /// Handles an authoritative server-list announcement from a (new)
+    /// coordinator.
+    pub fn on_server_list(
+        &mut self,
+        epoch: Epoch,
+        coordinator: ServerId,
+        servers: Vec<ServerId>,
+        now_ms: u64,
+    ) -> Vec<ElectionEffect> {
+        if epoch < self.epoch {
+            return Vec::new();
+        }
+        self.epoch = epoch;
+        self.servers = servers;
+        self.last_heartbeat_ms = now_ms;
+        if coordinator == self.me {
+            self.role = Role::Coordinator;
+            Vec::new()
+        } else {
+            self.role = Role::Follower { coordinator };
+            vec![ElectionEffect::FollowCoordinator(coordinator)]
+        }
+    }
+
+    /// Removes a crashed server from the list (coordinator-side
+    /// membership maintenance: "after an interval ... the coordinator
+    /// assumes that either the server is disconnected or it is down").
+    pub fn remove_server(&mut self, server: ServerId) {
+        self.servers.retain(|s| *s != server);
+    }
+
+    /// Heartbeat messages a coordinator should send this tick.
+    pub fn coordinator_heartbeats(&self) -> Vec<ElectionEffect> {
+        if !self.is_coordinator() {
+            return Vec::new();
+        }
+        self.servers
+            .iter()
+            .filter(|s| **s != self.me)
+            .map(|s| {
+                ElectionEffect::SendTo(
+                    *s,
+                    PeerMessage::Heartbeat {
+                        from: self.me,
+                        epoch: self.epoch,
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> ServerId {
+        ServerId::new(n)
+    }
+
+    fn cluster(n: u64) -> Vec<ServerId> {
+        (1..=n).map(sid).collect()
+    }
+
+    /// Runs a full election among the given cores after coordinator
+    /// silence, delivering messages synchronously. Returns the new
+    /// coordinator.
+    fn run_election(cores: &mut [ElectionCore], now: u64) -> Option<ServerId> {
+        let mut queue: Vec<(ServerId, ServerId, PeerMessage)> = Vec::new(); // (from,to,msg)
+        for core in cores.iter_mut() {
+            for eff in core.on_tick(now) {
+                if let ElectionEffect::SendTo(to, msg) = eff {
+                    queue.push((core.me(), to, msg));
+                }
+            }
+        }
+        let mut winner = None;
+        while let Some((from, to, msg)) = queue.pop() {
+            let Some(target) = cores.iter_mut().find(|c| c.me() == to) else {
+                continue; // crashed server
+            };
+            let effects = match msg {
+                PeerMessage::ElectionClaim { candidate, epoch } => {
+                    target.on_claim(candidate, epoch, now)
+                }
+                PeerMessage::ElectionAck { voter, epoch } => target.on_ack(voter, epoch),
+                PeerMessage::ElectionNack {
+                    epoch,
+                    current_coordinator,
+                    ..
+                } => target.on_nack(epoch, current_coordinator, now),
+                PeerMessage::ServerList {
+                    epoch,
+                    coordinator,
+                    servers,
+                } => target.on_server_list(epoch, coordinator, servers, now),
+                _ => Vec::new(),
+            };
+            let _ = from;
+            let me = target.me();
+            for eff in effects {
+                match eff {
+                    ElectionEffect::SendTo(to2, msg2) => queue.push((me, to2, msg2)),
+                    ElectionEffect::BecomeCoordinator => winner = Some(me),
+                    ElectionEffect::FollowCoordinator(_) => {}
+                }
+            }
+        }
+        winner
+    }
+
+    #[test]
+    fn initial_roles_follow_startup_order() {
+        let servers = cluster(3);
+        let c1 = ElectionCore::new(sid(1), servers.clone(), 100, 0);
+        let c2 = ElectionCore::new(sid(2), servers.clone(), 100, 0);
+        assert!(c1.is_coordinator());
+        assert_eq!(c2.coordinator(), Some(sid(1)));
+    }
+
+    #[test]
+    fn heartbeats_suppress_suspicion() {
+        let servers = cluster(3);
+        let mut c2 = ElectionCore::new(sid(2), servers, 100, 0);
+        // Heartbeats keep arriving: no claim ever fires.
+        for t in (0..1000).step_by(50) {
+            c2.on_heartbeat(sid(1), Epoch::ZERO, t);
+            assert!(c2.on_tick(t + 10).is_empty());
+        }
+    }
+
+    #[test]
+    fn first_live_server_claims_first_via_increasing_timeouts() {
+        let servers = cluster(4);
+        let mut c2 = ElectionCore::new(sid(2), servers.clone(), 100, 0);
+        let mut c3 = ElectionCore::new(sid(3), servers.clone(), 100, 0);
+        let mut c4 = ElectionCore::new(sid(4), servers.clone(), 100, 0);
+        // Coordinator (s1) silent since t=0. Ranks among non-coord
+        // servers: s2 -> 0 (timeout 100), s3 -> 1 (200), s4 -> 2 (300).
+        assert!(c2.on_tick(99).is_empty());
+        assert!(!c2.on_tick(100).is_empty(), "s2 claims at 100");
+        assert!(c3.on_tick(150).is_empty(), "s3 still patient");
+        assert!(!c3.on_tick(200).is_empty());
+        assert!(c4.on_tick(250).is_empty());
+        assert!(!c4.on_tick(300).is_empty());
+    }
+
+    #[test]
+    fn election_after_coordinator_crash_picks_first_in_list() {
+        let servers = cluster(5);
+        // s1 crashed: only cores 2..5 run.
+        let mut cores: Vec<ElectionCore> = (2..=5)
+            .map(|n| ElectionCore::new(sid(n), servers.clone(), 100, 0))
+            .collect();
+        // At t=100 only s2's timeout fired.
+        let winner = run_election(&mut cores, 100);
+        assert_eq!(winner, Some(sid(2)));
+        let c2 = &cores[0];
+        assert!(c2.is_coordinator());
+        assert_eq!(c2.epoch(), Epoch(1));
+        for c in &cores[1..] {
+            assert_eq!(c.coordinator(), Some(sid(2)), "{:?}", c.me());
+            assert_eq!(c.epoch(), Epoch(1));
+        }
+    }
+
+    #[test]
+    fn k_simultaneous_crashes_tolerated() {
+        // 5 servers, s1 (coordinator) and s2 crash simultaneously.
+        // At t=200 s3's timeout (rank 1: 200ms) fires.
+        let servers = cluster(5);
+        let mut cores: Vec<ElectionCore> = (3..=5)
+            .map(|n| ElectionCore::new(sid(n), servers.clone(), 100, 0))
+            .collect();
+        let winner = run_election(&mut cores, 200);
+        assert_eq!(winner, Some(sid(3)));
+        // 3 of 5 servers alive = exactly majority (5/2+1 = 3).
+        assert!(cores[0].is_coordinator());
+    }
+
+    #[test]
+    fn wrongful_claim_is_nacked_and_abandoned() {
+        let servers = cluster(3);
+        let mut c2 = ElectionCore::new(sid(2), servers.clone(), 100, 0);
+        let mut c3 = ElectionCore::new(sid(3), servers.clone(), 100, 0);
+        // s3 heard the coordinator recently; s2 (partitioned from s1)
+        // suspects and claims at t=100.
+        c3.on_heartbeat(sid(1), Epoch::ZERO, 90);
+        let claims = c2.on_tick(100);
+        let claim = claims
+            .iter()
+            .find_map(|e| match e {
+                ElectionEffect::SendTo(to, PeerMessage::ElectionClaim { candidate, epoch })
+                    if *to == sid(3) =>
+                {
+                    Some((*candidate, *epoch))
+                }
+                _ => None,
+            })
+            .expect("claim to s3");
+        let response = c3.on_claim(claim.0, claim.1, 100);
+        match &response[..] {
+            [ElectionEffect::SendTo(to, PeerMessage::ElectionNack { current_coordinator, .. })] => {
+                assert_eq!(*to, sid(2));
+                assert_eq!(*current_coordinator, sid(1));
+            }
+            other => panic!("expected nack, got {other:?}"),
+        }
+        // s2 processes the nack and backs off.
+        let effects = c2.on_nack(claim.1, sid(1), 110);
+        assert_eq!(effects, vec![ElectionEffect::FollowCoordinator(sid(1))]);
+        assert_eq!(c2.coordinator(), Some(sid(1)));
+        // A late heartbeat from s1 keeps s2 following.
+        c2.on_heartbeat(sid(1), Epoch::ZERO, 120);
+        assert!(c2.on_tick(150).is_empty());
+    }
+
+    #[test]
+    fn majority_is_required() {
+        // 5 servers; only s2 and s3 alive: 2 < majority(3), no winner.
+        let servers = cluster(5);
+        let mut cores: Vec<ElectionCore> = (2..=3)
+            .map(|n| ElectionCore::new(sid(n), servers.clone(), 100, 0))
+            .collect();
+        let winner = run_election(&mut cores, 500);
+        assert_eq!(winner, None);
+    }
+
+    #[test]
+    fn stale_claims_are_nacked() {
+        let servers = cluster(3);
+        let mut c3 = ElectionCore::new(sid(3), servers, 100, 0);
+        c3.on_server_list(Epoch(5), sid(2), cluster(3), 1000);
+        let response = c3.on_claim(sid(2), Epoch(4), 2000);
+        assert!(matches!(
+            &response[..],
+            [ElectionEffect::SendTo(_, PeerMessage::ElectionNack { .. })]
+        ));
+    }
+
+    #[test]
+    fn higher_epoch_heartbeat_switches_allegiance() {
+        let servers = cluster(3);
+        let mut c3 = ElectionCore::new(sid(3), servers, 100, 0);
+        let effects = c3.on_heartbeat(sid(2), Epoch(2), 50);
+        assert_eq!(effects, vec![ElectionEffect::FollowCoordinator(sid(2))]);
+        assert_eq!(c3.epoch(), Epoch(2));
+        assert_eq!(c3.coordinator(), Some(sid(2)));
+    }
+
+    #[test]
+    fn candidate_abandons_on_live_coordinator_heartbeat() {
+        let servers = cluster(3);
+        let mut c2 = ElectionCore::new(sid(2), servers, 100, 0);
+        c2.on_tick(100); // claim
+        assert!(matches!(c2.role(), Role::Candidate { .. }));
+        let effects = c2.on_heartbeat(sid(1), Epoch::ZERO, 110);
+        // Epoch 0 < claimed epoch 1: stale, ignored.
+        assert!(effects.is_empty());
+        // But a ServerList at the claimed epoch from another winner is
+        // accepted.
+        let effects = c2.on_server_list(Epoch(1), sid(3), cluster(3), 120);
+        assert_eq!(effects, vec![ElectionEffect::FollowCoordinator(sid(3))]);
+    }
+
+    #[test]
+    fn coordinator_heartbeats_fan_out() {
+        let servers = cluster(4);
+        let c1 = ElectionCore::new(sid(1), servers, 100, 0);
+        let hb = c1.coordinator_heartbeats();
+        assert_eq!(hb.len(), 3);
+        assert!(hb.iter().all(|e| matches!(
+            e,
+            ElectionEffect::SendTo(_, PeerMessage::Heartbeat { from, .. }) if *from == sid(1)
+        )));
+    }
+
+    #[test]
+    fn remove_server_shrinks_majority() {
+        let servers = cluster(4);
+        let mut c1 = ElectionCore::new(sid(1), servers, 100, 0);
+        c1.remove_server(sid(4));
+        assert_eq!(c1.servers().len(), 3);
+    }
+
+    #[test]
+    fn single_server_self_elects() {
+        let c = ElectionCore::new(sid(7), vec![sid(7), sid(8)], 100, 0);
+        // s7 is initial coordinator? servers[0] == s7 -> yes.
+        assert!(c.is_coordinator());
+        // Follower-only single node: s8's view with s7 dead.
+        let mut c8 = ElectionCore::new(sid(8), vec![sid(8)], 100, 0);
+        assert!(c8.is_coordinator(), "sole server is coordinator");
+        assert!(c8.on_tick(1000).is_empty());
+        let _ = c;
+    }
+}

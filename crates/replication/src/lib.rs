@@ -1,0 +1,40 @@
+//! # corona-replication
+//!
+//! The replicated Corona service (§4 of the paper): a star topology
+//! in which one server — the **coordinator** — acts as the sequencer
+//! for all group multicasts, yielding total, causal and sender-FIFO
+//! order, while member servers terminate client connections, keep
+//! hot-standby copies of hosted groups' state, and fan sequenced
+//! updates out to their local clients.
+//!
+//! Fault tolerance follows the paper's fail-stop model (§4.2):
+//! heartbeats detect a dead coordinator; the first live server in the
+//! startup-ordered list claims coordinatorship with *rank-scaled
+//! increasing timeouts* (k+1 servers tolerate k simultaneous crashes),
+//! wins on majority acknowledgment, and rebuilds authoritative state
+//! from the replicas' announcements. Network partitions let the two
+//! sides evolve independently; [`mod@merge`] computes the last globally
+//! consistent state and the outcome of each application-selectable
+//! resolution (roll back / adopt one side / fork).
+//!
+//! Layering mirrors `corona-core`: pure state machines
+//! ([`ElectionCore`], [`CoordinatorCore`], [`ReplicaCore`],
+//! [`mod@merge`]) with a threaded runtime ([`ReplicatedServer`]) on top.
+//! Clients use the ordinary
+//! [`CoronaClient`](corona_core::client::CoronaClient) — replication
+//! is transparent on the wire.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod election;
+pub mod merge;
+pub mod replica;
+pub mod runtime;
+
+pub use coordinator::{CoordEffect, CoordinatorCore};
+pub use election::{ElectionCore, ElectionEffect, Role};
+pub use merge::{find_divergence, merge, Divergence, MergeOutcome, MergeResolution, Side};
+pub use replica::{ReplicaCore, ReplicaEffect};
+pub use runtime::{ReplicaStatus, ReplicatedConfig, ReplicatedServer};

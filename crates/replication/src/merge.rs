@@ -1,0 +1,371 @@
+//! Network-partition divergence detection and merge (§4.2).
+//!
+//! "In case of a network partition, there will ultimately exist two
+//! subsets of the server set which run without having knowledge about
+//! each other. ... When the network connectivity between the two
+//! subsets is re-established, for each group the last globally
+//! consistent state is identified based on the previous checkpoints
+//! and the sequence numbers assigned to the state update messages.
+//! The application is given the choice of either rolling back to the
+//! consistent state, selecting one of the available updated states or
+//! evolving as two different groups."
+//!
+//! The functions here are pure: they take the two sides' logs, find
+//! the last common point, and compute the outcome of each resolution
+//! choice. Wiring the outcome back into live servers is the runtime's
+//! job (and, per the paper, the *choice* belongs to the application).
+
+use corona_statelog::GroupLog;
+use corona_types::id::{GroupId, SeqNo};
+use corona_types::state::{LoggedUpdate, SharedState};
+
+/// Which partition side an artifact came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first ("A") partition.
+    A,
+    /// The second ("B") partition.
+    B,
+}
+
+/// The divergence of one group across a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The group.
+    pub group: GroupId,
+    /// Sequence number of the last globally consistent update (both
+    /// sides agree on everything up to and including this).
+    pub common_seq: SeqNo,
+    /// The shared state at `common_seq`.
+    pub common_state: SharedState,
+    /// Updates side A applied after the split (renumbered from
+    /// `common_seq + 1` upward on side A).
+    pub side_a: Vec<LoggedUpdate>,
+    /// Updates side B applied after the split.
+    pub side_b: Vec<LoggedUpdate>,
+}
+
+impl Divergence {
+    /// Whether the sides actually diverged (at least one side has
+    /// post-split updates while the other also progressed, or any
+    /// post-split updates exist at all).
+    pub fn is_divergent(&self) -> bool {
+        !self.side_a.is_empty() || !self.side_b.is_empty()
+    }
+
+    /// Whether the histories conflict: both sides extended the log.
+    /// If only one side progressed, a fast-forward (adopting that
+    /// side) is conflict-free.
+    pub fn is_conflicting(&self) -> bool {
+        !self.side_a.is_empty() && !self.side_b.is_empty()
+    }
+}
+
+/// The application-selectable resolution (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeResolution {
+    /// Roll both sides back to the last globally consistent state;
+    /// post-split updates on both sides are discarded.
+    RollBack,
+    /// Adopt one side's history; the other side's post-split updates
+    /// are discarded.
+    Adopt(Side),
+    /// Evolve as two different groups: the chosen side keeps the
+    /// original group id, the other side's history continues under
+    /// `fork_group`.
+    Fork {
+        /// Which side keeps the original id.
+        keep: Side,
+        /// Group id assigned to the other side's fork.
+        fork_group: GroupId,
+    },
+}
+
+/// The merged outcome: one or two group logs.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// The log that continues under the original group id.
+    pub primary: GroupLog,
+    /// A forked log under a new group id (only for
+    /// [`MergeResolution::Fork`]).
+    pub fork: Option<GroupLog>,
+}
+
+/// Computes the divergence of two log replicas of the same group.
+///
+/// Both logs must descend from a common history (same group, created
+/// from the same initial state) — true by construction for partition
+/// halves. The common point is the longest prefix on which both sides'
+/// update streams agree (compared by sequence number *and* content:
+/// after a split, both sides assign the same numbers to different
+/// updates).
+///
+/// The comparison requires the retained suffixes to overlap the
+/// divergence point; if a side reduced its log past the split, its
+/// checkpoint is treated as that side's authoritative base (the common
+/// point then falls at the older of the two checkpoints' reach).
+///
+/// # Panics
+///
+/// Panics if the logs belong to different groups.
+pub fn find_divergence(a: &GroupLog, b: &GroupLog) -> Divergence {
+    assert_eq!(a.group(), b.group(), "logs must describe the same group");
+    // Work from the older checkpoint: replay both suffixes onto a
+    // common base. Use whichever side's checkpoint is older as the
+    // comparison base; updates below the newer checkpoint are assumed
+    // consistent (they were exchanged before the split).
+    let base_seq = a.checkpoint_seq().min(b.checkpoint_seq());
+    let (base_state, _) = if a.checkpoint_seq() <= b.checkpoint_seq() {
+        (a.checkpoint_state().clone(), Side::A)
+    } else {
+        (b.checkpoint_state().clone(), Side::B)
+    };
+
+    let suffix_a: Vec<LoggedUpdate> = a.suffix_iter().filter(|u| u.seq > base_seq).cloned().collect();
+    let suffix_b: Vec<LoggedUpdate> = b.suffix_iter().filter(|u| u.seq > base_seq).cloned().collect();
+
+    // Longest agreeing prefix. A side whose suffix starts later than
+    // base_seq+1 (because it checkpointed deeper) implicitly agrees
+    // with the other side up to its checkpoint.
+    let mut common_state = base_state;
+    let mut common_seq = base_seq;
+    let mut ia = 0;
+    let mut ib = 0;
+    loop {
+        let ua = suffix_a.get(ia);
+        let ub = suffix_b.get(ib);
+        match (ua, ub) {
+            // Aligned sequence numbers: agreed only if the content
+            // matches (after a split both sides reuse the same
+            // numbers for different updates).
+            (Some(ua), Some(ub)) if ua.seq == ub.seq => {
+                if ua == ub {
+                    common_state.apply(&ua.update);
+                    common_seq = ua.seq;
+                    ia += 1;
+                    ib += 1;
+                } else {
+                    break;
+                }
+            }
+            // One side checkpointed past this record: the other side's
+            // copy of it belongs to the agreed prefix.
+            (_, Some(ub)) if ub.seq <= a.checkpoint_seq() => {
+                common_state.apply(&ub.update);
+                common_seq = ub.seq;
+                ib += 1;
+            }
+            (Some(ua), _) if ua.seq <= b.checkpoint_seq() => {
+                common_state.apply(&ua.update);
+                common_seq = ua.seq;
+                ia += 1;
+            }
+            _ => break,
+        }
+    }
+
+    Divergence {
+        group: a.group(),
+        common_seq,
+        common_state,
+        side_a: suffix_a[ia..].to_vec(),
+        side_b: suffix_b[ib..].to_vec(),
+    }
+}
+
+/// Applies a resolution to a computed divergence, producing the merged
+/// log(s). Sequence numbers of retained post-split updates are
+/// renumbered contiguously above the common point, so the merged log
+/// satisfies the normal contiguity invariant.
+pub fn merge(divergence: &Divergence, resolution: MergeResolution) -> MergeOutcome {
+    let rebase = |updates: &[LoggedUpdate], group: GroupId| -> GroupLog {
+        let mut log = GroupLog::restore(
+            group,
+            divergence.common_state.clone(),
+            divergence.common_seq,
+            Vec::new(),
+        );
+        for u in updates {
+            // Renumber (sequence numbers may collide across sides).
+            log.append(u.sender, u.update.clone(), u.timestamp);
+        }
+        log
+    };
+    match resolution {
+        MergeResolution::RollBack => MergeOutcome {
+            primary: rebase(&[], divergence.group),
+            fork: None,
+        },
+        MergeResolution::Adopt(Side::A) => MergeOutcome {
+            primary: rebase(&divergence.side_a, divergence.group),
+            fork: None,
+        },
+        MergeResolution::Adopt(Side::B) => MergeOutcome {
+            primary: rebase(&divergence.side_b, divergence.group),
+            fork: None,
+        },
+        MergeResolution::Fork { keep, fork_group } => {
+            let (keep_updates, fork_updates) = match keep {
+                Side::A => (&divergence.side_a, &divergence.side_b),
+                Side::B => (&divergence.side_b, &divergence.side_a),
+            };
+            MergeOutcome {
+                primary: rebase(keep_updates, divergence.group),
+                fork: Some(rebase(fork_updates, fork_group)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corona_types::id::{ClientId, ObjectId};
+    use corona_types::state::{StateUpdate, Timestamp};
+
+    const G: GroupId = GroupId(1);
+    const O: ObjectId = ObjectId(1);
+
+    fn push(log: &mut GroupLog, sender: u64, payload: &str) {
+        log.append(
+            ClientId::new(sender),
+            StateUpdate::incremental(O, payload.as_bytes().to_vec()),
+            Timestamp::ZERO,
+        );
+    }
+
+    /// Builds two replicas with a shared prefix, then divergent
+    /// suffixes.
+    fn split(prefix: &[&str], a_tail: &[&str], b_tail: &[&str]) -> (GroupLog, GroupLog) {
+        let mut a = GroupLog::new(G, SharedState::new());
+        for p in prefix {
+            push(&mut a, 1, p);
+        }
+        let mut b = a.clone();
+        for p in a_tail {
+            push(&mut a, 2, p);
+        }
+        for p in b_tail {
+            push(&mut b, 3, p);
+        }
+        (a, b)
+    }
+
+    fn materialized(log: &GroupLog) -> String {
+        log.current_state()
+            .object(O)
+            .map(|s| String::from_utf8_lossy(&s.materialize()).into_owned())
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn no_divergence_when_identical() {
+        let (a, b) = split(&["x", "y"], &[], &[]);
+        let d = find_divergence(&a, &b);
+        assert!(!d.is_divergent());
+        assert_eq!(d.common_seq, SeqNo::new(2));
+    }
+
+    #[test]
+    fn fast_forward_when_one_side_progressed() {
+        let (a, b) = split(&["x"], &["more"], &[]);
+        let d = find_divergence(&a, &b);
+        assert!(d.is_divergent());
+        assert!(!d.is_conflicting(), "single-sided progress is a fast-forward");
+        assert_eq!(d.common_seq, SeqNo::new(1));
+        assert_eq!(d.side_a.len(), 1);
+        assert!(d.side_b.is_empty());
+    }
+
+    #[test]
+    fn conflicting_divergence_detected() {
+        let (a, b) = split(&["shared"], &["a1", "a2"], &["b1"]);
+        let d = find_divergence(&a, &b);
+        assert!(d.is_conflicting());
+        assert_eq!(d.common_seq, SeqNo::new(1));
+        assert_eq!(d.side_a.len(), 2);
+        assert_eq!(d.side_b.len(), 1);
+        assert_eq!(
+            String::from_utf8_lossy(
+                &d.common_state.object(O).unwrap().materialize()
+            ),
+            "shared"
+        );
+    }
+
+    #[test]
+    fn same_seq_different_content_diverges() {
+        // Both sides assigned seq 2 to different updates — the
+        // signature of a split brain. Content comparison catches it.
+        let (a, b) = split(&["base"], &["left"], &["right"]);
+        let d = find_divergence(&a, &b);
+        assert_eq!(d.common_seq, SeqNo::new(1));
+        assert_eq!(d.side_a[0].seq, d.side_b[0].seq, "colliding seqnos");
+        assert!(d.is_conflicting());
+    }
+
+    #[test]
+    fn rollback_discards_both_sides() {
+        let (a, b) = split(&["keep"], &["lose-a"], &["lose-b"]);
+        let d = find_divergence(&a, &b);
+        let out = merge(&d, MergeResolution::RollBack);
+        assert_eq!(materialized(&out.primary), "keep");
+        assert_eq!(out.primary.last_seq(), SeqNo::new(1));
+        assert!(out.fork.is_none());
+    }
+
+    #[test]
+    fn adopt_keeps_one_side() {
+        let (a, b) = split(&["base;"], &["a;"], &["b;"]);
+        let d = find_divergence(&a, &b);
+        let out = merge(&d, MergeResolution::Adopt(Side::A));
+        assert_eq!(materialized(&out.primary), "base;a;");
+        let out = merge(&d, MergeResolution::Adopt(Side::B));
+        assert_eq!(materialized(&out.primary), "base;b;");
+        // Merged logs keep contiguous seqnos.
+        assert!(out.primary.check_invariants());
+        assert_eq!(out.primary.last_seq(), SeqNo::new(2));
+    }
+
+    #[test]
+    fn fork_evolves_two_groups() {
+        let (a, b) = split(&["root;"], &["a1;", "a2;"], &["b1;"]);
+        let d = find_divergence(&a, &b);
+        let fork_gid = GroupId::new(2);
+        let out = merge(
+            &d,
+            MergeResolution::Fork {
+                keep: Side::A,
+                fork_group: fork_gid,
+            },
+        );
+        assert_eq!(materialized(&out.primary), "root;a1;a2;");
+        let fork = out.fork.unwrap();
+        assert_eq!(fork.group(), fork_gid);
+        assert_eq!(
+            String::from_utf8_lossy(&fork.current_state().object(O).unwrap().materialize()),
+            "root;b1;"
+        );
+        assert!(fork.check_invariants());
+    }
+
+    #[test]
+    fn divergence_found_despite_one_side_checkpointing() {
+        // Side A reduced its log past the shared prefix.
+        let (mut a, b) = split(&["p1;", "p2;"], &["a;"], &["b;"]);
+        a.reduce(SeqNo::new(2)).unwrap();
+        let d = find_divergence(&a, &b);
+        assert_eq!(d.common_seq, SeqNo::new(2));
+        assert!(d.is_conflicting());
+        let out = merge(&d, MergeResolution::Adopt(Side::B));
+        assert_eq!(materialized(&out.primary), "p1;p2;b;");
+    }
+
+    #[test]
+    #[should_panic(expected = "same group")]
+    fn different_groups_rejected() {
+        let a = GroupLog::new(GroupId::new(1), SharedState::new());
+        let b = GroupLog::new(GroupId::new(2), SharedState::new());
+        find_divergence(&a, &b);
+    }
+}

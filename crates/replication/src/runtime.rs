@@ -1,0 +1,741 @@
+//! Threaded runtime for the replicated Corona service.
+//!
+//! Each process runs a [`ReplicatedServer`]: a replica that terminates
+//! client connections, plus — when elected — the coordinator role.
+//! The star topology of §4.1 emerges at runtime: member servers hold a
+//! peer connection to the acting coordinator; during elections they
+//! dial each other directly (every server knows the startup-ordered
+//! peer list, §4.2).
+//!
+//! Clients speak the *same* wire protocol as against a single
+//! [`corona_core::server::CoronaServer`] — replication is transparent
+//! to [`corona_core::client::CoronaClient`].
+
+use crate::coordinator::{CoordEffect, CoordinatorCore};
+use crate::election::{ElectionCore, ElectionEffect};
+use crate::replica::{ReplicaCore, ReplicaEffect};
+use corona_core::ServerConfig;
+use corona_types::error::{CoronaError, Result};
+use corona_types::id::{ClientId, Epoch, ServerId};
+use corona_types::message::{ClientRequest, PeerMessage, ServerEvent};
+use corona_types::state::Timestamp;
+use corona_types::wire::{Decode, Encode};
+use corona_transport::{Connection, Dialer, Listener};
+use crossbeam::channel::{self, Receiver, Sender};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of one replicated server.
+#[derive(Clone)]
+pub struct ReplicatedConfig {
+    /// This server's id (must appear in `servers`).
+    pub servers: Vec<(ServerId, String)>,
+    /// Coordinator heartbeat period in milliseconds.
+    pub heartbeat_ms: u64,
+    /// Base failure-detection timeout `t`; the server at rank `r` in
+    /// the startup list waits `(r + 1) * t` (§4.2).
+    pub base_timeout_ms: u64,
+    /// Configuration for the authoritative state held while acting as
+    /// coordinator.
+    pub server_config: ServerConfig,
+}
+
+impl ReplicatedConfig {
+    /// A default configuration for the given startup-ordered peer
+    /// list.
+    pub fn new(me: ServerId, servers: Vec<(ServerId, String)>) -> Self {
+        ReplicatedConfig {
+            servers,
+            heartbeat_ms: 50,
+            base_timeout_ms: 250,
+            server_config: ServerConfig::stateful(me),
+        }
+    }
+}
+
+/// Introspection snapshot of a replicated server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// This server's id.
+    pub me: ServerId,
+    /// Whether this server is the acting coordinator.
+    pub is_coordinator: bool,
+    /// The coordinator this server believes in, if any.
+    pub coordinator: Option<ServerId>,
+    /// The current epoch.
+    pub epoch: Epoch,
+    /// Locally connected clients.
+    pub local_clients: usize,
+    /// Locally hosted groups.
+    pub hosted_groups: usize,
+}
+
+enum Command {
+    ClientAccepted { conn_id: u64, conn: Arc<Box<dyn Connection>> },
+    ClientFrame { conn_id: u64, frame: bytes::Bytes },
+    ClientClosed { conn_id: u64 },
+    PeerAccepted { conn_id: u64, conn: Arc<Box<dyn Connection>> },
+    PeerFrame { conn_id: u64, frame: bytes::Bytes },
+    PeerClosed { conn_id: u64 },
+    Tick,
+    Status(Sender<ReplicaStatus>),
+    Shutdown,
+}
+
+/// A running replicated Corona server.
+pub struct ReplicatedServer {
+    me: ServerId,
+    client_addr: String,
+    cmd_tx: Sender<Command>,
+    client_listener: Arc<Box<dyn Listener>>,
+    peer_listener: Arc<Box<dyn Listener>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ReplicatedServer {
+    /// Starts a replicated server.
+    ///
+    /// * `client_listener` — where clients connect;
+    /// * `peer_listener` — where other servers connect (must be the
+    ///   address listed for this server in `config.servers`);
+    /// * `dialer` — used to reach peers.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible at startup (connections are lazy), but the
+    /// signature reserves the right to validate configuration.
+    pub fn start(
+        client_listener: Box<dyn Listener>,
+        peer_listener: Box<dyn Listener>,
+        dialer: Arc<dyn Dialer>,
+        config: ReplicatedConfig,
+    ) -> Result<ReplicatedServer> {
+        let me = config.server_config.server_id;
+        if !config.servers.iter().any(|(id, _)| *id == me) {
+            return Err(CoronaError::InvalidState(format!(
+                "server {me} missing from the configured server list"
+            )));
+        }
+        let client_addr = client_listener.local_addr();
+        let (cmd_tx, cmd_rx) = channel::unbounded::<Command>();
+        let mut threads = Vec::new();
+
+        let client_listener: Arc<Box<dyn Listener>> = Arc::new(client_listener);
+        let peer_listener: Arc<Box<dyn Listener>> = Arc::new(peer_listener);
+
+        // Client accept loop.
+        {
+            let listener = Arc::clone(&client_listener);
+            let tx = cmd_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("repl-{me}-client-accept"))
+                    .spawn(move || {
+                        accept_loop(listener, tx, 1_000_000, |conn_id, conn| Command::ClientAccepted { conn_id, conn },
+                            |conn_id, frame| Command::ClientFrame { conn_id, frame },
+                            |conn_id| Command::ClientClosed { conn_id })
+                    })
+                    .expect("spawn client accept"),
+            );
+        }
+        // Peer accept loop.
+        {
+            let listener = Arc::clone(&peer_listener);
+            let tx = cmd_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("repl-{me}-peer-accept"))
+                    .spawn(move || {
+                        accept_loop(listener, tx, 2_000_000, |conn_id, conn| Command::PeerAccepted { conn_id, conn },
+                            |conn_id, frame| Command::PeerFrame { conn_id, frame },
+                            |conn_id| Command::PeerClosed { conn_id })
+                    })
+                    .expect("spawn peer accept"),
+            );
+        }
+        // Timer.
+        {
+            let tx = cmd_tx.clone();
+            let tick = Duration::from_millis((config.heartbeat_ms / 2).max(5));
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("repl-{me}-timer"))
+                    .spawn(move || loop {
+                        std::thread::sleep(tick);
+                        if tx.send(Command::Tick).is_err() {
+                            break;
+                        }
+                    })
+                    .expect("spawn timer"),
+            );
+        }
+        // Dispatcher.
+        {
+            let tx = cmd_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("repl-{me}-dispatch"))
+                    .spawn(move || {
+                        Dispatcher::new(config, dialer, tx).run(cmd_rx);
+                    })
+                    .expect("spawn dispatcher"),
+            );
+        }
+
+        Ok(ReplicatedServer {
+            me,
+            client_addr,
+            cmd_tx,
+            client_listener,
+            peer_listener,
+            threads,
+        })
+    }
+
+    /// This server's id.
+    pub fn server_id(&self) -> ServerId {
+        self.me
+    }
+
+    /// The address clients dial.
+    pub fn client_addr(&self) -> String {
+        self.client_addr.clone()
+    }
+
+    /// An introspection snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Closed`] after shutdown.
+    pub fn status(&self) -> Result<ReplicaStatus> {
+        let (tx, rx) = channel::bounded(1);
+        self.cmd_tx
+            .send(Command::Status(tx))
+            .map_err(|_| CoronaError::Closed)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| CoronaError::Closed)
+    }
+
+    /// Orderly shutdown.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.client_listener.shutdown();
+        self.peer_listener.shutdown();
+        let _ = self.cmd_tx.send(Command::Shutdown);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicatedServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+impl std::fmt::Debug for ReplicatedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicatedServer")
+            .field("me", &self.me)
+            .field("client_addr", &self.client_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(
+    listener: Arc<Box<dyn Listener>>,
+    cmd_tx: Sender<Command>,
+    id_base: u64,
+    on_accept: fn(u64, Arc<Box<dyn Connection>>) -> Command,
+    on_frame: fn(u64, bytes::Bytes) -> Command,
+    on_close: fn(u64) -> Command,
+) {
+    let mut next = id_base;
+    loop {
+        let Ok(conn) = listener.accept() else { break };
+        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
+        let conn_id = next;
+        next += 1;
+        if cmd_tx.send(on_accept(conn_id, Arc::clone(&conn))).is_err() {
+            break;
+        }
+        let tx = cmd_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("repl-conn-{conn_id}"))
+            .spawn(move || {
+                while let Ok(frame) = conn.recv() {
+                    if tx.send(on_frame(conn_id, frame)).is_err() {
+                        return;
+                    }
+                }
+                let _ = tx.send(on_close(conn_id));
+            })
+            .expect("spawn reader");
+    }
+}
+
+/// Internal work items processed iteratively (no recursion).
+enum Work {
+    /// A peer message to handle locally.
+    Local(PeerMessage),
+    Replica(ReplicaEffect),
+    Coord(CoordEffect),
+    Election(ElectionEffect),
+}
+
+struct Dispatcher {
+    me: ServerId,
+    config: ReplicatedConfig,
+    dialer: Arc<dyn Dialer>,
+    cmd_tx: Sender<Command>,
+    started: Instant,
+    election: ElectionCore,
+    replica: ReplicaCore,
+    coordinator: Option<CoordinatorCore>,
+    /// address book, startup order preserved in config.servers.
+    addr_of: HashMap<ServerId, String>,
+    /// Live peer connections by server.
+    peer_conns: HashMap<ServerId, (u64, Arc<Box<dyn Connection>>)>,
+    /// Accepted peer connections awaiting their `ServerHello`.
+    pending_peers: HashMap<u64, Arc<Box<dyn Connection>>>,
+    /// Client connections.
+    client_conns: HashMap<u64, (Arc<Box<dyn Connection>>, Option<ClientId>)>,
+    client_conn_of: HashMap<ClientId, u64>,
+    /// Coordinator-bound messages buffered while no coordinator is
+    /// known (mid-election).
+    coord_backlog: VecDeque<PeerMessage>,
+    /// Epoch whose coordinator we already resynced with.
+    resynced_epoch: Option<Epoch>,
+    next_conn_id: u64,
+}
+
+impl Dispatcher {
+    fn new(config: ReplicatedConfig, dialer: Arc<dyn Dialer>, cmd_tx: Sender<Command>) -> Self {
+        let me = config.server_config.server_id;
+        let order: Vec<ServerId> = config.servers.iter().map(|(id, _)| *id).collect();
+        let addr_of = config.servers.iter().cloned().collect();
+        let election = ElectionCore::new(me, order, config.base_timeout_ms, 0);
+        let mut coordinator = None;
+        if election.is_coordinator() {
+            coordinator = Some(CoordinatorCore::new(&config.server_config, Epoch::ZERO));
+        }
+        Dispatcher {
+            me,
+            dialer,
+            cmd_tx,
+            started: Instant::now(),
+            election,
+            replica: ReplicaCore::new(me),
+            coordinator,
+            addr_of,
+            peer_conns: HashMap::new(),
+            pending_peers: HashMap::new(),
+            client_conns: HashMap::new(),
+            client_conn_of: HashMap::new(),
+            coord_backlog: VecDeque::new(),
+            resynced_epoch: Some(Epoch::ZERO),
+            next_conn_id: 0,
+            config,
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    fn run(mut self, cmd_rx: Receiver<Command>) {
+        while let Ok(cmd) = cmd_rx.recv() {
+            match cmd {
+                Command::ClientAccepted { conn_id, conn } => {
+                    self.client_conns.insert(conn_id, (conn, None));
+                }
+                Command::ClientFrame { conn_id, frame } => self.client_frame(conn_id, frame),
+                Command::ClientClosed { conn_id } => {
+                    if let Some((_, Some(client))) = self.client_conns.remove(&conn_id) {
+                        self.client_conn_of.remove(&client);
+                        let effects = self.replica.client_disconnected(client);
+                        self.drain(effects.into_iter().map(Work::Replica).collect());
+                    }
+                }
+                Command::PeerAccepted { conn_id, conn } => {
+                    self.pending_peers.insert(conn_id, conn);
+                }
+                Command::PeerFrame { conn_id, frame } => self.peer_frame(conn_id, frame),
+                Command::PeerClosed { conn_id } => self.peer_closed(conn_id),
+                Command::Tick => self.tick(),
+                Command::Status(reply) => {
+                    let _ = reply.send(ReplicaStatus {
+                        me: self.me,
+                        is_coordinator: self.election.is_coordinator(),
+                        coordinator: self.election.coordinator(),
+                        epoch: self.election.epoch(),
+                        local_clients: self.client_conn_of.len(),
+                        hosted_groups: self.replica.hosted_groups().len(),
+                    });
+                }
+                Command::Shutdown => break,
+            }
+        }
+        for (conn, _) in self.client_conns.values() {
+            conn.close();
+        }
+        for (_, conn) in self.peer_conns.values() {
+            conn.close();
+        }
+    }
+
+    fn client_frame(&mut self, conn_id: u64, frame: bytes::Bytes) {
+        let Ok(request) = ClientRequest::decode_exact(&frame) else {
+            if let Some((conn, _)) = self.client_conns.get(&conn_id) {
+                conn.close();
+            }
+            return;
+        };
+        let now = Timestamp::now();
+        let known_client = self.client_conns.get(&conn_id).and_then(|(_, c)| *c);
+        let effects: Vec<ReplicaEffect> = match known_client {
+            None => match request {
+                ClientRequest::Hello {
+                    display_name,
+                    resume,
+                    ..
+                } => {
+                    let (client, effects) = self.replica.client_hello(display_name, resume);
+                    if let Some(entry) = self.client_conns.get_mut(&conn_id) {
+                        entry.1 = Some(client);
+                    }
+                    self.client_conn_of.insert(client, conn_id);
+                    effects
+                }
+                _ => {
+                    if let Some((conn, _)) = self.client_conns.get(&conn_id) {
+                        conn.close();
+                    }
+                    return;
+                }
+            },
+            Some(client) => {
+                let goodbye = matches!(request, ClientRequest::Goodbye);
+                let effects = self.replica.handle_request(client, request, now);
+                if goodbye {
+                    self.client_conn_of.remove(&client);
+                    if let Some((conn, slot)) = self.client_conns.get_mut(&conn_id) {
+                        conn.close();
+                        *slot = None;
+                    }
+                }
+                effects
+            }
+        };
+        self.drain(effects.into_iter().map(Work::Replica).collect());
+    }
+
+    fn peer_frame(&mut self, conn_id: u64, frame: bytes::Bytes) {
+        let Ok(msg) = PeerMessage::decode_exact(&frame) else {
+            return;
+        };
+        // First message on an accepted peer connection introduces it.
+        if let PeerMessage::ServerHello { server } = msg {
+            if let Some(conn) = self.pending_peers.remove(&conn_id) {
+                self.peer_conns.insert(server, (conn_id, conn));
+            }
+            return;
+        }
+        self.drain(VecDeque::from([Work::Local(msg)]));
+    }
+
+    fn peer_closed(&mut self, conn_id: u64) {
+        self.pending_peers.remove(&conn_id);
+        let gone: Vec<ServerId> = self
+            .peer_conns
+            .iter()
+            .filter(|(_, (id, _))| *id == conn_id)
+            .map(|(s, _)| *s)
+            .collect();
+        for server in gone {
+            self.peer_conns.remove(&server);
+            if self.election.is_coordinator() {
+                if let Some(coord) = &mut self.coordinator {
+                    let effects = coord.server_crashed(server);
+                    self.drain(effects.into_iter().map(Work::Coord).collect());
+                }
+            }
+            // A follower that lost its coordinator link relies on the
+            // heartbeat timeout to trigger the election.
+        }
+    }
+
+    fn tick(&mut self) {
+        let now = self.now_ms();
+        let mut work: VecDeque<Work> = self
+            .election
+            .on_tick(now)
+            .into_iter()
+            .map(Work::Election)
+            .collect();
+        if self.election.is_coordinator() {
+            work.extend(self.election.coordinator_heartbeats().into_iter().map(Work::Election));
+        }
+        self.drain(work);
+    }
+
+    /// Processes work items iteratively, expanding effects in place.
+    fn drain(&mut self, mut queue: VecDeque<Work>) {
+        let mut steps = 0u32;
+        while let Some(item) = queue.pop_front() {
+            steps += 1;
+            if steps > 100_000 {
+                // Defensive: a routing loop would otherwise spin the
+                // dispatcher forever.
+                eprintln!("corona-replication: work queue runaway, dropping remainder");
+                return;
+            }
+            match item {
+                Work::Local(msg) => self.handle_local_peer(msg, &mut queue),
+                Work::Replica(eff) => self.exec_replica(eff, &mut queue),
+                Work::Coord(eff) => self.exec_coord(eff, &mut queue),
+                Work::Election(eff) => self.exec_election(eff, &mut queue),
+            }
+        }
+    }
+
+    fn handle_local_peer(&mut self, msg: PeerMessage, queue: &mut VecDeque<Work>) {
+        let now_ms = self.now_ms();
+        let now = Timestamp::now();
+        match msg {
+            PeerMessage::Heartbeat { from, epoch } => {
+                let effects = self.election.on_heartbeat(from, epoch, now_ms);
+                self.sync_role();
+                queue.extend(effects.into_iter().map(Work::Election));
+            }
+            PeerMessage::ElectionClaim { candidate, epoch } => {
+                let effects = self.election.on_claim(candidate, epoch, now_ms);
+                self.sync_role();
+                queue.extend(effects.into_iter().map(Work::Election));
+            }
+            PeerMessage::ElectionAck { voter, epoch } => {
+                let effects = self.election.on_ack(voter, epoch);
+                queue.extend(effects.into_iter().map(Work::Election));
+            }
+            PeerMessage::ElectionNack {
+                epoch,
+                current_coordinator,
+                ..
+            } => {
+                let effects = self.election.on_nack(epoch, current_coordinator, now_ms);
+                self.sync_role();
+                queue.extend(effects.into_iter().map(Work::Election));
+            }
+            PeerMessage::ServerList {
+                epoch,
+                coordinator,
+                servers,
+            } => {
+                let effects = self
+                    .election
+                    .on_server_list(epoch, coordinator, servers, now_ms);
+                self.sync_role();
+                queue.extend(effects.into_iter().map(Work::Election));
+            }
+            // Coordinator-role traffic.
+            msg @ (PeerMessage::ForwardRequest { .. }
+            | PeerMessage::ForwardBroadcast { .. }
+            | PeerMessage::MemberAnnounce { .. }
+            | PeerMessage::GroupHosting { .. }) => {
+                if let Some(coord) = &mut self.coordinator {
+                    let effects = coord.handle_peer(msg, now);
+                    queue.extend(effects.into_iter().map(Work::Coord));
+                }
+                // A non-coordinator silently drops misrouted traffic;
+                // the sender's failure detection re-routes it.
+            }
+            PeerMessage::GroupStateQuery { .. } => {
+                if let Some(coord) = &mut self.coordinator {
+                    let effects = coord.handle_peer(msg, now);
+                    queue.extend(effects.into_iter().map(Work::Coord));
+                } else {
+                    let effects = self.replica.handle_peer(msg);
+                    queue.extend(effects.into_iter().map(Work::Replica));
+                }
+            }
+            PeerMessage::GroupStateReply { .. } => {
+                // Resync input when coordinating; standby install
+                // otherwise. A coordinator's own replica half also
+                // wants fresh copies, so feed both.
+                if let Some(coord) = &mut self.coordinator {
+                    let effects = coord.handle_peer(msg.clone(), now);
+                    queue.extend(effects.into_iter().map(Work::Coord));
+                }
+                let effects = self.replica.handle_peer(msg);
+                queue.extend(effects.into_iter().map(Work::Replica));
+            }
+            // Replica-role traffic.
+            msg @ (PeerMessage::RequestOutcome { .. }
+            | PeerMessage::Sequenced { .. }
+            | PeerMessage::Deliver { .. }) => {
+                let effects = self.replica.handle_peer(msg);
+                queue.extend(effects.into_iter().map(Work::Replica));
+            }
+            PeerMessage::ServerHello { .. }
+            | PeerMessage::MembershipSync { .. }
+            | PeerMessage::CheckpointAnnounce { .. } => {}
+        }
+    }
+
+    /// Aligns the coordinator role object with the election state.
+    fn sync_role(&mut self) {
+        if self.election.is_coordinator() && self.coordinator.is_none() {
+            self.coordinator = Some(CoordinatorCore::new(
+                &self.config.server_config,
+                self.election.epoch(),
+            ));
+        } else if !self.election.is_coordinator() && self.coordinator.is_some() {
+            self.coordinator = None;
+        }
+    }
+
+    fn exec_election(&mut self, eff: ElectionEffect, queue: &mut VecDeque<Work>) {
+        match eff {
+            ElectionEffect::SendTo(to, msg) => self.send_peer(to, msg, queue),
+            ElectionEffect::BecomeCoordinator => {
+                self.coordinator = Some(CoordinatorCore::new(
+                    &self.config.server_config,
+                    self.election.epoch(),
+                ));
+                self.resynced_epoch = Some(self.election.epoch());
+                // Feed our own replica's knowledge into the fresh
+                // authoritative state.
+                for msg in self.replica.resync_messages() {
+                    queue.push_back(Work::Local(msg));
+                }
+                // Release anything we queued while leaderless.
+                while let Some(msg) = self.coord_backlog.pop_front() {
+                    queue.push_back(Work::Local(msg));
+                }
+            }
+            ElectionEffect::FollowCoordinator(coordinator) => {
+                self.coordinator = None;
+                if self.resynced_epoch != Some(self.election.epoch()) {
+                    self.resynced_epoch = Some(self.election.epoch());
+                    for msg in self.replica.resync_messages() {
+                        self.send_peer(coordinator, msg, queue);
+                    }
+                }
+                while let Some(msg) = self.coord_backlog.pop_front() {
+                    self.send_peer(coordinator, msg, queue);
+                }
+            }
+        }
+    }
+
+    fn exec_replica(&mut self, eff: ReplicaEffect, queue: &mut VecDeque<Work>) {
+        match eff {
+            ReplicaEffect::ToClient { to, event } => self.send_client(to, &event),
+            ReplicaEffect::ToCoordinator(msg) => {
+                if self.election.is_coordinator() {
+                    queue.push_back(Work::Local(msg));
+                } else if let Some(coordinator) = self.election.coordinator() {
+                    self.send_peer(coordinator, msg, queue);
+                } else {
+                    self.coord_backlog.push_back(msg);
+                }
+            }
+        }
+    }
+
+    fn exec_coord(&mut self, eff: CoordEffect, queue: &mut VecDeque<Work>) {
+        match eff {
+            CoordEffect::ToServer { to, msg } => {
+                if to == self.me {
+                    // Our own replica half.
+                    let effects = self.replica.handle_peer(msg);
+                    queue.extend(effects.into_iter().map(Work::Replica));
+                } else {
+                    self.send_peer(to, msg, queue);
+                }
+            }
+            CoordEffect::Log(_) => {
+                // The replicated runtime keeps durability at the
+                // replica copies; coordinator-side stable storage is a
+                // single-server concern (see DESIGN.md).
+            }
+        }
+    }
+
+    fn send_client(&mut self, to: ClientId, event: &ServerEvent) {
+        if let Some(conn_id) = self.client_conn_of.get(&to) {
+            if let Some((conn, _)) = self.client_conns.get(conn_id) {
+                let _ = conn.send(event.encode_to_bytes());
+            }
+        }
+    }
+
+    fn send_peer(&mut self, to: ServerId, msg: PeerMessage, _queue: &mut VecDeque<Work>) {
+        if to == self.me {
+            // Shouldn't normally happen; handle locally to be safe.
+            let mut q = VecDeque::from([Work::Local(msg)]);
+            self.drain_nested(&mut q);
+            return;
+        }
+        if !self.peer_conns.contains_key(&to) {
+            if !self.connect_peer(to) {
+                return; // unreachable peer; failure detection handles it
+            }
+        }
+        let mut failed = false;
+        if let Some((_, conn)) = self.peer_conns.get(&to) {
+            if conn.send(msg.encode_to_bytes()).is_err() {
+                failed = true;
+            }
+        }
+        if failed {
+            self.peer_conns.remove(&to);
+        }
+    }
+
+    /// Nested drain used only from `send_peer`'s self-routing fallback;
+    /// bounded by the same runaway guard.
+    fn drain_nested(&mut self, queue: &mut VecDeque<Work>) {
+        let items: VecDeque<Work> = std::mem::take(queue);
+        self.drain(items);
+    }
+
+    fn connect_peer(&mut self, to: ServerId) -> bool {
+        let Some(addr) = self.addr_of.get(&to).cloned() else {
+            return false;
+        };
+        let Ok(conn) = self.dialer.dial(&addr) else {
+            return false;
+        };
+        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
+        if conn
+            .send(PeerMessage::ServerHello { server: self.me }.encode_to_bytes())
+            .is_err()
+        {
+            return false;
+        }
+        self.next_conn_id += 1;
+        let conn_id = 3_000_000 + self.next_conn_id;
+        let tx = self.cmd_tx.clone();
+        let reader = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("repl-{}-dial-{to}", self.me))
+            .spawn(move || {
+                while let Ok(frame) = reader.recv() {
+                    if tx.send(Command::PeerFrame { conn_id, frame }).is_err() {
+                        return;
+                    }
+                }
+                let _ = tx.send(Command::PeerClosed { conn_id });
+            })
+            .expect("spawn dialed peer reader");
+        self.peer_conns.insert(to, (conn_id, conn));
+        true
+    }
+}

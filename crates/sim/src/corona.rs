@@ -1,0 +1,555 @@
+//! Simulation models of the paper's evaluation experiments.
+//!
+//! Two models drive the [`engine`](crate::engine):
+//!
+//! * [`roundtrip`] — the Figure 3 / Table 2 configuration: one
+//!   sender+receiver ("measuring") client, N−1 pure receivers, a
+//!   message every `interval_us`, round-trip measured to the *last*
+//!   client in the fan-out order (the paper's worst case), on a single
+//!   server or on a replicated star (coordinator + member servers,
+//!   clients spread across per-server LAN segments);
+//! * [`throughput`] — the Table 1 configuration: a handful of clients
+//!   multicasting "as fast as possible" (closed loop), aggregate
+//!   delivered bytes per second.
+//!
+//! The models reproduce the protocol *structure* — serialised
+//! point-to-point fan-out, state application on the data path, disk
+//! logging on a parallel resource, forwarding through a sequencer —
+//! so the paper's qualitative results emerge rather than being
+//! hard-coded.
+
+use crate::engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
+use crate::hosts::{HostProfile, NetworkProfile};
+
+/// Parameters shared by the experiment models.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Total clients (including the measuring client).
+    pub n_clients: usize,
+    /// Multicast payload in bytes.
+    pub payload: usize,
+    /// Whether the server maintains shared state (Figure 3 compares
+    /// `true` vs `false`).
+    pub stateful: bool,
+    /// Whether disk logging blocks the data path (the paper's design
+    /// keeps it off; the ABL-LOG ablation turns it on).
+    pub disk_on_critical_path: bool,
+    /// Server host class.
+    pub server_profile: HostProfile,
+    /// Client host class.
+    pub client_profile: HostProfile,
+    /// LAN segment profile (one segment for a single server; one per
+    /// member server when replicated).
+    pub lan: NetworkProfile,
+    /// Server↔coordinator path profile (replicated only).
+    pub backbone: NetworkProfile,
+    /// Number of member servers; `1` means the single-server
+    /// configuration (no coordinator hop).
+    pub n_servers: usize,
+    /// Messages sent by the measuring client.
+    pub messages: u64,
+    /// Send interval of the measuring client in µs (the paper uses a
+    /// message every 100 ms).
+    pub interval_us: SimTime,
+    /// When `true`, the measuring client waits for its own copy of
+    /// message *m* before emitting *m+1* (still respecting the send
+    /// interval). Use for large populations where a fixed-rate sender
+    /// would diverge the server queue — the paper's Table 2 sweeps are
+    /// steady-state round-trip measurements.
+    pub closed_loop: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            n_clients: 20,
+            payload: 1000,
+            stateful: true,
+            disk_on_critical_path: false,
+            server_profile: crate::hosts::ULTRASPARC_1,
+            client_profile: crate::hosts::SPARC_20_CLIENT,
+            lan: crate::hosts::ETHERNET_10MBPS,
+            backbone: crate::hosts::CAMPUS_BACKBONE,
+            n_servers: 1,
+            messages: 600,
+            interval_us: 100_000,
+            closed_loop: false,
+        }
+    }
+}
+
+/// Disk cost model (paper §6: "typical disk transfer rate is around
+/// 3-5 Mbytes/sec"): a per-record overhead plus per-byte transfer.
+fn disk_cost_us(bytes: usize) -> SimTime {
+    // ~8 ms seek/sync + 4 MB/s transfer.
+    8_000 + (bytes as SimTime) * 1_000_000 / (4 * 1024 * 1024)
+}
+
+/// Round-trip statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundTripResults {
+    /// Every measured round-trip in µs (one per message).
+    pub rtts_us: Vec<SimTime>,
+    /// Mean in milliseconds (the paper's unit).
+    pub mean_ms: f64,
+    /// Standard deviation in milliseconds.
+    pub stddev_ms: f64,
+}
+
+impl RoundTripResults {
+    fn from_samples(rtts_us: Vec<SimTime>) -> Self {
+        let n = rtts_us.len().max(1) as f64;
+        let mean = rtts_us.iter().sum::<u64>() as f64 / n / 1000.0;
+        let var = rtts_us
+            .iter()
+            .map(|&r| {
+                let d = r as f64 / 1000.0 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        RoundTripResults {
+            rtts_us,
+            mean_ms: mean,
+            stddev_ms: var.sqrt(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RtEvent {
+    /// The measuring client emits message `m`.
+    Emit(u64),
+    /// Message `m` reaches its origin server.
+    AtOriginServer(u64),
+    /// Message `m` reaches the coordinator (replicated only).
+    AtCoordinator(u64),
+    /// The sequenced copy of `m` reaches member server `server`.
+    AtMemberServer { m: u64, server: usize },
+    /// The measuring client received its own copy back.
+    Delivered(u64),
+}
+
+struct RoundTripModel {
+    cfg: ExperimentConfig,
+    client_cpu: Resource,
+    server_cpus: Vec<Resource>,
+    coord_cpu: Resource,
+    lans: Vec<Resource>,
+    backbone: Resource,
+    disk: Resource,
+    emit_at: Vec<SimTime>,
+    rtts: Vec<SimTime>,
+}
+
+impl RoundTripModel {
+    fn new(cfg: ExperimentConfig) -> Self {
+        let segments = cfg.n_servers.max(1);
+        RoundTripModel {
+            client_cpu: Resource::new(),
+            server_cpus: vec![Resource::new(); segments],
+            coord_cpu: Resource::new(),
+            lans: vec![Resource::new(); segments],
+            backbone: Resource::new(),
+            disk: Resource::new(),
+            emit_at: vec![0; cfg.messages as usize],
+            rtts: Vec::with_capacity(cfg.messages as usize),
+            cfg,
+        }
+    }
+
+    /// Clients homed on `server` (round-robin distribution; the
+    /// measuring client is client 0 on server 0).
+    fn clients_on(&self, server: usize) -> usize {
+        let n = self.cfg.n_clients;
+        let s = self.cfg.n_servers.max(1);
+        n / s + usize::from(server < n % s)
+    }
+
+    /// Server-side receive (+ state apply + optional on-path disk
+    /// logging), returns completion time.
+    fn server_ingest(&mut self, cpu_idx: usize, now: SimTime, coordinator: bool) -> SimTime {
+        let payload = self.cfg.payload;
+        let prof = self.cfg.server_profile;
+        let cpu = if coordinator {
+            &mut self.coord_cpu
+        } else {
+            &mut self.server_cpus[cpu_idx]
+        };
+        let mut t = cpu.acquire(now, prof.recv_cost(payload));
+        // Only the state-holding role pays the apply/log costs; in the
+        // single-server case that is the server itself, in the
+        // replicated case the coordinator (authoritative copy) and the
+        // hot-standby replicas (we charge the replica copy too).
+        if self.cfg.stateful {
+            t = cpu.acquire(t, prof.state_apply_cost(payload));
+            if self.cfg.disk_on_critical_path {
+                t = self.disk.acquire(t, disk_cost_us(payload));
+            } else {
+                // Parallel disk logging: consumes disk time but not
+                // data-path latency.
+                self.disk.acquire(t, disk_cost_us(payload));
+            }
+        }
+        t
+    }
+
+    /// Fan out `m` from `server` to its local clients; the measuring
+    /// client (on server 0) is last. Returns the measuring client's
+    /// delivery time, if it is homed here.
+    fn fan_out(&mut self, server: usize, ready: SimTime) -> Option<SimTime> {
+        let payload = self.cfg.payload;
+        let prof = self.cfg.server_profile;
+        let receivers = self.clients_on(server);
+        let mut last_delivery = None;
+        for _ in 0..receivers {
+            let sent = self.server_cpus[server].acquire(ready, prof.send_cost(payload));
+            let wired = self.lans[server].acquire(sent, self.cfg.lan.transmission_us(payload));
+            last_delivery = Some(wired + self.cfg.lan.hop_latency_us);
+        }
+        if server == 0 {
+            // Worst case (paper §5.2.1): the measuring client is the
+            // last one the broadcast is sent to; add its receive cost.
+            last_delivery.map(|t| t + self.cfg.client_profile.recv_cost(payload))
+        } else {
+            None
+        }
+    }
+}
+
+impl SimModel for RoundTripModel {
+    type Event = RtEvent;
+
+    fn handle(&mut self, event: RtEvent, sched: &mut Scheduler<RtEvent>) {
+        let payload = self.cfg.payload;
+        match event {
+            RtEvent::Emit(m) => {
+                self.emit_at[m as usize] = sched.now();
+                let cpu_done = self
+                    .client_cpu
+                    .acquire(sched.now(), self.cfg.client_profile.send_cost(payload));
+                let wired = self.lans[0].acquire(cpu_done, self.cfg.lan.transmission_us(payload));
+                sched.at(wired + self.cfg.lan.hop_latency_us, RtEvent::AtOriginServer(m));
+                if !self.cfg.closed_loop && m + 1 < self.cfg.messages {
+                    sched.at(self.emit_at[m as usize] + self.cfg.interval_us, RtEvent::Emit(m + 1));
+                }
+            }
+            RtEvent::AtOriginServer(m) => {
+                if self.cfg.n_servers <= 1 {
+                    let ready = self.server_ingest(0, sched.now(), false);
+                    if let Some(t) = self.fan_out(0, ready) {
+                        sched.at(t, RtEvent::Delivered(m));
+                    }
+                } else {
+                    // Forward to the coordinator over the backbone.
+                    let prof = self.cfg.server_profile;
+                    let recv = self.server_cpus[0].acquire(sched.now(), prof.recv_cost(payload));
+                    let sent = self.server_cpus[0].acquire(recv, prof.send_cost(payload));
+                    let wired = self
+                        .backbone
+                        .acquire(sent, self.cfg.backbone.transmission_us(payload));
+                    sched.at(wired + self.cfg.backbone.hop_latency_us, RtEvent::AtCoordinator(m));
+                }
+            }
+            RtEvent::AtCoordinator(m) => {
+                let ready = self.server_ingest(0, sched.now(), true);
+                // One sequenced copy per member server, serialised on
+                // the coordinator CPU and the backbone (§4.1).
+                let prof = self.cfg.server_profile;
+                for server in 0..self.cfg.n_servers {
+                    let sent = self.coord_cpu.acquire(ready, prof.send_cost(payload));
+                    let wired = self
+                        .backbone
+                        .acquire(sent, self.cfg.backbone.transmission_us(payload));
+                    sched.at(
+                        wired + self.cfg.backbone.hop_latency_us,
+                        RtEvent::AtMemberServer { m, server },
+                    );
+                }
+            }
+            RtEvent::AtMemberServer { m, server } => {
+                let ready = self.server_ingest(server, sched.now(), false);
+                if let Some(t) = self.fan_out(server, ready) {
+                    sched.at(t, RtEvent::Delivered(m));
+                }
+            }
+            RtEvent::Delivered(m) => {
+                self.rtts.push(sched.now() - self.emit_at[m as usize]);
+                if self.cfg.closed_loop && m + 1 < self.cfg.messages {
+                    let next = (self.emit_at[m as usize] + self.cfg.interval_us).max(sched.now());
+                    sched.at(next, RtEvent::Emit(m + 1));
+                }
+            }
+        }
+    }
+}
+
+/// Runs the round-trip experiment (Figure 3 / Table 2 configuration).
+pub fn roundtrip(cfg: ExperimentConfig) -> RoundTripResults {
+    let mut sim = Simulation::new(RoundTripModel::new(cfg));
+    sim.seed(0, RtEvent::Emit(0));
+    sim.run_to_completion();
+    RoundTripResults::from_samples(sim.into_model().rtts)
+}
+
+/// Aggregate throughput results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputResults {
+    /// Total payload bytes delivered to receivers.
+    pub delivered_bytes: u64,
+    /// Virtual observation window in µs.
+    pub window_us: SimTime,
+    /// Aggregate delivered throughput in kB/s (the paper's Table 1
+    /// unit).
+    pub kbytes_per_sec: f64,
+    /// Server CPU utilisation over the window.
+    pub server_utilization: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TpEvent {
+    /// Client `c` emits its next message.
+    Emit { client: usize },
+    /// A message from `client` arrives at the server.
+    AtServer { client: usize },
+    /// The sender's own copy returned: closed-loop window opens.
+    SelfDelivered { client: usize },
+}
+
+struct ThroughputModel {
+    cfg: ExperimentConfig,
+    client_cpus: Vec<Resource>,
+    server_cpu: Resource,
+    lan: Resource,
+    disk: Resource,
+    delivered_bytes: u64,
+    window_us: SimTime,
+}
+
+impl SimModel for ThroughputModel {
+    type Event = TpEvent;
+
+    fn handle(&mut self, event: TpEvent, sched: &mut Scheduler<TpEvent>) {
+        let payload = self.cfg.payload;
+        match event {
+            TpEvent::Emit { client } => {
+                let cpu_done = self.client_cpus[client]
+                    .acquire(sched.now(), self.cfg.client_profile.send_cost(payload));
+                let wired = self
+                    .lan
+                    .acquire(cpu_done, self.cfg.lan.transmission_us(payload));
+                sched.at(wired + self.cfg.lan.hop_latency_us, TpEvent::AtServer { client });
+            }
+            TpEvent::AtServer { client } => {
+                let prof = self.cfg.server_profile;
+                let mut ready = self.server_cpu.acquire(sched.now(), prof.recv_cost(payload));
+                if self.cfg.stateful {
+                    ready = self.server_cpu.acquire(ready, prof.state_apply_cost(payload));
+                    if self.cfg.disk_on_critical_path {
+                        ready = self.disk.acquire(ready, disk_cost_us(payload));
+                    } else {
+                        self.disk.acquire(ready, disk_cost_us(payload));
+                    }
+                }
+                // Sender-inclusive fan-out to every client.
+                let mut self_time = ready;
+                for receiver in 0..self.cfg.n_clients {
+                    let sent = self.server_cpu.acquire(ready, prof.send_cost(payload));
+                    let wired = self.lan.acquire(sent, self.cfg.lan.transmission_us(payload));
+                    let delivered = wired + self.cfg.lan.hop_latency_us;
+                    if delivered <= self.window_us {
+                        self.delivered_bytes += payload as u64;
+                    }
+                    if receiver == client {
+                        self_time = delivered;
+                    }
+                }
+                sched.at(self_time, TpEvent::SelfDelivered { client });
+            }
+            TpEvent::SelfDelivered { client } => {
+                if sched.now() < self.window_us {
+                    sched.after(0, TpEvent::Emit { client });
+                }
+            }
+        }
+    }
+}
+
+/// Runs the throughput experiment (Table 1 configuration): `n_clients`
+/// closed-loop senders blasting for `window_us` of virtual time.
+pub fn throughput(cfg: ExperimentConfig, window_us: SimTime) -> ThroughputResults {
+    let model = ThroughputModel {
+        client_cpus: vec![Resource::new(); cfg.n_clients],
+        server_cpu: Resource::new(),
+        lan: Resource::new(),
+        disk: Resource::new(),
+        delivered_bytes: 0,
+        window_us,
+        cfg,
+    };
+    let mut sim = Simulation::new(model);
+    for client in 0..cfg.n_clients {
+        sim.seed((client as u64) * 137, TpEvent::Emit { client });
+    }
+    sim.run_until(window_us);
+    let model = sim.into_model();
+    ThroughputResults {
+        delivered_bytes: model.delivered_bytes,
+        window_us,
+        kbytes_per_sec: model.delivered_bytes as f64 / 1024.0 / (window_us as f64 / 1_000_000.0),
+        server_utilization: model.server_cpu.utilization(window_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::{PENTIUM_II_200, ULTRASPARC_1};
+
+    fn fig3_cfg(n: usize, stateful: bool) -> ExperimentConfig {
+        ExperimentConfig {
+            n_clients: n,
+            stateful,
+            messages: 100,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn rtt_grows_linearly_with_clients() {
+        // Figure 3's headline shape.
+        let means: Vec<f64> = [10, 20, 40, 60]
+            .iter()
+            .map(|&n| roundtrip(fig3_cfg(n, true)).mean_ms)
+            .collect();
+        assert!(means.windows(2).all(|w| w[0] < w[1]), "not monotone: {means:?}");
+        // Approximate linearity: slope between consecutive points is
+        // stable within 2x.
+        let s1 = (means[1] - means[0]) / 10.0;
+        let s3 = (means[3] - means[2]) / 20.0;
+        assert!(s3 < s1 * 2.0 && s1 < s3 * 2.0, "slopes {s1} vs {s3}");
+    }
+
+    #[test]
+    fn stateful_overhead_is_minimal() {
+        // The two Figure 3 curves are "very close to each other".
+        for n in [10, 30, 60] {
+            let stateful = roundtrip(fig3_cfg(n, true)).mean_ms;
+            let stateless = roundtrip(fig3_cfg(n, false)).mean_ms;
+            assert!(stateful >= stateless);
+            let overhead = (stateful - stateless) / stateless;
+            assert!(
+                overhead < 0.05,
+                "state overhead {:.1}% at {n} clients",
+                overhead * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn on_path_disk_logging_is_visibly_worse() {
+        // The ablation the paper's design avoids.
+        let off = roundtrip(fig3_cfg(20, true)).mean_ms;
+        let on = roundtrip(ExperimentConfig {
+            disk_on_critical_path: true,
+            ..fig3_cfg(20, true)
+        })
+        .mean_ms;
+        assert!(on > off * 1.2, "on-path {on} ms vs off-path {off} ms");
+    }
+
+    #[test]
+    fn larger_payloads_steepen_the_slope() {
+        // §5.2.1: at 10000 bytes "the delay remained linear ... but
+        // with a higher slope".
+        let slope = |payload: usize| {
+            let a = roundtrip(ExperimentConfig {
+                payload,
+                ..fig3_cfg(10, true)
+            })
+            .mean_ms;
+            let b = roundtrip(ExperimentConfig {
+                payload,
+                ..fig3_cfg(40, true)
+            })
+            .mean_ms;
+            (b - a) / 30.0
+        };
+        assert!(slope(10_000) > 2.0 * slope(1000));
+    }
+
+    #[test]
+    fn replicated_beats_single_at_scale() {
+        // Table 2's shape: multiple servers win at 100–300 clients,
+        // and the gap widens.
+        let mut gaps = Vec::new();
+        for n in [100, 200, 300] {
+            let single = roundtrip(ExperimentConfig {
+                n_clients: n,
+                messages: 30,
+                closed_loop: true,
+                ..ExperimentConfig::default()
+            })
+            .mean_ms;
+            let replicated = roundtrip(ExperimentConfig {
+                n_clients: n,
+                n_servers: 6,
+                messages: 30,
+                closed_loop: true,
+                ..ExperimentConfig::default()
+            })
+            .mean_ms;
+            assert!(
+                replicated < single,
+                "{n} clients: replicated {replicated} !< single {single}"
+            );
+            gaps.push(single - replicated);
+        }
+        assert!(gaps.windows(2).all(|w| w[0] < w[1]), "gap must widen: {gaps:?}");
+    }
+
+    #[test]
+    fn throughput_shapes_match_table1() {
+        let cfg = |payload, profile| ExperimentConfig {
+            n_clients: 6,
+            payload,
+            server_profile: profile,
+            ..ExperimentConfig::default()
+        };
+        let window = 30_000_000; // 30 virtual seconds
+        let us_1k = throughput(cfg(1000, ULTRASPARC_1), window).kbytes_per_sec;
+        let us_10k = throughput(cfg(10_000, ULTRASPARC_1), window).kbytes_per_sec;
+        let nt_1k = throughput(cfg(1000, PENTIUM_II_200), window).kbytes_per_sec;
+        let nt_10k = throughput(cfg(10_000, PENTIUM_II_200), window).kbytes_per_sec;
+        // Bigger messages amortise per-message overhead.
+        assert!(us_10k > us_1k, "{us_10k} !> {us_1k}");
+        assert!(nt_10k > nt_1k);
+        // The NT box outruns the UltraSparc where the server CPU is
+        // the bottleneck (1000 B). At 10 000 B the shared 10 Mbps wire
+        // saturates and the two tie — the paper's own reading: "the
+        // limitation of the system did not seem to be as much in the
+        // server code as in the network capacity".
+        assert!(nt_1k > us_1k);
+        assert!(nt_10k >= us_10k * 0.99);
+        // Magnitudes in the paper's regime (hundreds of kB/s).
+        assert!(us_1k > 50.0 && nt_10k < 5000.0, "{us_1k} / {nt_10k}");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = roundtrip(fig3_cfg(25, true));
+        let b = roundtrip(fig3_cfg(25, true));
+        assert_eq!(a.rtts_us, b.rtts_us);
+        let ta = throughput(ExperimentConfig::default(), 5_000_000);
+        let tb = throughput(ExperimentConfig::default(), 5_000_000);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn all_messages_are_measured() {
+        let r = roundtrip(fig3_cfg(15, true));
+        assert_eq!(r.rtts_us.len(), 100);
+        assert!(r.mean_ms > 0.0);
+        assert!(r.stddev_ms >= 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # corona-statelog
+//!
+//! State logging for the Corona stateful group-communication service:
+//! the per-group in-memory log ([`GroupLog`]), stable storage with
+//! crash recovery ([`StableStore`]), and automatic log-reduction
+//! policies ([`ReductionPolicy`]).
+//!
+//! The statefulness of the Corona server (the paper's core idea) rests
+//! on this crate: "all the multicast messages are logged both in
+//! memory and on stable storage, thus ensuring persistence of shared
+//! state and fault tolerance" (§3.2).
+//!
+//! ## Example
+//!
+//! ```
+//! use corona_statelog::GroupLog;
+//! use corona_types::{
+//!     id::{ClientId, GroupId, ObjectId, SeqNo},
+//!     policy::StateTransferPolicy,
+//!     state::{SharedState, StateUpdate, Timestamp},
+//! };
+//!
+//! let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+//! for i in 0..10u64 {
+//!     log.append(
+//!         ClientId::new(1),
+//!         StateUpdate::incremental(ObjectId::new(1), format!("{i};").into_bytes()),
+//!         Timestamp::from_micros(i),
+//!     );
+//! }
+//!
+//! // A fast client reconnecting after seq 7 catches up incrementally...
+//! let t = log.transfer(&StateTransferPolicy::UpdatesSince(SeqNo::new(7)));
+//! assert_eq!(t.updates.len(), 3);
+//!
+//! // ...while a slow client over a modem asks for just the newest two.
+//! let t = log.transfer(&StateTransferPolicy::LastUpdates(2));
+//! assert_eq!(t.updates.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod memlog;
+pub mod reduction;
+pub mod storage;
+
+pub use memlog::{GroupLog, ReduceError};
+pub use reduction::ReductionPolicy;
+pub use storage::{GroupStore, RecoveredGroup, StableStore, SyncPolicy};

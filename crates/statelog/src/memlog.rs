@@ -1,0 +1,599 @@
+//! The in-memory state log of one group.
+//!
+//! A [`GroupLog`] is the server-side heart of "statefulness": it holds
+//!
+//! * a **checkpoint**: the shared state with every update up to
+//!   `checkpoint_seq` folded in,
+//! * the **suffix log**: every [`LoggedUpdate`] after the checkpoint,
+//! * a **live state**: the fully materialised current state, kept
+//!   incrementally so full-state transfers are O(state), not
+//!   O(state + log replay).
+//!
+//! The invariant tying them together (checked by
+//! [`GroupLog::check_invariants`] and exercised by property tests):
+//!
+//! > checkpoint ⊕ suffix-log = live state
+//!
+//! Log reduction (§3.2 of the paper) folds a prefix of the suffix log
+//! into the checkpoint; by the invariant this never changes the live
+//! state, it only limits how far back `UpdatesSince` catch-up can
+//! reach.
+
+use corona_types::id::{ClientId, GroupId, SeqNo};
+use corona_types::message::StateTransfer;
+use corona_types::policy::StateTransferPolicy;
+use corona_types::state::{LoggedUpdate, SharedState, StateUpdate, Timestamp};
+use std::collections::VecDeque;
+
+/// Why a requested log reduction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceError {
+    /// The requested point precedes the current checkpoint (those
+    /// updates are already folded in).
+    AlreadyReduced {
+        /// The current checkpoint sequence number.
+        checkpoint: SeqNo,
+    },
+    /// The requested point exceeds the newest logged update.
+    BeyondLog {
+        /// The newest sequence number in the log.
+        newest: SeqNo,
+    },
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::AlreadyReduced { checkpoint } => {
+                write!(f, "log already reduced through {checkpoint}")
+            }
+            ReduceError::BeyondLog { newest } => {
+                write!(f, "reduction point beyond newest update {newest}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+/// The in-memory log and materialised state of one group.
+#[derive(Debug, Clone)]
+pub struct GroupLog {
+    group: GroupId,
+    /// State with everything through `checkpoint_seq` folded in.
+    checkpoint: SharedState,
+    checkpoint_seq: SeqNo,
+    /// Updates with sequence numbers in `(checkpoint_seq, last_seq]`.
+    suffix: VecDeque<LoggedUpdate>,
+    /// Fully materialised current state.
+    live: SharedState,
+    /// Sequence number of the newest update (== checkpoint_seq when the
+    /// suffix is empty).
+    last_seq: SeqNo,
+    /// Total payload bytes held in the suffix log.
+    suffix_bytes: usize,
+}
+
+impl GroupLog {
+    /// Creates a log for a group whose initial shared state is `initial`.
+    ///
+    /// The initial state is the checkpoint at sequence zero.
+    pub fn new(group: GroupId, initial: SharedState) -> Self {
+        GroupLog {
+            group,
+            live: initial.clone(),
+            checkpoint: initial,
+            checkpoint_seq: SeqNo::ZERO,
+            suffix: VecDeque::new(),
+            last_seq: SeqNo::ZERO,
+            suffix_bytes: 0,
+        }
+    }
+
+    /// Restores a log from a recovered checkpoint plus a replayed
+    /// suffix (stable-storage recovery path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suffix sequence numbers are not contiguous and
+    /// strictly increasing from `checkpoint_seq + 1` — stable storage
+    /// guarantees this, so violation indicates log corruption that the
+    /// storage layer should have caught.
+    pub fn restore(
+        group: GroupId,
+        checkpoint: SharedState,
+        checkpoint_seq: SeqNo,
+        suffix: Vec<LoggedUpdate>,
+    ) -> Self {
+        let mut expected = checkpoint_seq;
+        for u in &suffix {
+            expected = expected.next();
+            assert_eq!(
+                u.seq, expected,
+                "non-contiguous suffix while restoring {group}"
+            );
+        }
+        let mut live = checkpoint.clone();
+        live.apply_all(&suffix);
+        let suffix_bytes = suffix.iter().map(LoggedUpdate::payload_len).sum();
+        GroupLog {
+            group,
+            checkpoint,
+            checkpoint_seq,
+            last_seq: expected,
+            suffix: suffix.into(),
+            live,
+            suffix_bytes,
+        }
+    }
+
+    /// The group this log belongs to.
+    pub fn group(&self) -> GroupId {
+        self.group
+    }
+
+    /// Sequence number of the newest update.
+    pub fn last_seq(&self) -> SeqNo {
+        self.last_seq
+    }
+
+    /// Sequence number the checkpoint reflects.
+    pub fn checkpoint_seq(&self) -> SeqNo {
+        self.checkpoint_seq
+    }
+
+    /// Number of updates retained in the suffix log.
+    pub fn suffix_len(&self) -> usize {
+        self.suffix.len()
+    }
+
+    /// Total payload bytes retained in the suffix log.
+    pub fn suffix_bytes(&self) -> usize {
+        self.suffix_bytes
+    }
+
+    /// The current, fully materialised shared state.
+    pub fn current_state(&self) -> &SharedState {
+        &self.live
+    }
+
+    /// The checkpoint state (used when persisting snapshots).
+    pub fn checkpoint_state(&self) -> &SharedState {
+        &self.checkpoint
+    }
+
+    /// Iterates over the retained suffix updates in order.
+    pub fn suffix_iter(&self) -> impl Iterator<Item = &LoggedUpdate> {
+        self.suffix.iter()
+    }
+
+    /// Appends a client update, assigning it the next sequence number
+    /// and the given timestamp. Returns the logged form (which the
+    /// server multicasts and hands to stable storage).
+    pub fn append(
+        &mut self,
+        sender: ClientId,
+        update: StateUpdate,
+        timestamp: Timestamp,
+    ) -> LoggedUpdate {
+        self.last_seq = self.last_seq.next();
+        let logged = LoggedUpdate {
+            seq: self.last_seq,
+            sender,
+            timestamp,
+            update,
+        };
+        self.apply_logged(logged.clone());
+        logged
+    }
+
+    /// Appends an update that was already sequenced elsewhere (the
+    /// replicated service: the coordinator assigns sequence numbers and
+    /// replicas apply them in order).
+    ///
+    /// Returns `false` (and ignores the update) if `logged.seq` is not
+    /// the immediate successor of the newest local update — the caller
+    /// must fetch the gap from a peer first.
+    pub fn append_sequenced(&mut self, logged: LoggedUpdate) -> bool {
+        if logged.seq != self.last_seq.next() {
+            return false;
+        }
+        self.last_seq = logged.seq;
+        self.apply_logged(logged);
+        true
+    }
+
+    fn apply_logged(&mut self, logged: LoggedUpdate) {
+        self.live.apply(&logged.update);
+        self.suffix_bytes += logged.payload_len();
+        self.suffix.push_back(logged);
+    }
+
+    /// All retained updates with sequence numbers strictly greater than
+    /// `since`. Returns `None` if `since` precedes the checkpoint — the
+    /// older updates have been reduced away and the caller must fall
+    /// back to a fuller transfer policy.
+    pub fn updates_since(&self, since: SeqNo) -> Option<Vec<LoggedUpdate>> {
+        if since < self.checkpoint_seq {
+            return None;
+        }
+        Some(
+            self.suffix
+                .iter()
+                .filter(|u| u.seq > since)
+                .cloned()
+                .collect(),
+        )
+    }
+
+    /// The newest `n` retained updates, oldest first.
+    pub fn last_updates(&self, n: usize) -> Vec<LoggedUpdate> {
+        let skip = self.suffix.len().saturating_sub(n);
+        self.suffix.iter().skip(skip).cloned().collect()
+    }
+
+    /// Evaluates a client's state-transfer policy against this log,
+    /// producing the [`StateTransfer`] the server sends on join /
+    /// reconnect (§3.2: customised state transfer).
+    ///
+    /// For [`StateTransferPolicy::UpdatesSince`] the method degrades
+    /// gracefully: if the requested window has been reduced away, it
+    /// falls back to a full-state transfer (carrying `basis ==
+    /// through`), which is always sufficient for the client to catch
+    /// up.
+    pub fn transfer(&self, policy: &StateTransferPolicy) -> StateTransfer {
+        match policy {
+            StateTransferPolicy::FullState => StateTransfer {
+                group: self.group,
+                basis: self.last_seq,
+                through: self.last_seq,
+                objects: self.live.materialize_all(),
+                updates: Vec::new(),
+            },
+            StateTransferPolicy::LastUpdates(n) => {
+                let n = usize::try_from(*n).unwrap_or(usize::MAX);
+                let updates = self.last_updates(n);
+                let basis = updates
+                    .first()
+                    .map(|u| SeqNo::new(u.seq.raw() - 1))
+                    .unwrap_or(self.last_seq);
+                StateTransfer {
+                    group: self.group,
+                    basis,
+                    through: self.last_seq,
+                    objects: Vec::new(),
+                    updates,
+                }
+            }
+            StateTransferPolicy::Objects(ids) => {
+                let objects = ids
+                    .iter()
+                    .filter_map(|id| self.live.object(*id).map(|st| (*id, st.materialize())))
+                    .collect();
+                StateTransfer {
+                    group: self.group,
+                    basis: self.last_seq,
+                    through: self.last_seq,
+                    objects,
+                    updates: Vec::new(),
+                }
+            }
+            StateTransferPolicy::UpdatesSince(since) => match self.updates_since(*since) {
+                Some(updates) => StateTransfer {
+                    group: self.group,
+                    basis: *since,
+                    through: self.last_seq,
+                    objects: Vec::new(),
+                    updates,
+                },
+                None => self.transfer(&StateTransferPolicy::FullState),
+            },
+            StateTransferPolicy::None => StateTransfer::empty(self.group, self.last_seq),
+        }
+    }
+
+    /// Folds every suffix update with `seq <= through` into the
+    /// checkpoint (§3.2: "the history of state updates for a group may
+    /// be trimmed up to a point and replaced with the consistent group
+    /// state existing at that point").
+    ///
+    /// Returns the number of updates folded.
+    ///
+    /// # Errors
+    ///
+    /// Rejects points before the checkpoint or beyond the newest
+    /// update.
+    pub fn reduce(&mut self, through: SeqNo) -> Result<usize, ReduceError> {
+        if through < self.checkpoint_seq {
+            return Err(ReduceError::AlreadyReduced {
+                checkpoint: self.checkpoint_seq,
+            });
+        }
+        if through > self.last_seq {
+            return Err(ReduceError::BeyondLog {
+                newest: self.last_seq,
+            });
+        }
+        let mut folded = 0;
+        while let Some(front) = self.suffix.front() {
+            if front.seq > through {
+                break;
+            }
+            let u = self.suffix.pop_front().expect("front exists");
+            self.suffix_bytes -= u.payload_len();
+            self.checkpoint.apply(&u.update);
+            folded += 1;
+        }
+        self.checkpoint_seq = through;
+        // Folding increments into bases keeps snapshots compact.
+        self.checkpoint.compact();
+        Ok(folded)
+    }
+
+    /// Reduces the entire log into the checkpoint.
+    pub fn reduce_all(&mut self) -> usize {
+        self.reduce(self.last_seq).expect("last_seq is valid")
+    }
+
+    /// Verifies the internal invariant `checkpoint ⊕ suffix == live`.
+    /// Intended for tests and debug assertions, not the hot path.
+    pub fn check_invariants(&self) -> bool {
+        let mut replay = self.checkpoint.clone();
+        for u in &self.suffix {
+            replay.apply(&u.update);
+        }
+        // `compact()` on the checkpoint may have merged increments, so
+        // compare materialised views object by object.
+        if replay.object_ids() != self.live.object_ids() {
+            return false;
+        }
+        replay.object_ids().into_iter().all(|id| {
+            replay.object(id).map(|s| s.materialize())
+                == self.live.object(id).map(|s| s.materialize())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use corona_types::id::ObjectId;
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+
+    fn cid(n: u64) -> ClientId {
+        ClientId::new(n)
+    }
+
+    fn log_with(n: u64) -> GroupLog {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        for i in 0..n {
+            log.append(
+                cid(1),
+                StateUpdate::incremental(oid(1), format!("u{i};").into_bytes()),
+                Timestamp::from_micros(i),
+            );
+        }
+        log
+    }
+
+    #[test]
+    fn append_assigns_contiguous_seqnos() {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        let a = log.append(cid(1), StateUpdate::incremental(oid(1), &b"a"[..]), Timestamp::ZERO);
+        let b = log.append(cid(2), StateUpdate::incremental(oid(1), &b"b"[..]), Timestamp::ZERO);
+        assert_eq!(a.seq, SeqNo::new(1));
+        assert_eq!(b.seq, SeqNo::new(2));
+        assert_eq!(log.last_seq(), SeqNo::new(2));
+        assert!(log.check_invariants());
+    }
+
+    #[test]
+    fn live_state_tracks_appends() {
+        let log = log_with(3);
+        assert_eq!(
+            log.current_state().object(oid(1)).unwrap().materialize(),
+            Bytes::from(&b"u0;u1;u2;"[..])
+        );
+    }
+
+    #[test]
+    fn updates_since_returns_exact_window() {
+        let log = log_with(5);
+        let since2 = log.updates_since(SeqNo::new(2)).unwrap();
+        assert_eq!(since2.len(), 3);
+        assert_eq!(since2[0].seq, SeqNo::new(3));
+        assert!(log.updates_since(SeqNo::new(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn last_updates_takes_newest() {
+        let log = log_with(5);
+        let last2 = log.last_updates(2);
+        assert_eq!(last2.len(), 2);
+        assert_eq!(last2[0].seq, SeqNo::new(4));
+        assert_eq!(last2[1].seq, SeqNo::new(5));
+        assert_eq!(log.last_updates(99).len(), 5, "clamped to available");
+    }
+
+    #[test]
+    fn reduce_folds_prefix_and_preserves_live_state() {
+        let mut log = log_with(6);
+        let live_before = log.current_state().clone();
+        let folded = log.reduce(SeqNo::new(4)).unwrap();
+        assert_eq!(folded, 4);
+        assert_eq!(log.checkpoint_seq(), SeqNo::new(4));
+        assert_eq!(log.suffix_len(), 2);
+        assert_eq!(
+            log.current_state()
+                .object(oid(1))
+                .unwrap()
+                .materialize(),
+            live_before.object(oid(1)).unwrap().materialize()
+        );
+        assert!(log.check_invariants());
+    }
+
+    #[test]
+    fn reduce_rejects_bad_points() {
+        let mut log = log_with(4);
+        log.reduce(SeqNo::new(2)).unwrap();
+        assert_eq!(
+            log.reduce(SeqNo::new(1)),
+            Err(ReduceError::AlreadyReduced {
+                checkpoint: SeqNo::new(2)
+            })
+        );
+        assert_eq!(
+            log.reduce(SeqNo::new(9)),
+            Err(ReduceError::BeyondLog {
+                newest: SeqNo::new(4)
+            })
+        );
+    }
+
+    #[test]
+    fn reduce_at_checkpoint_is_a_noop() {
+        let mut log = log_with(3);
+        log.reduce(SeqNo::new(2)).unwrap();
+        assert_eq!(log.reduce(SeqNo::new(2)), Ok(0));
+    }
+
+    #[test]
+    fn updates_since_reduced_window_is_none() {
+        let mut log = log_with(6);
+        log.reduce(SeqNo::new(3)).unwrap();
+        assert!(log.updates_since(SeqNo::new(2)).is_none());
+        assert!(log.updates_since(SeqNo::new(3)).is_some());
+    }
+
+    #[test]
+    fn transfer_full_state() {
+        let log = log_with(3);
+        let t = log.transfer(&StateTransferPolicy::FullState);
+        assert_eq!(t.basis, SeqNo::new(3));
+        assert_eq!(t.through, SeqNo::new(3));
+        assert_eq!(t.objects.len(), 1);
+        assert!(t.updates.is_empty());
+        assert_eq!(
+            t.reconstruct().object(oid(1)).unwrap().materialize(),
+            log.current_state().object(oid(1)).unwrap().materialize()
+        );
+    }
+
+    #[test]
+    fn transfer_last_n() {
+        let log = log_with(5);
+        let t = log.transfer(&StateTransferPolicy::LastUpdates(2));
+        assert_eq!(t.updates.len(), 2);
+        assert_eq!(t.basis, SeqNo::new(3));
+        assert_eq!(t.through, SeqNo::new(5));
+        assert!(t.objects.is_empty());
+    }
+
+    #[test]
+    fn transfer_selected_objects_skips_missing() {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        log.append(cid(1), StateUpdate::set_state(oid(1), &b"one"[..]), Timestamp::ZERO);
+        log.append(cid(1), StateUpdate::set_state(oid(2), &b"two"[..]), Timestamp::ZERO);
+        let t = log.transfer(&StateTransferPolicy::Objects(vec![oid(2), oid(9)]));
+        assert_eq!(t.objects.len(), 1);
+        assert_eq!(t.objects[0].0, oid(2));
+    }
+
+    #[test]
+    fn transfer_updates_since_falls_back_after_reduction() {
+        let mut log = log_with(6);
+        log.reduce(SeqNo::new(4)).unwrap();
+        let t = log.transfer(&StateTransferPolicy::UpdatesSince(SeqNo::new(2)));
+        // Window reduced away: fell back to full state.
+        assert!(!t.objects.is_empty());
+        assert_eq!(t.basis, t.through);
+    }
+
+    #[test]
+    fn transfer_none_is_empty() {
+        let log = log_with(3);
+        let t = log.transfer(&StateTransferPolicy::None);
+        assert_eq!(t.payload_len(), 0);
+        assert_eq!(t.through, SeqNo::new(3));
+    }
+
+    #[test]
+    fn append_sequenced_enforces_contiguity() {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        let u1 = LoggedUpdate {
+            seq: SeqNo::new(1),
+            sender: cid(1),
+            timestamp: Timestamp::ZERO,
+            update: StateUpdate::incremental(oid(1), &b"a"[..]),
+        };
+        let u3 = LoggedUpdate {
+            seq: SeqNo::new(3),
+            sender: cid(1),
+            timestamp: Timestamp::ZERO,
+            update: StateUpdate::incremental(oid(1), &b"c"[..]),
+        };
+        assert!(log.append_sequenced(u1));
+        assert!(!log.append_sequenced(u3), "gap must be rejected");
+        assert_eq!(log.last_seq(), SeqNo::new(1));
+    }
+
+    #[test]
+    fn restore_replays_suffix() {
+        let mut original = log_with(5);
+        original.reduce(SeqNo::new(2)).unwrap();
+        let restored = GroupLog::restore(
+            original.group(),
+            original.checkpoint_state().clone(),
+            original.checkpoint_seq(),
+            original.suffix_iter().cloned().collect(),
+        );
+        assert_eq!(restored.last_seq(), original.last_seq());
+        assert_eq!(
+            restored.current_state().object(oid(1)).unwrap().materialize(),
+            original.current_state().object(oid(1)).unwrap().materialize()
+        );
+        assert!(restored.check_invariants());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-contiguous")]
+    fn restore_panics_on_gap() {
+        let gap = vec![LoggedUpdate {
+            seq: SeqNo::new(2),
+            sender: cid(1),
+            timestamp: Timestamp::ZERO,
+            update: StateUpdate::incremental(oid(1), &b"x"[..]),
+        }];
+        GroupLog::restore(GroupId::new(1), SharedState::new(), SeqNo::ZERO, gap);
+    }
+
+    #[test]
+    fn suffix_bytes_accounting() {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        log.append(cid(1), StateUpdate::incremental(oid(1), vec![0u8; 10]), Timestamp::ZERO);
+        log.append(cid(1), StateUpdate::incremental(oid(1), vec![0u8; 5]), Timestamp::ZERO);
+        assert_eq!(log.suffix_bytes(), 15);
+        log.reduce(SeqNo::new(1)).unwrap();
+        assert_eq!(log.suffix_bytes(), 5);
+        log.reduce_all();
+        assert_eq!(log.suffix_bytes(), 0);
+    }
+
+    #[test]
+    fn set_state_then_reduce_drops_history() {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        log.append(cid(1), StateUpdate::incremental(oid(1), &b"junk"[..]), Timestamp::ZERO);
+        log.append(cid(1), StateUpdate::set_state(oid(1), &b"fresh"[..]), Timestamp::ZERO);
+        log.reduce_all();
+        assert_eq!(
+            log.checkpoint_state().object(oid(1)).unwrap().materialize(),
+            Bytes::from(&b"fresh"[..])
+        );
+        assert!(log.check_invariants());
+    }
+}

@@ -1,0 +1,169 @@
+//! Automatic log-reduction policies.
+//!
+//! §3.2: "At the request of the communication service (several policies
+//! may be implemented based on factors such as the state log size and
+//! the type of the data) or, under certain circumstances, when desired
+//! by a client, the history of state updates for a group may be
+//! trimmed up to a point and replaced with the consistent group state
+//! existing at that point."
+//!
+//! The server consults a [`ReductionPolicy`] after every append; when
+//! the policy fires, the server folds the prescribed prefix into the
+//! checkpoint (and, when stable storage is attached, writes the
+//! snapshot).
+
+use crate::memlog::GroupLog;
+use corona_types::id::SeqNo;
+
+/// When and how far to reduce a group's suffix log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReductionPolicy {
+    /// Never reduce automatically (clients may still request it).
+    Manual,
+    /// Keep at most `max` updates; on overflow, reduce so that `keep`
+    /// updates remain (`keep <= max`). Hysteresis avoids reducing on
+    /// every single append once the cap is hit.
+    MaxUpdates {
+        /// Reduction trigger threshold.
+        max: usize,
+        /// Number of newest updates retained after a reduction.
+        keep: usize,
+    },
+    /// Keep at most `max` payload bytes in the suffix; on overflow,
+    /// reduce oldest-first until at most `keep` bytes remain.
+    MaxBytes {
+        /// Reduction trigger threshold in bytes.
+        max: usize,
+        /// Bytes retained after a reduction.
+        keep: usize,
+    },
+}
+
+impl ReductionPolicy {
+    /// A sensible default for interactive groups: cap the replayable
+    /// history at 4096 updates, keeping the newest 1024 on reduction.
+    pub const fn default_interactive() -> Self {
+        ReductionPolicy::MaxUpdates {
+            max: 4096,
+            keep: 1024,
+        }
+    }
+
+    /// Evaluates the policy against a log. Returns the sequence number
+    /// to reduce through, or `None` if no reduction is due.
+    pub fn due(&self, log: &GroupLog) -> Option<SeqNo> {
+        match *self {
+            ReductionPolicy::Manual => None,
+            ReductionPolicy::MaxUpdates { max, keep } => {
+                let len = log.suffix_len();
+                if len <= max {
+                    return None;
+                }
+                let drop = len - keep.min(len);
+                log.suffix_iter().nth(drop.checked_sub(1)?).map(|u| u.seq)
+            }
+            ReductionPolicy::MaxBytes { max, keep } => {
+                if log.suffix_bytes() <= max {
+                    return None;
+                }
+                let mut remaining = log.suffix_bytes();
+                let mut through = None;
+                for u in log.suffix_iter() {
+                    if remaining <= keep {
+                        break;
+                    }
+                    remaining -= u.payload_len();
+                    through = Some(u.seq);
+                }
+                through
+            }
+        }
+    }
+}
+
+impl Default for ReductionPolicy {
+    fn default() -> Self {
+        ReductionPolicy::Manual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corona_types::id::{ClientId, GroupId, ObjectId};
+    use corona_types::state::{SharedState, StateUpdate, Timestamp};
+
+    fn log_with_payloads(sizes: &[usize]) -> GroupLog {
+        let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
+        for &n in sizes {
+            log.append(
+                ClientId::new(1),
+                StateUpdate::incremental(ObjectId::new(1), vec![0u8; n]),
+                Timestamp::ZERO,
+            );
+        }
+        log
+    }
+
+    #[test]
+    fn manual_never_fires() {
+        let log = log_with_payloads(&[10; 100]);
+        assert_eq!(ReductionPolicy::Manual.due(&log), None);
+    }
+
+    #[test]
+    fn max_updates_fires_above_cap() {
+        let policy = ReductionPolicy::MaxUpdates { max: 5, keep: 2 };
+        let log = log_with_payloads(&[1; 5]);
+        assert_eq!(policy.due(&log), None, "at the cap: no reduction");
+        let log = log_with_payloads(&[1; 8]);
+        // 8 updates, keep 2 -> reduce through seq 6.
+        assert_eq!(policy.due(&log), Some(SeqNo::new(6)));
+    }
+
+    #[test]
+    fn max_updates_reduction_leaves_keep() {
+        let policy = ReductionPolicy::MaxUpdates { max: 5, keep: 2 };
+        let mut log = log_with_payloads(&[1; 9]);
+        let through = policy.due(&log).unwrap();
+        log.reduce(through).unwrap();
+        assert_eq!(log.suffix_len(), 2);
+        assert_eq!(policy.due(&log), None, "quiescent after reduction");
+    }
+
+    #[test]
+    fn max_bytes_fires_above_cap() {
+        let policy = ReductionPolicy::MaxBytes { max: 100, keep: 30 };
+        let log = log_with_payloads(&[40, 40, 20]);
+        assert_eq!(policy.due(&log), None, "100 bytes is at the cap");
+        let log = log_with_payloads(&[40, 40, 40]);
+        // 120 bytes; dropping the first two leaves 40 > 30? dropping
+        // first (80 left), still > 30, drop second (40 left), still >
+        // 30, drop third would leave 0 but loop stops when remaining <=
+        // keep *before* dropping; 40 > 30 so third also dropped.
+        assert_eq!(policy.due(&log), Some(SeqNo::new(3)));
+    }
+
+    #[test]
+    fn max_bytes_respects_keep() {
+        let policy = ReductionPolicy::MaxBytes { max: 100, keep: 60 };
+        let mut log = log_with_payloads(&[40, 40, 40]);
+        let through = policy.due(&log).unwrap();
+        // 120 bytes: drop #1 (80 left, still > 60), drop #2 (40 left,
+        // <= 60, stop) -> reduce through #2.
+        assert_eq!(through, SeqNo::new(2));
+        log.reduce(through).unwrap();
+        assert_eq!(log.suffix_bytes(), 40);
+        assert_eq!(policy.due(&log), None);
+    }
+
+    #[test]
+    fn default_interactive_is_bounded() {
+        match ReductionPolicy::default_interactive() {
+            ReductionPolicy::MaxUpdates { max, keep } => {
+                assert!(keep < max);
+            }
+            other => panic!("unexpected default: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # corona-transport
+//!
+//! Framed, reliable, ordered transport for Corona with two backends:
+//!
+//! * [`tcp`] — real TCP with background reader/writer threads and
+//!   batched flushes (the deployment and loopback-benchmark path);
+//! * [`mem`] — a deterministic in-memory network with fault injection
+//!   (partitions, severed links, node crashes) for tests.
+//!
+//! Server and client code is written against the [`Connection`] /
+//! [`Listener`] / [`Dialer`] trait objects, so the same protocol logic
+//! runs over either backend.
+//!
+//! ## Example
+//!
+//! ```
+//! use bytes::Bytes;
+//! use corona_transport::{Connection, Listener, MemNetwork};
+//!
+//! let net = MemNetwork::new();
+//! let listener = net.listen("server")?;
+//! let client = net.dial_from("client", "server")?;
+//! let server_side = listener.accept()?;
+//!
+//! client.send(Bytes::from_static(b"hello"))?;
+//! assert_eq!(server_side.recv()?.as_ref(), b"hello");
+//! # Ok::<(), corona_transport::TransportError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod mem;
+pub mod tcp;
+pub mod traits;
+
+pub use mem::{MemConnection, MemDialer, MemListener, MemNetwork};
+pub use tcp::{TcpAcceptor, TcpConnection, TcpDialer};
+pub use traits::{Connection, Dialer, Listener, TransportError};

@@ -1,0 +1,405 @@
+//! TCP transport: thread-per-connection with dedicated reader and
+//! writer threads, mirroring the multi-threaded blocking-I/O design of
+//! the original Java server.
+//!
+//! Frames use [`corona_types::frame`] (`len ∥ crc32 ∥ body`). The
+//! writer thread drains its queue and batches buffered frames into a
+//! single flush, so a burst of multicast fan-out messages to one
+//! client costs one syscall, not N.
+
+use crate::traits::{Connection, Dialer, Listener, TransportError};
+use bytes::Bytes;
+use corona_types::frame::{read_frame, write_frame};
+use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A TCP connection with background reader/writer threads.
+#[derive(Debug)]
+pub struct TcpConnection {
+    outbound: Sender<Bytes>,
+    inbound: Receiver<Bytes>,
+    closed: Arc<AtomicBool>,
+    stream: TcpStream,
+    peer: String,
+}
+
+impl TcpConnection {
+    /// Wraps an established stream, spawning its I/O threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors cloning the stream handle.
+    pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        stream.set_nodelay(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let closed = Arc::new(AtomicBool::new(false));
+        let (out_tx, out_rx) = channel::unbounded::<Bytes>();
+        let (in_tx, in_rx) = channel::unbounded::<Bytes>();
+
+        // Reader thread: frames -> inbound channel.
+        {
+            let mut read_stream = stream.try_clone()?;
+            let closed = Arc::clone(&closed);
+            std::thread::Builder::new()
+                .name(format!("tcp-read-{peer}"))
+                .spawn(move || {
+                    loop {
+                        match read_frame(&mut read_stream) {
+                            Ok(Some(frame)) => {
+                                if in_tx.send(frame).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(None) | Err(_) => break,
+                        }
+                    }
+                    closed.store(true, Ordering::Release);
+                    // Dropping in_tx unblocks any recv() with Closed
+                    // after the queue drains.
+                })
+                .expect("spawn tcp reader");
+        }
+
+        // Writer thread: outbound channel -> frames, batched flushes.
+        {
+            let write_stream = stream.try_clone()?;
+            let closed = Arc::clone(&closed);
+            std::thread::Builder::new()
+                .name(format!("tcp-write-{peer}"))
+                .spawn(move || {
+                    let mut writer = BufWriter::new(write_stream);
+                    'outer: while let Ok(frame) = out_rx.recv() {
+                        if write_frame(&mut writer, &frame).is_err() {
+                            break;
+                        }
+                        // Batch whatever else is already queued.
+                        loop {
+                            match out_rx.try_recv() {
+                                Ok(next) => {
+                                    if write_frame(&mut writer, &next).is_err() {
+                                        break 'outer;
+                                    }
+                                }
+                                Err(TryRecvError::Empty) => break,
+                                Err(TryRecvError::Disconnected) => {
+                                    let _ = writer.flush();
+                                    break 'outer;
+                                }
+                            }
+                        }
+                        if writer.flush().is_err() {
+                            break;
+                        }
+                    }
+                    closed.store(true, Ordering::Release);
+                    let _ = writer.get_ref().shutdown(Shutdown::Both);
+                })
+                .expect("spawn tcp writer");
+        }
+
+        Ok(TcpConnection {
+            outbound: out_tx,
+            inbound: in_rx,
+            closed,
+            stream,
+            peer,
+        })
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&self, frame: Bytes) -> Result<(), TransportError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        self.outbound
+            .send(frame)
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&self) -> Result<Bytes, TransportError> {
+        self.inbound.recv().map_err(|_| TransportError::Closed)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError> {
+        self.inbound.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => TransportError::Timeout,
+            channel::RecvTimeoutError::Disconnected => TransportError::Closed,
+        })
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, TransportError> {
+        match self.inbound.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn backlog(&self) -> usize {
+        self.outbound.len()
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    fn peer_label(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl Drop for TcpConnection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// A TCP listener. `accept` blocks on the OS accept queue.
+#[derive(Debug)]
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    addr: String,
+    shutdown: AtomicBool,
+}
+
+impl TcpAcceptor {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn bind(addr: &str) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(TcpAcceptor {
+            listener,
+            addr,
+            shutdown: AtomicBool::new(false),
+        })
+    }
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(TransportError::Closed);
+                    }
+                    return Ok(Box::new(TcpConnection::from_stream(stream)?));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return Err(TransportError::Closed);
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept() by dialing ourselves.
+        let _ = TcpStream::connect(&self.addr);
+    }
+}
+
+/// Dials TCP endpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpDialer;
+
+impl Dialer for TcpDialer {
+    fn dial(&self, addr: &str) -> Result<Box<dyn Connection>, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Box::new(TcpConnection::from_stream(stream)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dial_send_recv_roundtrip() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let frame = conn.recv().unwrap();
+            conn.send(Bytes::from(format!("echo:{}", String::from_utf8_lossy(&frame))))
+                .unwrap();
+            // Keep the connection alive until the client read the echo.
+            let _ = conn.recv();
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        client.send(Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(client.recv().unwrap().as_ref(), b"echo:hello");
+        client.close();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn many_frames_preserve_order() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let mut got = Vec::new();
+            for _ in 0..500 {
+                got.push(conn.recv().unwrap());
+            }
+            got
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        for i in 0..500u32 {
+            client.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        let got = server.join().unwrap();
+        for (i, frame) in got.iter().enumerate() {
+            assert_eq!(u32::from_le_bytes(frame.as_ref().try_into().unwrap()), i as u32);
+        }
+    }
+
+    #[test]
+    fn peer_close_surfaces_as_closed() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            conn.send(Bytes::from_static(b"bye")).unwrap();
+            // Give the writer thread a beat to flush before close.
+            std::thread::sleep(Duration::from_millis(20));
+            conn.close();
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        assert_eq!(client.recv().unwrap().as_ref(), b"bye");
+        assert_eq!(client.recv().unwrap_err(), TransportError::Closed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let _server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+            drop(conn);
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_millis(30)).unwrap_err(),
+            TransportError::Timeout
+        );
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            conn.send(Bytes::from_static(b"x")).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        // Eventually the frame arrives; poll with try_recv.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            match client.try_recv().unwrap() {
+                Some(frame) => {
+                    assert_eq!(frame.as_ref(), b"x");
+                    break;
+                }
+                None => {
+                    assert!(std::time::Instant::now() < deadline, "frame never arrived");
+                    std::thread::yield_now();
+                }
+            }
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn listener_shutdown_unblocks_accept() {
+        let acceptor = Arc::new(TcpAcceptor::bind("127.0.0.1:0").unwrap());
+        let acceptor2 = Arc::clone(&acceptor);
+        let handle = std::thread::spawn(move || acceptor2.accept());
+        std::thread::sleep(Duration::from_millis(50));
+        acceptor.shutdown();
+        let result = handle.join().unwrap();
+        assert!(matches!(result, Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn dial_unreachable_fails() {
+        // Port 1 on localhost is essentially never listening.
+        let err = TcpDialer.dial("127.0.0.1:1").unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    #[test]
+    fn backlog_drains_toward_zero() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let mut got = 0;
+            while got < 100 {
+                conn.recv().unwrap();
+                got += 1;
+            }
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        for _ in 0..100 {
+            client.send(Bytes::from(vec![0u8; 1024])).unwrap();
+        }
+        // The writer thread drains the queue; backlog must reach zero.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while client.backlog() > 0 {
+            assert!(std::time::Instant::now() < deadline, "backlog stuck");
+            std::thread::yield_now();
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let _server = std::thread::spawn(move || {
+            let _conn = acceptor.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        client.close();
+        assert_eq!(
+            client.send(Bytes::from_static(b"x")).unwrap_err(),
+            TransportError::Closed
+        );
+        assert!(client.is_closed());
+    }
+}

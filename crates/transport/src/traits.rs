@@ -1,0 +1,130 @@
+//! Transport abstraction: duplex, framed, message-oriented
+//! connections.
+//!
+//! The Corona server and client are written against these traits so
+//! the same code runs over real TCP (deployment, loopback benchmarks)
+//! and over the deterministic in-memory network (unit/integration
+//! tests with fault injection).
+//!
+//! Semantics are those of the paper's point-to-point TCP connections:
+//! reliable, ordered, connection-oriented; a partition or crash
+//! surfaces as a closed connection, never as silent reordering.
+
+use bytes::Bytes;
+use std::fmt;
+use std::time::Duration;
+
+/// Transport-level errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The connection (or listener) is closed.
+    Closed,
+    /// A receive wait timed out.
+    Timeout,
+    /// An underlying I/O failure (message carries the rendered cause;
+    /// `std::io::Error` is not `Clone`, and callers only branch on the
+    /// variant).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => f.write_str("connection closed"),
+            TransportError::Timeout => f.write_str("receive timed out"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// A reliable, ordered, duplex connection carrying opaque frames.
+///
+/// All methods take `&self`: implementations are internally
+/// synchronised so a connection can be shared between a reader thread
+/// and writer callers.
+pub trait Connection: Send + Sync + fmt::Debug {
+    /// Enqueues a frame for transmission. Non-blocking: transmission
+    /// happens asynchronously in send order.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] if the connection is closed.
+    fn send(&self, frame: Bytes) -> Result<(), TransportError>;
+
+    /// Blocks until a frame arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] once the peer closes and all pending
+    /// frames have been drained.
+    fn recv(&self) -> Result<Bytes, TransportError>;
+
+    /// Blocks up to `timeout` for a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] on expiry; [`TransportError::Closed`]
+    /// as for [`Connection::recv`].
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError>;
+
+    /// Returns a pending frame without blocking, or `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] once closed and drained.
+    fn try_recv(&self) -> Result<Option<Bytes>, TransportError>;
+
+    /// Number of outbound frames accepted by [`Connection::send`] but
+    /// not yet handed to the peer (transmit backlog). The QoS-adaptive
+    /// server consults this to shed low-priority traffic to slow
+    /// clients.
+    fn backlog(&self) -> usize;
+
+    /// Closes both directions. Idempotent. Pending inbound frames stay
+    /// readable until drained.
+    fn close(&self);
+
+    /// Whether the connection is closed (locally or by the peer).
+    fn is_closed(&self) -> bool;
+
+    /// A human-readable peer label for diagnostics.
+    fn peer_label(&self) -> String;
+}
+
+/// Accepts inbound connections.
+///
+/// `accept` and `shutdown` may be called concurrently from different
+/// threads (shutdown unblocks a pending accept), hence `Sync`.
+pub trait Listener: Send + Sync {
+    /// Blocks until a connection arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Closed`] after [`Listener::shutdown`].
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError>;
+
+    /// The address clients dial to reach this listener.
+    fn local_addr(&self) -> String;
+
+    /// Stops accepting; concurrent and future `accept` calls return
+    /// [`TransportError::Closed`]. Idempotent.
+    fn shutdown(&self);
+}
+
+/// A connection factory (the dial side).
+pub trait Dialer: Send + Sync {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Io`] if the endpoint is unreachable.
+    fn dial(&self, addr: &str) -> Result<Box<dyn Connection>, TransportError>;
+}

@@ -1,0 +1,189 @@
+//! Stream framing: `len(u32 LE) ∥ crc32(u32 LE) ∥ body`.
+//!
+//! Used by the TCP transport for every message in both directions. The
+//! CRC guards against corruption that slips past TCP's weak checksum
+//! and, more importantly, gives the stable-storage log (which reuses
+//! this format per record) torn-write detection.
+
+use crate::crc32::crc32;
+use crate::error::CodecError;
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+/// Maximum frame body accepted, matching the codec's declared-length
+/// sanity limit.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per message (length + checksum).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Writes one frame to `w`. Does not flush; callers batch frames and
+/// flush once per writer-loop iteration.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` if the body exceeds [`MAX_FRAME_LEN`], or any
+/// underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> io::Result<()> {
+    if body.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds limit", body.len()),
+        ));
+    }
+    let header = frame_header(body);
+    w.write_all(&header)?;
+    w.write_all(body)
+}
+
+/// Builds the 8-byte header for `body`.
+pub fn frame_header(body: &[u8]) -> [u8; FRAME_HEADER_LEN] {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header[..4].copy_from_slice(&(body.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(body).to_le_bytes());
+    header
+}
+
+/// Reads one frame from `r`.
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary (the peer
+/// closed the connection between messages).
+///
+/// # Errors
+///
+/// * `io::ErrorKind::UnexpectedEof` — the stream ended mid-frame;
+/// * `io::ErrorKind::InvalidData` — length above [`MAX_FRAME_LEN`] or
+///   checksum mismatch (wrapping a [`CodecError`]).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Bytes>> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4-byte slice"));
+    let expected_crc = u32::from_le_bytes(header[4..].try_into().expect("4-byte slice"));
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            CodecError::LengthOverflow {
+                declared: u64::from(len),
+                limit: u64::from(MAX_FRAME_LEN),
+            },
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let actual_crc = crc32(&body);
+    if actual_crc != expected_crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            CodecError::ChecksumMismatch {
+                expected: expected_crc,
+                actual: actual_crc,
+            },
+        ));
+    }
+    Ok(Some(Bytes::from(body)))
+}
+
+enum ReadOutcome {
+    Filled,
+    CleanEof,
+}
+
+/// Like `read_exact`, but distinguishes "EOF before any byte" (clean
+/// close) from "EOF mid-buffer" (truncated frame).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::CleanEof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a frame header",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"third frame body").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().as_ref(), b"first");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap().as_ref(), b"");
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap().as_ref(),
+            b"third frame body"
+        );
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"sensitive payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"cut me short").unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_header_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf.truncate(5);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut header = Vec::new();
+        header.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(header)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_body_rejected_on_write() {
+        struct NullWriter;
+        impl Write for NullWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let body = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let err = write_frame(&mut NullWriter, &body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

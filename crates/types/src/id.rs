@@ -1,0 +1,227 @@
+//! Strongly-typed identifiers used throughout the Corona stack.
+//!
+//! The paper models the shared state of a group as a set
+//! `S = {(O_1, S_1), ..., (O_n, S_n)}` where each `O_i` is a *unique
+//! identifier* of a shared object. Groups, clients and (replicated)
+//! servers likewise carry unique identifiers. Newtypes keep those id
+//! spaces statically distinct (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! u64_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Creates an identifier from its raw numeric value.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw numeric value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+u64_id!(
+    /// Identifier of a communication group (the basic unit of
+    /// communication in Corona).
+    GroupId,
+    "g"
+);
+
+u64_id!(
+    /// Identifier of a shared object within a group's shared state.
+    ObjectId,
+    "o"
+);
+
+u64_id!(
+    /// Identifier of a client process (a group member).
+    ClientId,
+    "c"
+);
+
+u64_id!(
+    /// Identifier of a Corona server replica. In the replicated
+    /// architecture the coordinator is the server with the special
+    /// sequencer role, but it carries an ordinary [`ServerId`].
+    ServerId,
+    "s"
+);
+
+/// Per-group monotone sequence number assigned by the (logical) server.
+///
+/// Sequence numbers impose a total order on the multicast messages of a
+/// group; they are also the basis of log reduction ("discard updates up
+/// to sequence number n") and of client catch-up after reconnection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SeqNo(pub u64);
+
+impl SeqNo {
+    /// The sequence number before any update has been multicast.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// Creates a sequence number from its raw value.
+    pub const fn new(raw: u64) -> Self {
+        SeqNo(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the next sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow of the underlying `u64`, which cannot occur in
+    /// practice (2^64 multicasts).
+    #[must_use]
+    pub fn next(self) -> SeqNo {
+        SeqNo(self.0.checked_add(1).expect("sequence number overflow"))
+    }
+
+    /// Saturating distance from `earlier` to `self`.
+    pub fn distance_from(self, earlier: SeqNo) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u64> for SeqNo {
+    fn from(raw: u64) -> Self {
+        SeqNo(raw)
+    }
+}
+
+/// Epoch of a coordinator incarnation in the replicated service.
+///
+/// Every successful election increments the epoch; messages sequenced
+/// under a stale epoch are rejected, which keeps a deposed coordinator
+/// from corrupting the global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The initial epoch of a freshly bootstrapped service.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// Returns the next epoch.
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Monotonically increasing source for fresh identifiers.
+///
+/// Servers use one allocator per id space (clients, groups created
+/// without an explicit id, ...). The allocator is plain data and not
+/// thread-safe on purpose: each allocator is owned by the single
+/// dispatcher thread that needs it.
+#[derive(Debug, Clone)]
+pub struct IdAllocator {
+    next: u64,
+}
+
+impl IdAllocator {
+    /// Creates an allocator that hands out ids starting at `first`.
+    pub const fn starting_at(first: u64) -> Self {
+        IdAllocator { next: first }
+    }
+
+    /// Returns the next raw id.
+    pub fn allocate(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+}
+
+impl Default for IdAllocator {
+    fn default() -> Self {
+        IdAllocator::starting_at(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(GroupId::new(7).to_string(), "g7");
+        assert_eq!(ObjectId::new(1).to_string(), "o1");
+        assert_eq!(ClientId::new(12).to_string(), "c12");
+        assert_eq!(ServerId::new(3).to_string(), "s3");
+        assert_eq!(SeqNo::new(42).to_string(), "#42");
+        assert_eq!(Epoch(2).to_string(), "e2");
+    }
+
+    #[test]
+    fn seqno_next_and_distance() {
+        let s = SeqNo::ZERO;
+        assert_eq!(s.next(), SeqNo::new(1));
+        assert_eq!(s.next().next().distance_from(s), 2);
+        assert_eq!(s.distance_from(SeqNo::new(5)), 0, "saturates at zero");
+    }
+
+    #[test]
+    fn epoch_ordering() {
+        assert!(Epoch::ZERO < Epoch::ZERO.next());
+    }
+
+    #[test]
+    fn allocator_is_monotone_and_unique() {
+        let mut alloc = IdAllocator::default();
+        let ids: Vec<u64> = (0..100).map(|_| alloc.allocate()).collect();
+        let set: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(set.len(), ids.len());
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(ids[0], 1, "default allocator starts at 1");
+    }
+
+    #[test]
+    fn ids_convert_to_and_from_u64() {
+        let g: GroupId = 9u64.into();
+        assert_eq!(u64::from(g), 9);
+        assert_eq!(GroupId::new(9), g);
+    }
+}

@@ -1,0 +1,58 @@
+//! # corona-types
+//!
+//! Identifiers, the shared-state model, the wire protocol and the
+//! binary codec for **Corona**, a reproduction of *"Stateful Group
+//! Communication Services"* (Litiu & Prakash, ICDCS 1999).
+//!
+//! Corona is a group multicast service whose logical server is
+//! *stateful*: it maintains an up-to-date, type-opaque copy of each
+//! group's shared state — a set of `(object id, byte stream)` pairs —
+//! so that joining clients receive the current state directly from the
+//! service, without involving existing members.
+//!
+//! This crate is dependency-light by design: every other crate in the
+//! workspace (state log, transports, server, replication, simulator)
+//! builds on these definitions.
+//!
+//! ## Example
+//!
+//! ```
+//! use corona_types::{
+//!     id::{GroupId, ObjectId},
+//!     state::{SharedState, StateUpdate},
+//!     wire::{Decode, Encode},
+//! };
+//!
+//! // A group's shared state is a set of opaque byte-stream objects.
+//! let mut state = SharedState::from_objects([(ObjectId::new(1), &b"hello"[..])]);
+//! state.apply(&StateUpdate::incremental(ObjectId::new(1), &b", world"[..]));
+//! assert_eq!(
+//!     state.object(ObjectId::new(1)).unwrap().materialize().as_ref(),
+//!     b"hello, world"
+//! );
+//!
+//! // Everything round-trips through the Corona binary codec.
+//! let encoded = state.encode_to_vec();
+//! assert_eq!(SharedState::decode_exact(&encoded).unwrap(), state);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crc32;
+pub mod error;
+pub mod frame;
+pub mod id;
+pub mod message;
+pub mod policy;
+pub mod state;
+pub mod wire;
+
+pub use error::{CodecError, CoronaError, ErrorCode, Result};
+pub use id::{ClientId, Epoch, GroupId, IdAllocator, ObjectId, SeqNo, ServerId};
+pub use message::{ClientRequest, PeerMessage, ServerEvent, StateTransfer, PROTOCOL_VERSION};
+pub use policy::{
+    DeliveryScope, MemberInfo, MemberRole, MembershipChange, Persistence, StateTransferPolicy,
+};
+pub use state::{LoggedUpdate, ObjectState, SharedState, StateUpdate, Timestamp, UpdateKind};
+pub use wire::{Decode, Encode};

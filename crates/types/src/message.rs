@@ -1,0 +1,1392 @@
+//! The Corona wire protocol.
+//!
+//! Three message families share one frame format:
+//!
+//! * [`ClientRequest`] — client → server,
+//! * [`ServerEvent`] — server → client,
+//! * [`PeerMessage`] — server ↔ server (replicated architecture, §4).
+//!
+//! Every variant is tagged with a stable byte; unknown tags fail
+//! decoding with [`CodecError::InvalidTag`] rather than panicking, so a
+//! server can survive version-skewed peers.
+
+use crate::error::CodecError;
+use crate::id::{ClientId, Epoch, GroupId, ObjectId, SeqNo, ServerId};
+use crate::policy::{
+    DeliveryScope, MemberInfo, MemberRole, MembershipChange, Persistence, StateTransferPolicy,
+};
+use crate::state::{LoggedUpdate, SharedState, StateUpdate, Timestamp};
+use crate::wire::{decode_opt, decode_seq, encode_opt, encode_seq, Decode, Encode, Reader, WriteExt};
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Protocol version carried in `Hello`; bumped on incompatible change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// The state handed to a client on join / reconnect / explicit request.
+///
+/// `objects` carries materialised full object states; `updates` carries
+/// logged updates to be applied *after* the objects. Which of the two
+/// is populated depends on the [`StateTransferPolicy`] the client
+/// chose. `basis` is the sequence number the transferred objects
+/// reflect: applying `updates` (whose sequence numbers all exceed
+/// `basis`) yields the state as of `through`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateTransfer {
+    /// Group the state belongs to.
+    pub group: GroupId,
+    /// Sequence number reflected by `objects`.
+    pub basis: SeqNo,
+    /// Sequence number reflected after also applying `updates`.
+    pub through: SeqNo,
+    /// Materialised object states.
+    pub objects: Vec<(ObjectId, Bytes)>,
+    /// Logged updates newer than `basis`.
+    pub updates: Vec<LoggedUpdate>,
+}
+
+impl StateTransfer {
+    /// An empty transfer (policy [`StateTransferPolicy::None`]).
+    pub fn empty(group: GroupId, through: SeqNo) -> Self {
+        StateTransfer {
+            group,
+            basis: through,
+            through,
+            objects: Vec::new(),
+            updates: Vec::new(),
+        }
+    }
+
+    /// Total payload bytes carried (objects plus update payloads).
+    pub fn payload_len(&self) -> usize {
+        self.objects.iter().map(|(_, b)| b.len()).sum::<usize>()
+            + self.updates.iter().map(LoggedUpdate::payload_len).sum::<usize>()
+    }
+
+    /// Reconstructs a [`SharedState`] by installing the objects and
+    /// then applying the updates in order.
+    pub fn reconstruct(&self) -> SharedState {
+        let mut state = SharedState::from_objects(
+            self.objects.iter().map(|(id, b)| (*id, b.clone())),
+        );
+        state.apply_all(&self.updates);
+        state
+    }
+}
+
+impl Encode for StateTransfer {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.group.encode(buf);
+        self.basis.encode(buf);
+        self.through.encode(buf);
+        encode_seq(&self.objects, buf);
+        encode_seq(&self.updates, buf);
+    }
+}
+
+impl Decode for StateTransfer {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(StateTransfer {
+            group: GroupId::decode(reader)?,
+            basis: SeqNo::decode(reader)?,
+            through: SeqNo::decode(reader)?,
+            objects: decode_seq(reader)?,
+            updates: decode_seq(reader)?,
+        })
+    }
+}
+
+/// Requests a client may send to the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientRequest {
+    /// First message on a connection. `resume` carries a previously
+    /// assigned id when reconnecting after a failure, letting the
+    /// server re-associate the client with its groups.
+    Hello {
+        /// Protocol version the client speaks.
+        version: u16,
+        /// Display name for awareness services.
+        display_name: String,
+        /// Previously assigned id, if reconnecting.
+        resume: Option<ClientId>,
+    },
+    /// Creates a group with an initial shared state (§3.2).
+    CreateGroup {
+        /// Id of the new group.
+        group: GroupId,
+        /// Persistent or transient lifetime.
+        persistence: Persistence,
+        /// Initial shared state as defined in §3.1.
+        initial_state: SharedState,
+    },
+    /// Deletes a group; its shared state is lost (§3.2).
+    DeleteGroup {
+        /// The group to delete.
+        group: GroupId,
+    },
+    /// Joins a group, requesting a state transfer under `policy`. The
+    /// join protocol does not involve existing members (§3.2).
+    Join {
+        /// The group to join.
+        group: GroupId,
+        /// Principal or observer.
+        role: MemberRole,
+        /// Requested state-transfer policy.
+        policy: StateTransferPolicy,
+        /// Whether to receive membership change notifications.
+        notify_membership: bool,
+    },
+    /// Leaves a group.
+    Leave {
+        /// The group to leave.
+        group: GroupId,
+    },
+    /// Broadcasts a state update to the group (`bcastState` when
+    /// `update.kind` is `SetState`, `bcastUpdate` otherwise).
+    Broadcast {
+        /// Target group.
+        group: GroupId,
+        /// The update to multicast and log.
+        update: StateUpdate,
+        /// Sender-inclusive or sender-exclusive delivery.
+        scope: DeliveryScope,
+    },
+    /// Queries current membership (`getMembership`, §3.2).
+    GetMembership {
+        /// The queried group.
+        group: GroupId,
+    },
+    /// Requests a (re-)transfer of state under a policy, without
+    /// re-joining — used after reconnection.
+    GetState {
+        /// The queried group.
+        group: GroupId,
+        /// Requested state-transfer policy.
+        policy: StateTransferPolicy,
+    },
+    /// Requests an exclusive lock on a shared object (the
+    /// synchronisation service of §3.2).
+    AcquireLock {
+        /// Group holding the object.
+        group: GroupId,
+        /// Object to lock.
+        object: ObjectId,
+        /// If `true`, the request queues until the lock frees instead
+        /// of being denied immediately.
+        wait: bool,
+    },
+    /// Releases a previously acquired lock.
+    ReleaseLock {
+        /// Group holding the object.
+        group: GroupId,
+        /// Object to unlock.
+        object: ObjectId,
+    },
+    /// Requests log reduction up to `through` (or a server-chosen
+    /// point when `None`) — §3.2 "state log reduction service".
+    ReduceLog {
+        /// Group whose log should be reduced.
+        group: GroupId,
+        /// Reduce through this sequence number, if given.
+        through: Option<SeqNo>,
+    },
+    /// Liveness probe; the server answers with `Pong`.
+    Ping {
+        /// Echoed back in the `Pong`.
+        nonce: u64,
+    },
+    /// Graceful disconnect: the server removes the client from all
+    /// groups before closing.
+    Goodbye,
+}
+
+impl Encode for ClientRequest {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ClientRequest::Hello {
+                version,
+                display_name,
+                resume,
+            } => {
+                buf.put_u8(0);
+                buf.put_u16_le(*version);
+                buf.put_len_str(display_name);
+                encode_opt(resume, buf);
+            }
+            ClientRequest::CreateGroup {
+                group,
+                persistence,
+                initial_state,
+            } => {
+                buf.put_u8(1);
+                group.encode(buf);
+                persistence.encode(buf);
+                initial_state.encode(buf);
+            }
+            ClientRequest::DeleteGroup { group } => {
+                buf.put_u8(2);
+                group.encode(buf);
+            }
+            ClientRequest::Join {
+                group,
+                role,
+                policy,
+                notify_membership,
+            } => {
+                buf.put_u8(3);
+                group.encode(buf);
+                role.encode(buf);
+                policy.encode(buf);
+                buf.put_bool(*notify_membership);
+            }
+            ClientRequest::Leave { group } => {
+                buf.put_u8(4);
+                group.encode(buf);
+            }
+            ClientRequest::Broadcast {
+                group,
+                update,
+                scope,
+            } => {
+                buf.put_u8(5);
+                group.encode(buf);
+                update.encode(buf);
+                scope.encode(buf);
+            }
+            ClientRequest::GetMembership { group } => {
+                buf.put_u8(6);
+                group.encode(buf);
+            }
+            ClientRequest::GetState { group, policy } => {
+                buf.put_u8(7);
+                group.encode(buf);
+                policy.encode(buf);
+            }
+            ClientRequest::AcquireLock {
+                group,
+                object,
+                wait,
+            } => {
+                buf.put_u8(8);
+                group.encode(buf);
+                object.encode(buf);
+                buf.put_bool(*wait);
+            }
+            ClientRequest::ReleaseLock { group, object } => {
+                buf.put_u8(9);
+                group.encode(buf);
+                object.encode(buf);
+            }
+            ClientRequest::ReduceLog { group, through } => {
+                buf.put_u8(10);
+                group.encode(buf);
+                encode_opt(through, buf);
+            }
+            ClientRequest::Ping { nonce } => {
+                buf.put_u8(11);
+                buf.put_varint(*nonce);
+            }
+            ClientRequest::Goodbye => buf.put_u8(12),
+        }
+    }
+}
+
+impl Decode for ClientRequest {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(ClientRequest::Hello {
+                version: reader.read_u16()?,
+                display_name: reader.read_string()?,
+                resume: decode_opt(reader)?,
+            }),
+            1 => Ok(ClientRequest::CreateGroup {
+                group: GroupId::decode(reader)?,
+                persistence: Persistence::decode(reader)?,
+                initial_state: SharedState::decode(reader)?,
+            }),
+            2 => Ok(ClientRequest::DeleteGroup {
+                group: GroupId::decode(reader)?,
+            }),
+            3 => Ok(ClientRequest::Join {
+                group: GroupId::decode(reader)?,
+                role: MemberRole::decode(reader)?,
+                policy: StateTransferPolicy::decode(reader)?,
+                notify_membership: reader.read_bool()?,
+            }),
+            4 => Ok(ClientRequest::Leave {
+                group: GroupId::decode(reader)?,
+            }),
+            5 => Ok(ClientRequest::Broadcast {
+                group: GroupId::decode(reader)?,
+                update: StateUpdate::decode(reader)?,
+                scope: DeliveryScope::decode(reader)?,
+            }),
+            6 => Ok(ClientRequest::GetMembership {
+                group: GroupId::decode(reader)?,
+            }),
+            7 => Ok(ClientRequest::GetState {
+                group: GroupId::decode(reader)?,
+                policy: StateTransferPolicy::decode(reader)?,
+            }),
+            8 => Ok(ClientRequest::AcquireLock {
+                group: GroupId::decode(reader)?,
+                object: ObjectId::decode(reader)?,
+                wait: reader.read_bool()?,
+            }),
+            9 => Ok(ClientRequest::ReleaseLock {
+                group: GroupId::decode(reader)?,
+                object: ObjectId::decode(reader)?,
+            }),
+            10 => Ok(ClientRequest::ReduceLog {
+                group: GroupId::decode(reader)?,
+                through: decode_opt(reader)?,
+            }),
+            11 => Ok(ClientRequest::Ping {
+                nonce: reader.read_varint()?,
+            }),
+            12 => Ok(ClientRequest::Goodbye),
+            tag => Err(CodecError::InvalidTag {
+                context: "ClientRequest",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Events and replies the service sends to a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerEvent {
+    /// Reply to `Hello`: the id assigned (or re-confirmed) for this
+    /// client, and the id of the serving replica.
+    Welcome {
+        /// Serving replica.
+        server: ServerId,
+        /// Assigned client id.
+        client: ClientId,
+        /// Protocol version the server speaks.
+        version: u16,
+    },
+    /// A group was created on behalf of this client.
+    GroupCreated {
+        /// The new group.
+        group: GroupId,
+    },
+    /// A group was deleted (reply, or notification to its members).
+    GroupDeleted {
+        /// The deleted group.
+        group: GroupId,
+    },
+    /// Reply to `Join`: membership snapshot plus the state transfer
+    /// produced by the requested policy.
+    Joined {
+        /// Current members (including the new one).
+        members: Vec<MemberInfo>,
+        /// The transferred state.
+        transfer: StateTransfer,
+    },
+    /// Reply to `Leave`.
+    Left {
+        /// The group left.
+        group: GroupId,
+    },
+    /// Reply to `GetState`.
+    State {
+        /// The transferred state.
+        transfer: StateTransfer,
+    },
+    /// A sequenced group multicast (the data path).
+    Multicast {
+        /// Group the update belongs to.
+        group: GroupId,
+        /// The sequenced update.
+        logged: LoggedUpdate,
+    },
+    /// Membership change notification (only sent to members that
+    /// subscribed with `notify_membership`).
+    MembershipChanged {
+        /// Group whose membership changed.
+        group: GroupId,
+        /// The change.
+        change: MembershipChange,
+        /// Display info for the affected client.
+        info: MemberInfo,
+    },
+    /// Reply to `GetMembership`.
+    Membership {
+        /// The queried group.
+        group: GroupId,
+        /// Current members.
+        members: Vec<MemberInfo>,
+    },
+    /// A lock request succeeded.
+    LockGranted {
+        /// Group holding the object.
+        group: GroupId,
+        /// The locked object.
+        object: ObjectId,
+    },
+    /// A non-waiting lock request failed.
+    LockDenied {
+        /// Group holding the object.
+        group: GroupId,
+        /// The contended object.
+        object: ObjectId,
+        /// Current holder.
+        holder: ClientId,
+    },
+    /// A lock was released (reply to `ReleaseLock`).
+    LockReleased {
+        /// Group holding the object.
+        group: GroupId,
+        /// The unlocked object.
+        object: ObjectId,
+    },
+    /// The group's log was reduced; clients relying on `UpdatesSince`
+    /// older than `through` must fall back to a fuller policy.
+    LogReduced {
+        /// Group whose log was reduced.
+        group: GroupId,
+        /// Updates at or below this sequence number were folded into
+        /// the checkpoint.
+        through: SeqNo,
+    },
+    /// An error reply.
+    Error {
+        /// Stable error code (see
+        /// [`ErrorCode`](crate::error::ErrorCode)).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Reply to `Ping`.
+    Pong {
+        /// Echo of the request nonce.
+        nonce: u64,
+        /// Server receive timestamp, for client RTT estimation.
+        at: Timestamp,
+    },
+}
+
+impl Encode for ServerEvent {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ServerEvent::Welcome {
+                server,
+                client,
+                version,
+            } => {
+                buf.put_u8(0);
+                server.encode(buf);
+                client.encode(buf);
+                buf.put_u16_le(*version);
+            }
+            ServerEvent::GroupCreated { group } => {
+                buf.put_u8(1);
+                group.encode(buf);
+            }
+            ServerEvent::GroupDeleted { group } => {
+                buf.put_u8(2);
+                group.encode(buf);
+            }
+            ServerEvent::Joined { members, transfer } => {
+                buf.put_u8(3);
+                encode_seq(members, buf);
+                transfer.encode(buf);
+            }
+            ServerEvent::Left { group } => {
+                buf.put_u8(4);
+                group.encode(buf);
+            }
+            ServerEvent::State { transfer } => {
+                buf.put_u8(5);
+                transfer.encode(buf);
+            }
+            ServerEvent::Multicast { group, logged } => {
+                buf.put_u8(6);
+                group.encode(buf);
+                logged.encode(buf);
+            }
+            ServerEvent::MembershipChanged {
+                group,
+                change,
+                info,
+            } => {
+                buf.put_u8(7);
+                group.encode(buf);
+                change.encode(buf);
+                info.encode(buf);
+            }
+            ServerEvent::Membership { group, members } => {
+                buf.put_u8(8);
+                group.encode(buf);
+                encode_seq(members, buf);
+            }
+            ServerEvent::LockGranted { group, object } => {
+                buf.put_u8(9);
+                group.encode(buf);
+                object.encode(buf);
+            }
+            ServerEvent::LockDenied {
+                group,
+                object,
+                holder,
+            } => {
+                buf.put_u8(10);
+                group.encode(buf);
+                object.encode(buf);
+                holder.encode(buf);
+            }
+            ServerEvent::LockReleased { group, object } => {
+                buf.put_u8(11);
+                group.encode(buf);
+                object.encode(buf);
+            }
+            ServerEvent::LogReduced { group, through } => {
+                buf.put_u8(12);
+                group.encode(buf);
+                through.encode(buf);
+            }
+            ServerEvent::Error { code, detail } => {
+                buf.put_u8(13);
+                buf.put_u16_le(*code);
+                buf.put_len_str(detail);
+            }
+            ServerEvent::Pong { nonce, at } => {
+                buf.put_u8(14);
+                buf.put_varint(*nonce);
+                at.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ServerEvent {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(ServerEvent::Welcome {
+                server: ServerId::decode(reader)?,
+                client: ClientId::decode(reader)?,
+                version: reader.read_u16()?,
+            }),
+            1 => Ok(ServerEvent::GroupCreated {
+                group: GroupId::decode(reader)?,
+            }),
+            2 => Ok(ServerEvent::GroupDeleted {
+                group: GroupId::decode(reader)?,
+            }),
+            3 => Ok(ServerEvent::Joined {
+                members: decode_seq(reader)?,
+                transfer: StateTransfer::decode(reader)?,
+            }),
+            4 => Ok(ServerEvent::Left {
+                group: GroupId::decode(reader)?,
+            }),
+            5 => Ok(ServerEvent::State {
+                transfer: StateTransfer::decode(reader)?,
+            }),
+            6 => Ok(ServerEvent::Multicast {
+                group: GroupId::decode(reader)?,
+                logged: LoggedUpdate::decode(reader)?,
+            }),
+            7 => Ok(ServerEvent::MembershipChanged {
+                group: GroupId::decode(reader)?,
+                change: MembershipChange::decode(reader)?,
+                info: MemberInfo::decode(reader)?,
+            }),
+            8 => Ok(ServerEvent::Membership {
+                group: GroupId::decode(reader)?,
+                members: decode_seq(reader)?,
+            }),
+            9 => Ok(ServerEvent::LockGranted {
+                group: GroupId::decode(reader)?,
+                object: ObjectId::decode(reader)?,
+            }),
+            10 => Ok(ServerEvent::LockDenied {
+                group: GroupId::decode(reader)?,
+                object: ObjectId::decode(reader)?,
+                holder: ClientId::decode(reader)?,
+            }),
+            11 => Ok(ServerEvent::LockReleased {
+                group: GroupId::decode(reader)?,
+                object: ObjectId::decode(reader)?,
+            }),
+            12 => Ok(ServerEvent::LogReduced {
+                group: GroupId::decode(reader)?,
+                through: SeqNo::decode(reader)?,
+            }),
+            13 => Ok(ServerEvent::Error {
+                code: reader.read_u16()?,
+                detail: reader.read_string()?,
+            }),
+            14 => Ok(ServerEvent::Pong {
+                nonce: reader.read_varint()?,
+                at: Timestamp::decode(reader)?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                context: "ServerEvent",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Messages exchanged between server replicas and the coordinator in
+/// the star-topology replicated architecture (§4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerMessage {
+    /// A server introduces itself to a peer.
+    ServerHello {
+        /// The connecting server.
+        server: ServerId,
+    },
+    /// Heartbeat from the coordinator to a server or vice versa.
+    Heartbeat {
+        /// Sending server.
+        from: ServerId,
+        /// Coordinator epoch the sender believes in.
+        epoch: Epoch,
+    },
+    /// A server forwards a client broadcast to the coordinator for
+    /// global sequencing.
+    ForwardBroadcast {
+        /// Server that received the client request.
+        origin: ServerId,
+        /// The submitting client.
+        sender: ClientId,
+        /// Target group.
+        group: GroupId,
+        /// The update.
+        update: StateUpdate,
+        /// Delivery scope.
+        scope: DeliveryScope,
+        /// Origin-local tag so the origin can match the sequenced copy
+        /// with its pending local delivery.
+        local_tag: u64,
+    },
+    /// The coordinator distributes a globally sequenced update to every
+    /// server hosting members of the group.
+    Sequenced {
+        /// Target group.
+        group: GroupId,
+        /// Coordinator epoch under which the sequence was assigned.
+        epoch: Epoch,
+        /// Sequenced update.
+        logged: LoggedUpdate,
+        /// Delivery scope (sender exclusion handled at the origin).
+        scope: DeliveryScope,
+        /// Origin server and tag for dedup at the origin.
+        origin: ServerId,
+        /// Origin-local tag (see `ForwardBroadcast`).
+        local_tag: u64,
+    },
+    /// A server announces it now hosts (or no longer hosts) members of
+    /// a group — the coordinator routes `Sequenced` only to hosting
+    /// servers (§4.1).
+    GroupHosting {
+        /// The announcing server.
+        server: ServerId,
+        /// The group.
+        group: GroupId,
+        /// `true` when the server starts hosting, `false` when its last
+        /// member leaves.
+        hosting: bool,
+    },
+    /// Membership delta propagated between replicas.
+    MembershipSync {
+        /// The group.
+        group: GroupId,
+        /// The change.
+        change: MembershipChange,
+        /// Display info of the affected client.
+        info: MemberInfo,
+    },
+    /// A replica asks a peer for a group's state (used when a server
+    /// starts hosting a group it has no copy of, and as the hot-standby
+    /// backup protocol).
+    GroupStateQuery {
+        /// Requesting server.
+        from: ServerId,
+        /// The group.
+        group: GroupId,
+    },
+    /// Reply to [`PeerMessage::GroupStateQuery`]; also sent unsolicited
+    /// to a freshly elected coordinator so it can rebuild authoritative
+    /// state from the hot-standby copies (§4.1: "at least two copies of
+    /// the state exist at any moment").
+    GroupStateReply {
+        /// The replying server.
+        from: ServerId,
+        /// The group.
+        group: GroupId,
+        /// Lifetime semantics.
+        persistence: Persistence,
+        /// Sequence number reflected by `state`.
+        through: SeqNo,
+        /// Full shared state.
+        state: SharedState,
+        /// Suffix of the update log (for catch-up).
+        updates: Vec<LoggedUpdate>,
+    },
+    /// A server forwards a client *control* request (create, join,
+    /// leave, locks, ...) to the coordinator, which executes it against
+    /// the authoritative state. Data broadcasts use the optimised
+    /// [`PeerMessage::ForwardBroadcast`] path instead.
+    ForwardRequest {
+        /// Server that received the client request.
+        origin: ServerId,
+        /// The requesting client.
+        client: ClientId,
+        /// Matches the reply ([`PeerMessage::RequestOutcome`]) to the
+        /// origin's pending call.
+        local_tag: u64,
+        /// The forwarded request.
+        request: ClientRequest,
+    },
+    /// The coordinator returns the events a forwarded request produced
+    /// for the requesting client; side-effects for other clients travel
+    /// as separate [`PeerMessage::Deliver`] messages.
+    RequestOutcome {
+        /// Origin server of the forwarded request.
+        origin: ServerId,
+        /// Echo of the forward tag.
+        local_tag: u64,
+        /// The requesting client.
+        client: ClientId,
+        /// Events addressed to the requesting client.
+        events: Vec<ServerEvent>,
+    },
+    /// The coordinator routes an event to a client homed on another
+    /// server (membership notifications, lock grants, deletion
+    /// notices).
+    Deliver {
+        /// Destination client.
+        client: ClientId,
+        /// The event.
+        event: ServerEvent,
+    },
+    /// Post-election resync: a replica re-announces one of its local
+    /// members to the new coordinator.
+    MemberAnnounce {
+        /// The announcing server.
+        server: ServerId,
+        /// The group.
+        group: GroupId,
+        /// Lifetime semantics the replica recorded for the group.
+        persistence: Persistence,
+        /// The member.
+        info: MemberInfo,
+        /// Whether the member subscribed to membership notifications.
+        notify: bool,
+    },
+    /// A server claims coordinatorship after detecting coordinator
+    /// failure (§4.2).
+    ElectionClaim {
+        /// The claiming server.
+        candidate: ServerId,
+        /// Epoch the candidate proposes (current + 1).
+        epoch: Epoch,
+    },
+    /// A server acknowledges an election claim.
+    ElectionAck {
+        /// The acknowledging server.
+        voter: ServerId,
+        /// Epoch being acknowledged.
+        epoch: Epoch,
+    },
+    /// A server rejects an election claim ("the first server wrongfully
+    /// assumes that the coordinator is down ... will respond with a
+    /// nack", §4.2).
+    ElectionNack {
+        /// The rejecting server.
+        voter: ServerId,
+        /// The rejected epoch.
+        epoch: Epoch,
+        /// Who the rejecting server believes is coordinator.
+        current_coordinator: ServerId,
+    },
+    /// The (new) coordinator publishes the authoritative server list,
+    /// sorted by startup order (§4.2).
+    ServerList {
+        /// Epoch of this configuration.
+        epoch: Epoch,
+        /// The coordinator.
+        coordinator: ServerId,
+        /// All live servers in startup order.
+        servers: Vec<ServerId>,
+    },
+    /// A replica announces a checkpoint so peers can reduce their logs
+    /// consistently (used by partition merge to find the last globally
+    /// consistent state).
+    CheckpointAnnounce {
+        /// The group.
+        group: GroupId,
+        /// Checkpointed through this sequence number.
+        through: SeqNo,
+    },
+}
+
+impl Encode for PeerMessage {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            PeerMessage::ServerHello { server } => {
+                buf.put_u8(0);
+                server.encode(buf);
+            }
+            PeerMessage::Heartbeat { from, epoch } => {
+                buf.put_u8(1);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
+            PeerMessage::ForwardBroadcast {
+                origin,
+                sender,
+                group,
+                update,
+                scope,
+                local_tag,
+            } => {
+                buf.put_u8(2);
+                origin.encode(buf);
+                sender.encode(buf);
+                group.encode(buf);
+                update.encode(buf);
+                scope.encode(buf);
+                buf.put_varint(*local_tag);
+            }
+            PeerMessage::Sequenced {
+                group,
+                epoch,
+                logged,
+                scope,
+                origin,
+                local_tag,
+            } => {
+                buf.put_u8(3);
+                group.encode(buf);
+                epoch.encode(buf);
+                logged.encode(buf);
+                scope.encode(buf);
+                origin.encode(buf);
+                buf.put_varint(*local_tag);
+            }
+            PeerMessage::GroupHosting {
+                server,
+                group,
+                hosting,
+            } => {
+                buf.put_u8(4);
+                server.encode(buf);
+                group.encode(buf);
+                buf.put_bool(*hosting);
+            }
+            PeerMessage::MembershipSync {
+                group,
+                change,
+                info,
+            } => {
+                buf.put_u8(5);
+                group.encode(buf);
+                change.encode(buf);
+                info.encode(buf);
+            }
+            PeerMessage::GroupStateQuery { from, group } => {
+                buf.put_u8(6);
+                from.encode(buf);
+                group.encode(buf);
+            }
+            PeerMessage::GroupStateReply {
+                from,
+                group,
+                persistence,
+                through,
+                state,
+                updates,
+            } => {
+                buf.put_u8(7);
+                from.encode(buf);
+                group.encode(buf);
+                persistence.encode(buf);
+                through.encode(buf);
+                state.encode(buf);
+                encode_seq(updates, buf);
+            }
+            PeerMessage::ForwardRequest {
+                origin,
+                client,
+                local_tag,
+                request,
+            } => {
+                buf.put_u8(13);
+                origin.encode(buf);
+                client.encode(buf);
+                buf.put_varint(*local_tag);
+                request.encode(buf);
+            }
+            PeerMessage::RequestOutcome {
+                origin,
+                local_tag,
+                client,
+                events,
+            } => {
+                buf.put_u8(14);
+                origin.encode(buf);
+                buf.put_varint(*local_tag);
+                client.encode(buf);
+                encode_seq(events, buf);
+            }
+            PeerMessage::Deliver { client, event } => {
+                buf.put_u8(15);
+                client.encode(buf);
+                event.encode(buf);
+            }
+            PeerMessage::MemberAnnounce {
+                server,
+                group,
+                persistence,
+                info,
+                notify,
+            } => {
+                buf.put_u8(16);
+                server.encode(buf);
+                group.encode(buf);
+                persistence.encode(buf);
+                info.encode(buf);
+                buf.put_bool(*notify);
+            }
+            PeerMessage::ElectionClaim { candidate, epoch } => {
+                buf.put_u8(8);
+                candidate.encode(buf);
+                epoch.encode(buf);
+            }
+            PeerMessage::ElectionAck { voter, epoch } => {
+                buf.put_u8(9);
+                voter.encode(buf);
+                epoch.encode(buf);
+            }
+            PeerMessage::ElectionNack {
+                voter,
+                epoch,
+                current_coordinator,
+            } => {
+                buf.put_u8(10);
+                voter.encode(buf);
+                epoch.encode(buf);
+                current_coordinator.encode(buf);
+            }
+            PeerMessage::ServerList {
+                epoch,
+                coordinator,
+                servers,
+            } => {
+                buf.put_u8(11);
+                epoch.encode(buf);
+                coordinator.encode(buf);
+                encode_seq(servers, buf);
+            }
+            PeerMessage::CheckpointAnnounce { group, through } => {
+                buf.put_u8(12);
+                group.encode(buf);
+                through.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for PeerMessage {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(PeerMessage::ServerHello {
+                server: ServerId::decode(reader)?,
+            }),
+            1 => Ok(PeerMessage::Heartbeat {
+                from: ServerId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
+            }),
+            2 => Ok(PeerMessage::ForwardBroadcast {
+                origin: ServerId::decode(reader)?,
+                sender: ClientId::decode(reader)?,
+                group: GroupId::decode(reader)?,
+                update: StateUpdate::decode(reader)?,
+                scope: DeliveryScope::decode(reader)?,
+                local_tag: reader.read_varint()?,
+            }),
+            3 => Ok(PeerMessage::Sequenced {
+                group: GroupId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
+                logged: LoggedUpdate::decode(reader)?,
+                scope: DeliveryScope::decode(reader)?,
+                origin: ServerId::decode(reader)?,
+                local_tag: reader.read_varint()?,
+            }),
+            4 => Ok(PeerMessage::GroupHosting {
+                server: ServerId::decode(reader)?,
+                group: GroupId::decode(reader)?,
+                hosting: reader.read_bool()?,
+            }),
+            5 => Ok(PeerMessage::MembershipSync {
+                group: GroupId::decode(reader)?,
+                change: MembershipChange::decode(reader)?,
+                info: MemberInfo::decode(reader)?,
+            }),
+            6 => Ok(PeerMessage::GroupStateQuery {
+                from: ServerId::decode(reader)?,
+                group: GroupId::decode(reader)?,
+            }),
+            7 => Ok(PeerMessage::GroupStateReply {
+                from: ServerId::decode(reader)?,
+                group: GroupId::decode(reader)?,
+                persistence: Persistence::decode(reader)?,
+                through: SeqNo::decode(reader)?,
+                state: SharedState::decode(reader)?,
+                updates: decode_seq(reader)?,
+            }),
+            8 => Ok(PeerMessage::ElectionClaim {
+                candidate: ServerId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
+            }),
+            9 => Ok(PeerMessage::ElectionAck {
+                voter: ServerId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
+            }),
+            10 => Ok(PeerMessage::ElectionNack {
+                voter: ServerId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
+                current_coordinator: ServerId::decode(reader)?,
+            }),
+            11 => Ok(PeerMessage::ServerList {
+                epoch: Epoch::decode(reader)?,
+                coordinator: ServerId::decode(reader)?,
+                servers: decode_seq(reader)?,
+            }),
+            12 => Ok(PeerMessage::CheckpointAnnounce {
+                group: GroupId::decode(reader)?,
+                through: SeqNo::decode(reader)?,
+            }),
+            13 => Ok(PeerMessage::ForwardRequest {
+                origin: ServerId::decode(reader)?,
+                client: ClientId::decode(reader)?,
+                local_tag: reader.read_varint()?,
+                request: ClientRequest::decode(reader)?,
+            }),
+            14 => Ok(PeerMessage::RequestOutcome {
+                origin: ServerId::decode(reader)?,
+                local_tag: reader.read_varint()?,
+                client: ClientId::decode(reader)?,
+                events: decode_seq(reader)?,
+            }),
+            15 => Ok(PeerMessage::Deliver {
+                client: ClientId::decode(reader)?,
+                event: ServerEvent::decode(reader)?,
+            }),
+            16 => Ok(PeerMessage::MemberAnnounce {
+                server: ServerId::decode(reader)?,
+                group: GroupId::decode(reader)?,
+                persistence: Persistence::decode(reader)?,
+                info: MemberInfo::decode(reader)?,
+                notify: reader.read_bool()?,
+            }),
+            tag => Err(CodecError::InvalidTag {
+                context: "PeerMessage",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.encode_to_vec();
+        assert_eq!(T::decode_exact(&bytes).unwrap(), value);
+    }
+
+    fn sample_logged(seq: u64) -> LoggedUpdate {
+        LoggedUpdate {
+            seq: SeqNo::new(seq),
+            sender: ClientId::new(3),
+            timestamp: Timestamp::from_micros(1000 + seq),
+            update: StateUpdate::incremental(ObjectId::new(1), &b"delta"[..]),
+        }
+    }
+
+    #[test]
+    fn state_transfer_roundtrip_and_reconstruct() {
+        let transfer = StateTransfer {
+            group: GroupId::new(1),
+            basis: SeqNo::new(10),
+            through: SeqNo::new(12),
+            objects: vec![(ObjectId::new(1), Bytes::from_static(b"base"))],
+            updates: vec![sample_logged(11), sample_logged(12)],
+        };
+        roundtrip(transfer.clone());
+        let state = transfer.reconstruct();
+        assert_eq!(
+            state.object(ObjectId::new(1)).unwrap().materialize(),
+            Bytes::from_static(b"basedeltadelta")
+        );
+        assert_eq!(transfer.payload_len(), 4 + 5 + 5);
+    }
+
+    #[test]
+    fn empty_transfer() {
+        let t = StateTransfer::empty(GroupId::new(2), SeqNo::new(5));
+        assert_eq!(t.basis, t.through);
+        assert_eq!(t.payload_len(), 0);
+        assert!(t.reconstruct().is_empty());
+    }
+
+    #[test]
+    fn client_request_roundtrips() {
+        let requests = vec![
+            ClientRequest::Hello {
+                version: PROTOCOL_VERSION,
+                display_name: "alice".into(),
+                resume: Some(ClientId::new(9)),
+            },
+            ClientRequest::CreateGroup {
+                group: GroupId::new(1),
+                persistence: Persistence::Persistent,
+                initial_state: SharedState::from_objects([(ObjectId::new(1), &b"hello"[..])]),
+            },
+            ClientRequest::DeleteGroup {
+                group: GroupId::new(1),
+            },
+            ClientRequest::Join {
+                group: GroupId::new(1),
+                role: MemberRole::Observer,
+                policy: StateTransferPolicy::LastUpdates(10),
+                notify_membership: true,
+            },
+            ClientRequest::Leave {
+                group: GroupId::new(1),
+            },
+            ClientRequest::Broadcast {
+                group: GroupId::new(1),
+                update: StateUpdate::set_state(ObjectId::new(2), &b"new"[..]),
+                scope: DeliveryScope::SenderExclusive,
+            },
+            ClientRequest::GetMembership {
+                group: GroupId::new(1),
+            },
+            ClientRequest::GetState {
+                group: GroupId::new(1),
+                policy: StateTransferPolicy::UpdatesSince(SeqNo::new(4)),
+            },
+            ClientRequest::AcquireLock {
+                group: GroupId::new(1),
+                object: ObjectId::new(2),
+                wait: true,
+            },
+            ClientRequest::ReleaseLock {
+                group: GroupId::new(1),
+                object: ObjectId::new(2),
+            },
+            ClientRequest::ReduceLog {
+                group: GroupId::new(1),
+                through: Some(SeqNo::new(30)),
+            },
+            ClientRequest::Ping { nonce: 77 },
+            ClientRequest::Goodbye,
+        ];
+        for req in requests {
+            roundtrip(req);
+        }
+    }
+
+    #[test]
+    fn server_event_roundtrips() {
+        let events = vec![
+            ServerEvent::Welcome {
+                server: ServerId::new(1),
+                client: ClientId::new(2),
+                version: PROTOCOL_VERSION,
+            },
+            ServerEvent::GroupCreated {
+                group: GroupId::new(3),
+            },
+            ServerEvent::GroupDeleted {
+                group: GroupId::new(3),
+            },
+            ServerEvent::Joined {
+                members: vec![MemberInfo::new(ClientId::new(1), MemberRole::Principal, "a")],
+                transfer: StateTransfer::empty(GroupId::new(3), SeqNo::ZERO),
+            },
+            ServerEvent::Left {
+                group: GroupId::new(3),
+            },
+            ServerEvent::State {
+                transfer: StateTransfer::empty(GroupId::new(3), SeqNo::new(2)),
+            },
+            ServerEvent::Multicast {
+                group: GroupId::new(3),
+                logged: sample_logged(7),
+            },
+            ServerEvent::MembershipChanged {
+                group: GroupId::new(3),
+                change: MembershipChange::Left(ClientId::new(5)),
+                info: MemberInfo::new(ClientId::new(5), MemberRole::Principal, "bob"),
+            },
+            ServerEvent::Membership {
+                group: GroupId::new(3),
+                members: vec![],
+            },
+            ServerEvent::LockGranted {
+                group: GroupId::new(3),
+                object: ObjectId::new(1),
+            },
+            ServerEvent::LockDenied {
+                group: GroupId::new(3),
+                object: ObjectId::new(1),
+                holder: ClientId::new(8),
+            },
+            ServerEvent::LockReleased {
+                group: GroupId::new(3),
+                object: ObjectId::new(1),
+            },
+            ServerEvent::LogReduced {
+                group: GroupId::new(3),
+                through: SeqNo::new(100),
+            },
+            ServerEvent::Error {
+                code: 3,
+                detail: "not a member".into(),
+            },
+            ServerEvent::Pong {
+                nonce: 1,
+                at: Timestamp::from_micros(5),
+            },
+        ];
+        for ev in events {
+            roundtrip(ev);
+        }
+    }
+
+    #[test]
+    fn peer_message_roundtrips() {
+        let messages = vec![
+            PeerMessage::ServerHello {
+                server: ServerId::new(1),
+            },
+            PeerMessage::Heartbeat {
+                from: ServerId::new(1),
+                epoch: Epoch(3),
+            },
+            PeerMessage::ForwardBroadcast {
+                origin: ServerId::new(2),
+                sender: ClientId::new(9),
+                group: GroupId::new(1),
+                update: StateUpdate::incremental(ObjectId::new(1), &b"x"[..]),
+                scope: DeliveryScope::SenderInclusive,
+                local_tag: 55,
+            },
+            PeerMessage::Sequenced {
+                group: GroupId::new(1),
+                epoch: Epoch(3),
+                logged: sample_logged(8),
+                scope: DeliveryScope::SenderExclusive,
+                origin: ServerId::new(2),
+                local_tag: 55,
+            },
+            PeerMessage::GroupHosting {
+                server: ServerId::new(2),
+                group: GroupId::new(1),
+                hosting: true,
+            },
+            PeerMessage::MembershipSync {
+                group: GroupId::new(1),
+                change: MembershipChange::Joined(ClientId::new(4)),
+                info: MemberInfo::new(ClientId::new(4), MemberRole::Principal, "d"),
+            },
+            PeerMessage::GroupStateQuery {
+                from: ServerId::new(3),
+                group: GroupId::new(1),
+            },
+            PeerMessage::GroupStateReply {
+                from: ServerId::new(4),
+                group: GroupId::new(1),
+                persistence: Persistence::Persistent,
+                through: SeqNo::new(20),
+                state: SharedState::from_objects([(ObjectId::new(1), &b"s"[..])]),
+                updates: vec![sample_logged(21)],
+            },
+            PeerMessage::ForwardRequest {
+                origin: ServerId::new(2),
+                client: ClientId::new(9),
+                local_tag: 3,
+                request: ClientRequest::Leave { group: GroupId::new(1) },
+            },
+            PeerMessage::RequestOutcome {
+                origin: ServerId::new(2),
+                local_tag: 3,
+                client: ClientId::new(9),
+                events: vec![ServerEvent::Left { group: GroupId::new(1) }],
+            },
+            PeerMessage::Deliver {
+                client: ClientId::new(9),
+                event: ServerEvent::GroupDeleted { group: GroupId::new(1) },
+            },
+            PeerMessage::MemberAnnounce {
+                server: ServerId::new(2),
+                group: GroupId::new(1),
+                persistence: Persistence::Transient,
+                info: MemberInfo::new(ClientId::new(9), MemberRole::Principal, "z"),
+                notify: true,
+            },
+            PeerMessage::ElectionClaim {
+                candidate: ServerId::new(2),
+                epoch: Epoch(4),
+            },
+            PeerMessage::ElectionAck {
+                voter: ServerId::new(3),
+                epoch: Epoch(4),
+            },
+            PeerMessage::ElectionNack {
+                voter: ServerId::new(3),
+                epoch: Epoch(4),
+                current_coordinator: ServerId::new(1),
+            },
+            PeerMessage::ServerList {
+                epoch: Epoch(4),
+                coordinator: ServerId::new(2),
+                servers: vec![ServerId::new(2), ServerId::new(3)],
+            },
+            PeerMessage::CheckpointAnnounce {
+                group: GroupId::new(1),
+                through: SeqNo::new(50),
+            },
+        ];
+        for msg in messages {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_fail_cleanly() {
+        assert!(matches!(
+            ClientRequest::decode_exact(&[200]),
+            Err(CodecError::InvalidTag {
+                context: "ClientRequest",
+                tag: 200
+            })
+        ));
+        assert!(ServerEvent::decode_exact(&[200]).is_err());
+        assert!(PeerMessage::decode_exact(&[200]).is_err());
+    }
+
+    #[test]
+    fn truncated_messages_fail_cleanly() {
+        let full = ClientRequest::Broadcast {
+            group: GroupId::new(1),
+            update: StateUpdate::incremental(ObjectId::new(1), &b"payload"[..]),
+            scope: DeliveryScope::SenderInclusive,
+        }
+        .encode_to_vec();
+        for cut in 0..full.len() {
+            assert!(
+                ClientRequest::decode_exact(&full[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+}

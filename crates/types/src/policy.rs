@@ -1,0 +1,391 @@
+//! Client-selectable policies: state transfer, delivery scope, group
+//! persistence and member roles.
+//!
+//! A central claim of the paper is *customised state transfer*: "based
+//! on the speed of its connection to the server and application
+//! characteristics, the client may request either to receive the whole
+//! state of the group or the latest n updates to the state ... It may
+//! also request to be transferred only the state of certain objects"
+//! (§3.2).
+
+use crate::error::CodecError;
+use crate::id::{ClientId, ObjectId, SeqNo};
+use crate::wire::{decode_seq, encode_seq, Decode, Encode, Reader, WriteExt};
+use bytes::{BufMut, BytesMut};
+use std::fmt;
+
+/// How much of the group's shared state a joining (or reconnecting)
+/// client wants transferred.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum StateTransferPolicy {
+    /// The full materialised state of every shared object.
+    #[default]
+    FullState,
+    /// Only the latest `n` logged updates (incremental catch-up for
+    /// slow links; the client is expected to tolerate missing older
+    /// history).
+    LastUpdates(u64),
+    /// The full state of only the named objects.
+    Objects(Vec<ObjectId>),
+    /// Every logged update with a sequence number greater than `since`
+    /// — used by reconnecting clients that already hold a prefix.
+    UpdatesSince(SeqNo),
+    /// No state at all (pure publisher clients that only push data).
+    None,
+}
+
+impl StateTransferPolicy {
+    /// Whether the policy transfers any data.
+    pub fn transfers_state(&self) -> bool {
+        !matches!(self, StateTransferPolicy::None)
+    }
+}
+
+impl fmt::Display for StateTransferPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateTransferPolicy::FullState => f.write_str("full-state"),
+            StateTransferPolicy::LastUpdates(n) => write!(f, "last-{n}-updates"),
+            StateTransferPolicy::Objects(ids) => write!(f, "objects({})", ids.len()),
+            StateTransferPolicy::UpdatesSince(seq) => write!(f, "updates-since-{seq}"),
+            StateTransferPolicy::None => f.write_str("no-state"),
+        }
+    }
+}
+
+impl Encode for StateTransferPolicy {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            StateTransferPolicy::FullState => buf.put_u8(0),
+            StateTransferPolicy::LastUpdates(n) => {
+                buf.put_u8(1);
+                buf.put_varint(*n);
+            }
+            StateTransferPolicy::Objects(ids) => {
+                buf.put_u8(2);
+                encode_seq(ids, buf);
+            }
+            StateTransferPolicy::UpdatesSince(seq) => {
+                buf.put_u8(3);
+                seq.encode(buf);
+            }
+            StateTransferPolicy::None => buf.put_u8(4),
+        }
+    }
+}
+
+impl Decode for StateTransferPolicy {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(StateTransferPolicy::FullState),
+            1 => Ok(StateTransferPolicy::LastUpdates(reader.read_varint()?)),
+            2 => Ok(StateTransferPolicy::Objects(decode_seq(reader)?)),
+            3 => Ok(StateTransferPolicy::UpdatesSince(SeqNo::decode(reader)?)),
+            4 => Ok(StateTransferPolicy::None),
+            tag => Err(CodecError::InvalidTag {
+                context: "StateTransferPolicy",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Whether the sender of a multicast receives its own message back.
+///
+/// "A client multicasts a message sender-inclusively when the client
+/// needs certain operations that the service performs on the message
+/// (e.g., timestamping the message with real time)" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeliveryScope {
+    /// Deliver to every member including the sender.
+    #[default]
+    SenderInclusive,
+    /// Deliver to every member except the sender.
+    SenderExclusive,
+}
+
+impl Encode for DeliveryScope {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            DeliveryScope::SenderInclusive => 0,
+            DeliveryScope::SenderExclusive => 1,
+        });
+    }
+}
+
+impl Decode for DeliveryScope {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(DeliveryScope::SenderInclusive),
+            1 => Ok(DeliveryScope::SenderExclusive),
+            tag => Err(CodecError::InvalidTag {
+                context: "DeliveryScope",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Group lifetime semantics (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Persistence {
+    /// The group and its shared state exist even with no members; only
+    /// an explicit `deleteGroup` removes it.
+    Persistent,
+    /// The group ceases to exist when its membership becomes null and
+    /// its shared state is lost.
+    #[default]
+    Transient,
+}
+
+impl Encode for Persistence {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            Persistence::Persistent => 0,
+            Persistence::Transient => 1,
+        });
+    }
+}
+
+impl Decode for Persistence {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(Persistence::Persistent),
+            1 => Ok(Persistence::Transient),
+            tag => Err(CodecError::InvalidTag {
+                context: "Persistence",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The relationship of a member to a group. The paper (§3.1, fn. 1)
+/// distinguishes principals from observers; observers receive the data
+/// stream and awareness notifications but may not modify shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemberRole {
+    /// Full member: may read and update the shared state.
+    #[default]
+    Principal,
+    /// Read-only member: receives multicasts and membership awareness
+    /// but may not broadcast updates or take locks.
+    Observer,
+}
+
+impl MemberRole {
+    /// Whether the role permits updating shared state.
+    pub fn may_update(self) -> bool {
+        matches!(self, MemberRole::Principal)
+    }
+}
+
+impl Encode for MemberRole {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(match self {
+            MemberRole::Principal => 0,
+            MemberRole::Observer => 1,
+        });
+    }
+}
+
+impl Decode for MemberRole {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match reader.read_u8()? {
+            0 => Ok(MemberRole::Principal),
+            1 => Ok(MemberRole::Observer),
+            tag => Err(CodecError::InvalidTag {
+                context: "MemberRole",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Public information about one group member, as carried in membership
+/// queries and change notifications (the "awareness" service).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// The member's client id.
+    pub client: ClientId,
+    /// The member's role.
+    pub role: MemberRole,
+    /// Free-form display name supplied at join (e.g. a user name shown
+    /// in the membership status window).
+    pub display_name: String,
+}
+
+impl MemberInfo {
+    /// Creates a member record.
+    pub fn new(client: ClientId, role: MemberRole, display_name: impl Into<String>) -> Self {
+        MemberInfo {
+            client,
+            role,
+            display_name: display_name.into(),
+        }
+    }
+}
+
+impl Encode for MemberInfo {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.client.encode(buf);
+        self.role.encode(buf);
+        buf.put_len_str(&self.display_name);
+    }
+}
+
+impl Decode for MemberInfo {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MemberInfo {
+            client: ClientId::decode(reader)?,
+            role: MemberRole::decode(reader)?,
+            display_name: reader.read_string()?,
+        })
+    }
+}
+
+/// A membership change event delivered to members that subscribed to
+/// membership notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipChange {
+    /// A client joined the group.
+    Joined(ClientId),
+    /// A client left the group voluntarily.
+    Left(ClientId),
+    /// A client was disconnected (crash or link failure detected).
+    Disconnected(ClientId),
+}
+
+impl MembershipChange {
+    /// The client the change is about.
+    pub fn client(self) -> ClientId {
+        match self {
+            MembershipChange::Joined(c)
+            | MembershipChange::Left(c)
+            | MembershipChange::Disconnected(c) => c,
+        }
+    }
+}
+
+impl Encode for MembershipChange {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            MembershipChange::Joined(c) => {
+                buf.put_u8(0);
+                c.encode(buf);
+            }
+            MembershipChange::Left(c) => {
+                buf.put_u8(1);
+                c.encode(buf);
+            }
+            MembershipChange::Disconnected(c) => {
+                buf.put_u8(2);
+                c.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for MembershipChange {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = reader.read_u8()?;
+        let client = ClientId::decode(reader)?;
+        match tag {
+            0 => Ok(MembershipChange::Joined(client)),
+            1 => Ok(MembershipChange::Left(client)),
+            2 => Ok(MembershipChange::Disconnected(client)),
+            tag => Err(CodecError::InvalidTag {
+                context: "MembershipChange",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_codec_roundtrips() {
+        let policies = [
+            StateTransferPolicy::FullState,
+            StateTransferPolicy::LastUpdates(17),
+            StateTransferPolicy::Objects(vec![ObjectId::new(1), ObjectId::new(9)]),
+            StateTransferPolicy::UpdatesSince(SeqNo::new(42)),
+            StateTransferPolicy::None,
+        ];
+        for p in policies {
+            let bytes = p.encode_to_vec();
+            assert_eq!(StateTransferPolicy::decode_exact(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn policy_transfers_state() {
+        assert!(StateTransferPolicy::FullState.transfers_state());
+        assert!(StateTransferPolicy::LastUpdates(0).transfers_state());
+        assert!(!StateTransferPolicy::None.transfers_state());
+    }
+
+    #[test]
+    fn scope_persistence_role_roundtrip() {
+        for s in [DeliveryScope::SenderInclusive, DeliveryScope::SenderExclusive] {
+            assert_eq!(DeliveryScope::decode_exact(&s.encode_to_vec()).unwrap(), s);
+        }
+        for p in [Persistence::Persistent, Persistence::Transient] {
+            assert_eq!(Persistence::decode_exact(&p.encode_to_vec()).unwrap(), p);
+        }
+        for r in [MemberRole::Principal, MemberRole::Observer] {
+            assert_eq!(MemberRole::decode_exact(&r.encode_to_vec()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn roles_gate_updates() {
+        assert!(MemberRole::Principal.may_update());
+        assert!(!MemberRole::Observer.may_update());
+    }
+
+    #[test]
+    fn member_info_roundtrip() {
+        let info = MemberInfo::new(ClientId::new(12), MemberRole::Observer, "ann");
+        let bytes = info.encode_to_vec();
+        assert_eq!(MemberInfo::decode_exact(&bytes).unwrap(), info);
+    }
+
+    #[test]
+    fn membership_change_roundtrip_and_accessor() {
+        for change in [
+            MembershipChange::Joined(ClientId::new(3)),
+            MembershipChange::Left(ClientId::new(4)),
+            MembershipChange::Disconnected(ClientId::new(5)),
+        ] {
+            let bytes = change.encode_to_vec();
+            assert_eq!(MembershipChange::decode_exact(&bytes).unwrap(), change);
+        }
+        assert_eq!(
+            MembershipChange::Joined(ClientId::new(3)).client(),
+            ClientId::new(3)
+        );
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert!(StateTransferPolicy::decode_exact(&[9]).is_err());
+        assert!(DeliveryScope::decode_exact(&[7]).is_err());
+        assert!(Persistence::decode_exact(&[7]).is_err());
+        assert!(MemberRole::decode_exact(&[7]).is_err());
+        assert!(MembershipChange::decode_exact(&[7, 1]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(StateTransferPolicy::FullState.to_string(), "full-state");
+        assert_eq!(StateTransferPolicy::LastUpdates(5).to_string(), "last-5-updates");
+        assert_eq!(
+            StateTransferPolicy::UpdatesSince(SeqNo::new(3)).to_string(),
+            "updates-since-#3"
+        );
+    }
+}

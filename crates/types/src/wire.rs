@@ -1,0 +1,508 @@
+//! Low-level binary codec primitives.
+//!
+//! All Corona wire traffic and all stable-storage records are encoded
+//! with the little-endian, length-prefixed primitives defined here. The
+//! format is deliberately simple and self-delimiting so the same codec
+//! serves the TCP transport, the in-memory transport, and the on-disk
+//! log (whose records must be replayable after a torn tail write).
+//!
+//! Variable-length integers use LEB128 (7 bits per byte), which keeps
+//! the many small sequence numbers and collection lengths compact while
+//! allowing the full `u64` range.
+
+use crate::error::CodecError;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Upper bound on any single declared length (bytes, string, or
+/// collection element count). Protects decoders against hostile or
+/// corrupt length fields causing huge allocations.
+pub const MAX_DECLARED_LEN: u64 = 64 * 1024 * 1024;
+
+/// Serialises a value into the Corona wire format.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+
+    /// Encodes `self` into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.to_vec()
+    }
+
+    /// Encodes `self` into owned [`Bytes`].
+    fn encode_to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+}
+
+/// Deserialises a value from the Corona wire format.
+pub trait Decode: Sized {
+    /// Reads one value from the reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] if the input is truncated, carries an
+    /// unknown tag, or violates a length limit.
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Decodes a value from a complete buffer, requiring that every
+    /// byte is consumed.
+    ///
+    /// # Errors
+    ///
+    /// In addition to decode errors, returns
+    /// [`CodecError::TrailingBytes`] if the buffer contains more than
+    /// one value.
+    fn decode_exact(input: &[u8]) -> Result<Self, CodecError> {
+        let mut reader = Reader::new(input);
+        let value = Self::decode(&mut reader)?;
+        if reader.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: reader.remaining(),
+            });
+        }
+        Ok(value)
+    }
+}
+
+/// A cursor over a byte slice with checked primitive reads.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Reader { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn read_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a LEB128 variable-length integer.
+    pub fn read_varint(&mut self) -> Result<u64, CodecError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(CodecError::LengthOverflow {
+                    declared: u64::MAX,
+                    limit: u64::MAX,
+                });
+            }
+            value |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::LengthOverflow {
+                    declared: u64::MAX,
+                    limit: u64::MAX,
+                });
+            }
+        }
+    }
+
+    /// Reads a declared length and validates it against
+    /// [`MAX_DECLARED_LEN`] and the remaining input.
+    pub fn read_len(&mut self) -> Result<usize, CodecError> {
+        let declared = self.read_varint()?;
+        if declared > MAX_DECLARED_LEN {
+            return Err(CodecError::LengthOverflow {
+                declared,
+                limit: MAX_DECLARED_LEN,
+            });
+        }
+        Ok(declared as usize)
+    }
+
+    /// Reads a length-prefixed byte string as owned [`Bytes`].
+    pub fn read_bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.read_len()?;
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_string(&mut self) -> Result<String, CodecError> {
+        let len = self.read_len()?;
+        let slice = self.take(len)?;
+        String::from_utf8(slice.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Reads a boolean encoded as a single 0/1 byte.
+    pub fn read_bool(&mut self) -> Result<bool, CodecError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError::InvalidTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Write-side primitives as free functions over `BytesMut`.
+///
+/// Kept as an extension trait so call sites read naturally
+/// (`buf.put_varint(n)`), mirroring the `bytes::BufMut` style.
+pub trait WriteExt: BufMut {
+    /// Writes a LEB128 variable-length integer.
+    fn put_varint(&mut self, mut value: u64) {
+        loop {
+            let byte = (value & 0x7F) as u8;
+            value >>= 7;
+            if value == 0 {
+                self.put_u8(byte);
+                return;
+            }
+            self.put_u8(byte | 0x80);
+        }
+    }
+
+    /// Writes a length-prefixed byte string.
+    fn put_len_bytes(&mut self, data: &[u8]) {
+        self.put_varint(data.len() as u64);
+        self.put_slice(data);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    fn put_len_str(&mut self, s: &str) {
+        self.put_len_bytes(s.as_bytes());
+    }
+
+    /// Writes a boolean as a single 0/1 byte.
+    fn put_bool(&mut self, value: bool) {
+        self.put_u8(u8::from(value));
+    }
+}
+
+impl<T: BufMut + ?Sized> WriteExt for T {}
+
+/// Encodes a sequence of encodable values with a leading count.
+pub fn encode_seq<T: Encode>(items: &[T], buf: &mut BytesMut) {
+    buf.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(buf);
+    }
+}
+
+/// Decodes a counted sequence of decodable values.
+///
+/// # Errors
+///
+/// Propagates element decode errors; rejects counts above
+/// [`MAX_DECLARED_LEN`].
+pub fn decode_seq<T: Decode>(reader: &mut Reader<'_>) -> Result<Vec<T>, CodecError> {
+    let count = reader.read_len()?;
+    // Guard against a hostile count with a tiny body: cap the upfront
+    // allocation and let the EOF check catch the lie.
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        out.push(T::decode(reader)?);
+    }
+    Ok(out)
+}
+
+/// Encodes an `Option<T>` with a presence byte.
+pub fn encode_opt<T: Encode>(value: &Option<T>, buf: &mut BytesMut) {
+    match value {
+        None => buf.put_bool(false),
+        Some(v) => {
+            buf.put_bool(true);
+            v.encode(buf);
+        }
+    }
+}
+
+/// Decodes an `Option<T>` with a presence byte.
+///
+/// # Errors
+///
+/// Propagates presence-byte and element decode errors.
+pub fn decode_opt<T: Decode>(reader: &mut Reader<'_>) -> Result<Option<T>, CodecError> {
+    if reader.read_bool()? {
+        Ok(Some(T::decode(reader)?))
+    } else {
+        Ok(None)
+    }
+}
+
+macro_rules! impl_id_codec {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut BytesMut) {
+                    buf.put_varint(self.0);
+                }
+            }
+
+            impl Decode for $ty {
+                fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+                    Ok(Self(reader.read_varint()?))
+                }
+            }
+        )+
+    };
+}
+
+impl_id_codec!(
+    crate::id::GroupId,
+    crate::id::ObjectId,
+    crate::id::ClientId,
+    crate::id::ServerId,
+    crate::id::SeqNo,
+    crate::id::Epoch,
+);
+
+impl Encode for u64 {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_varint(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        reader.read_varint()
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_len_bytes(self);
+    }
+}
+
+impl Decode for Bytes {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        reader.read_bytes()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_len_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        reader.read_string()
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(reader)?, B::decode(reader)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{GroupId, SeqNo};
+
+    fn roundtrip_varint(v: u64) {
+        let mut buf = BytesMut::new();
+        buf.put_varint(v);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_varint().unwrap(), v);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn varint_roundtrips() {
+        for v in [0, 1, 127, 128, 255, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            roundtrip_varint(v);
+        }
+    }
+
+    #[test]
+    fn varint_compactness() {
+        let mut buf = BytesMut::new();
+        buf.put_varint(5);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        buf.put_varint(128);
+        assert_eq!(buf.len(), 2);
+        buf.clear();
+        buf.put_varint(u64::MAX);
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn varint_rejects_overlong() {
+        // 11 continuation bytes cannot encode any u64.
+        let input = [0xFFu8; 11];
+        let mut r = Reader::new(&input);
+        assert!(matches!(
+            r.read_varint(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_width_reads() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16_le(0xBEEF);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_u8().unwrap(), 7);
+        assert_eq!(r.read_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn eof_is_reported_with_counts() {
+        let mut r = Reader::new(&[1, 2]);
+        let err = r.read_u32().unwrap_err();
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                needed: 4,
+                remaining: 2
+            }
+        );
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_len_str("héllo wörld");
+        buf.put_len_bytes(&[0, 1, 2, 255]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_string().unwrap(), "héllo wörld");
+        assert_eq!(r.read_bytes().unwrap().as_ref(), &[0, 1, 2, 255]);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_len_bytes(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_string().unwrap_err(), CodecError::InvalidUtf8);
+    }
+
+    #[test]
+    fn bool_rejects_nonbinary() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(
+            r.read_bool(),
+            Err(CodecError::InvalidTag { context: "bool", .. })
+        ));
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        let mut buf = BytesMut::new();
+        buf.put_varint(MAX_DECLARED_LEN + 1);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            r.read_len(),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn id_codec_roundtrip() {
+        let mut buf = BytesMut::new();
+        GroupId::new(300).encode(&mut buf);
+        SeqNo::new(7).encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(GroupId::decode(&mut r).unwrap(), GroupId::new(300));
+        assert_eq!(SeqNo::decode(&mut r).unwrap(), SeqNo::new(7));
+    }
+
+    #[test]
+    fn seq_and_opt_helpers() {
+        let mut buf = BytesMut::new();
+        encode_seq(&[1u64, 2, 3], &mut buf);
+        encode_opt(&Some(9u64), &mut buf);
+        encode_opt::<u64>(&None, &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_seq::<u64>(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(decode_opt::<u64>(&mut r).unwrap(), Some(9));
+        assert_eq!(decode_opt::<u64>(&mut r).unwrap(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn decode_exact_rejects_trailing() {
+        let mut buf = BytesMut::new();
+        buf.put_varint(1);
+        buf.put_u8(0xAA);
+        let err = u64::decode_exact(&buf).unwrap_err();
+        assert_eq!(err, CodecError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn hostile_count_does_not_overallocate() {
+        // Declares 2^20 elements but provides none: must fail with EOF,
+        // not abort on allocation.
+        let mut buf = BytesMut::new();
+        buf.put_varint(1 << 20);
+        let mut r = Reader::new(&buf);
+        assert!(decode_seq::<u64>(&mut r).is_err());
+    }
+}

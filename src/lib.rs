@@ -1,0 +1,106 @@
+//! # corona
+//!
+//! A Rust reproduction of **Corona** — *"Stateful Group Communication
+//! Services"*, Radu Litiu and Atul Prakash, ICDCS 1999.
+//!
+//! Corona is a group multicast service whose logical server is
+//! *stateful*: it maintains an up-to-date, type-opaque copy of each
+//! group's shared state (a set of object-id → byte-stream pairs), so
+//! joining clients receive current state directly from the service —
+//! no member-to-member state transfer, no view-agreement protocol on
+//! the join path, and persistent groups whose state outlives both
+//! their members and (with stable storage) the server process.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`types`] — identifiers, shared-state model, wire protocol, codec;
+//! * [`statelog`] — in-memory group logs, stable storage, log reduction;
+//! * [`membership`] — groups, roles, locks, session policy;
+//! * [`transport`] — TCP and fault-injectable in-memory transports;
+//! * [`service`] — the stateful server and the client library;
+//! * [`replication`] — coordinator sequencing, elections, partition
+//!   merge;
+//! * [`sim`] — the deterministic simulator reproducing the paper's
+//!   evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use corona::prelude::*;
+//!
+//! # fn main() -> corona::types::Result<()> {
+//! // An in-memory network (swap for TcpAcceptor/TcpDialer in production).
+//! let net = MemNetwork::new();
+//! let listener = net.listen("server").expect("listen");
+//! let server = CoronaServer::start(Box::new(listener), ServerConfig::stateful(ServerId::new(1)))?;
+//!
+//! let alice = CoronaClient::connect(
+//!     Box::new(net.dial_from("alice", "server").expect("dial")),
+//!     "alice",
+//!     None,
+//! )?;
+//! let group = GroupId::new(1);
+//! alice.create_group(group, Persistence::Persistent, SharedState::new())?;
+//! alice.join(group, MemberRole::Principal, StateTransferPolicy::FullState, false)?;
+//! alice.bcast_update(group, ObjectId::new(1), &b"hello"[..], DeliveryScope::SenderInclusive)?;
+//! alice.close();
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Identifiers, the shared-state model, the wire protocol and codec.
+pub use corona_types as types;
+
+/// In-memory and stable-storage state logs, snapshots, log reduction.
+pub use corona_statelog as statelog;
+
+/// Group membership, roles, locks, session-manager policy.
+pub use corona_membership as membership;
+
+/// Framed transports: TCP and the fault-injectable in-memory network.
+pub use corona_transport as transport;
+
+/// The Corona stateful server and client library.
+pub use corona_core as service;
+
+/// The replicated service: sequencing, election, partition merge.
+pub use corona_replication as replication;
+
+/// Deterministic discrete-event simulator for the paper's evaluation.
+pub use corona_sim as sim;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use corona_core::{
+        client::CoronaClient, config::ServerConfig, mirror::GroupMirror, server::CoronaServer,
+        ApplyOutcome, EventClass, LockResult, QosPolicy, Statefulness,
+    };
+    pub use corona_replication::{ReplicatedConfig, ReplicatedServer};
+    pub use corona_statelog::{ReductionPolicy, SyncPolicy};
+    pub use corona_transport::{Connection, Dialer, Listener, MemNetwork, TcpAcceptor, TcpDialer};
+    pub use corona_types::{
+        id::{ClientId, GroupId, ObjectId, SeqNo, ServerId},
+        message::{ServerEvent, StateTransfer},
+        policy::{
+            DeliveryScope, MemberInfo, MemberRole, MembershipChange, Persistence,
+            StateTransferPolicy,
+        },
+        state::{LoggedUpdate, SharedState, StateUpdate, Timestamp, UpdateKind},
+        CoronaError, ErrorCode,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let _ = GroupId::new(1);
+        let _ = SharedState::new();
+        let _ = MemNetwork::new();
+    }
+}

@@ -1,0 +1,104 @@
+//! Smoke tests asserting that every experiment harness reproduces the
+//! paper's qualitative result (the EXPERIMENTS.md claims, enforced in
+//! CI). The full sweeps live in `corona-bench`; these runs are scaled
+//! down to keep the suite fast.
+
+use corona::sim::{roundtrip, throughput, ExperimentConfig, PENTIUM_II_200, ULTRASPARC_1};
+
+#[test]
+fn fig3_linear_and_stateful_close_to_stateless() {
+    let mut prev = 0.0;
+    for n in [10, 20, 40, 60] {
+        let stateful = roundtrip(ExperimentConfig {
+            n_clients: n,
+            messages: 60,
+            ..ExperimentConfig::default()
+        });
+        let stateless = roundtrip(ExperimentConfig {
+            n_clients: n,
+            stateful: false,
+            messages: 60,
+            ..ExperimentConfig::default()
+        });
+        assert!(stateful.mean_ms > prev, "monotone growth");
+        prev = stateful.mean_ms;
+        let gap = (stateful.mean_ms - stateless.mean_ms) / stateless.mean_ms;
+        assert!(gap.abs() < 0.05, "curves must nearly coincide, gap {gap:.3}");
+    }
+}
+
+#[test]
+fn fig3_10k_has_steeper_slope() {
+    let slope = |payload: usize| {
+        let lo = roundtrip(ExperimentConfig {
+            n_clients: 10,
+            payload,
+            messages: 40,
+            ..ExperimentConfig::default()
+        })
+        .mean_ms;
+        let hi = roundtrip(ExperimentConfig {
+            n_clients: 50,
+            payload,
+            messages: 40,
+            ..ExperimentConfig::default()
+        })
+        .mean_ms;
+        (hi - lo) / 40.0
+    };
+    assert!(slope(10_000) > 2.0 * slope(1_000));
+}
+
+#[test]
+fn table1_ordering_holds() {
+    let run = |payload, profile| {
+        throughput(
+            ExperimentConfig {
+                n_clients: 6,
+                payload,
+                server_profile: profile,
+                ..ExperimentConfig::default()
+            },
+            20_000_000,
+        )
+        .kbytes_per_sec
+    };
+    assert!(run(10_000, ULTRASPARC_1) > run(1_000, ULTRASPARC_1));
+    assert!(run(1_000, PENTIUM_II_200) > run(1_000, ULTRASPARC_1));
+}
+
+#[test]
+fn table2_replication_wins_and_gap_widens() {
+    let mut gaps = Vec::new();
+    for n in [100, 200, 300] {
+        let base = ExperimentConfig {
+            n_clients: n,
+            messages: 20,
+            closed_loop: true,
+            ..ExperimentConfig::default()
+        };
+        let single = roundtrip(ExperimentConfig { n_servers: 1, ..base }).mean_ms;
+        let multi = roundtrip(ExperimentConfig { n_servers: 6, ..base }).mean_ms;
+        assert!(multi < single, "{n}: {multi} !< {single}");
+        gaps.push(single - multi);
+    }
+    assert!(gaps.windows(2).all(|w| w[0] < w[1]), "gap must widen: {gaps:?}");
+}
+
+#[test]
+fn abl_log_on_path_disk_hurts() {
+    let off = roundtrip(ExperimentConfig {
+        n_clients: 20,
+        messages: 40,
+        ..ExperimentConfig::default()
+    })
+    .mean_ms;
+    let on = roundtrip(ExperimentConfig {
+        n_clients: 20,
+        messages: 40,
+        disk_on_critical_path: true,
+        ..ExperimentConfig::default()
+    })
+    .mean_ms;
+    assert!(on > off * 1.2);
+}

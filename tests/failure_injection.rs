@@ -1,0 +1,257 @@
+//! Failure-injection integration tests: client crashes and
+//! reconnection catch-up (the companion-paper territory the paper
+//! cites in §4.2), network partitions between halves of a replicated
+//! deployment, and the application-selectable partition merge.
+
+use corona::prelude::*;
+use corona::replication::{find_divergence, merge, MergeResolution, Side};
+use corona::statelog::{GroupLog, StableStore, SyncPolicy};
+use std::time::Duration;
+
+const G: GroupId = GroupId(1);
+const O: ObjectId = ObjectId(1);
+
+#[test]
+fn client_crash_releases_locks_and_membership() {
+    let net = MemNetwork::new();
+    let listener = net.listen("server").unwrap();
+    let server = CoronaServer::start(
+        Box::new(listener),
+        ServerConfig::stateful(ServerId::new(1)),
+    )
+    .unwrap();
+
+    let stable = CoronaClient::connect(
+        Box::new(net.dial_from("stable", "server").unwrap()),
+        "stable",
+        None,
+    )
+    .unwrap();
+    let flaky = CoronaClient::connect(
+        Box::new(net.dial_from("flaky", "server").unwrap()),
+        "flaky",
+        None,
+    )
+    .unwrap();
+
+    stable
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    stable
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, true)
+        .unwrap();
+    flaky
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+    assert_eq!(flaky.acquire_lock(G, O, false).unwrap(), LockResult::Granted);
+
+    // The stable client queues behind the lock, then the holder's link
+    // is severed (a crash, not a goodbye).
+    let flaky_id = flaky.client_id();
+    let waiter = std::thread::spawn({
+        let net = net.clone();
+        move || {
+            std::thread::sleep(Duration::from_millis(100));
+            net.sever("flaky", "server");
+        }
+    });
+    // Blocking acquire resolves once the server detects the crash and
+    // hands the lock over.
+    assert_eq!(stable.acquire_lock(G, O, true).unwrap(), LockResult::Granted);
+    waiter.join().unwrap();
+
+    // Awareness: the survivor hears about the disconnect.
+    let mut saw_disconnect = false;
+    while let Ok(event) = stable.next_event_timeout(Duration::from_secs(2)) {
+        if let ServerEvent::MembershipChanged { change, .. } = event {
+            if change == MembershipChange::Disconnected(flaky_id) {
+                saw_disconnect = true;
+                break;
+            }
+        }
+    }
+    assert!(saw_disconnect, "no disconnect notification");
+    assert_eq!(stable.membership(G).unwrap().len(), 1);
+    stable.close();
+    server.shutdown();
+}
+
+#[test]
+fn reconnecting_client_catches_up_after_link_failure() {
+    let net = MemNetwork::new();
+    let listener = net.listen("server").unwrap();
+    let server = CoronaServer::start(
+        Box::new(listener),
+        ServerConfig::stateful(ServerId::new(1)),
+    )
+    .unwrap();
+
+    let writer = CoronaClient::connect(
+        Box::new(net.dial_from("writer", "server").unwrap()),
+        "writer",
+        None,
+    )
+    .unwrap();
+    writer
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    writer
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+
+    let roaming = CoronaClient::connect(
+        Box::new(net.dial_from("roaming", "server").unwrap()),
+        "roaming",
+        None,
+    )
+    .unwrap();
+    let roaming_id = roaming.client_id();
+    let (_, mut mirror) = roaming.join_mirrored(G, MemberRole::Observer, false).unwrap();
+
+    writer
+        .bcast_update(G, O, &b"1;"[..], DeliveryScope::SenderExclusive)
+        .unwrap();
+    let ev = roaming.next_event_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(mirror.apply_event(&ev), ApplyOutcome::Applied);
+
+    // Link failure while traffic continues.
+    net.sever("roaming", "server");
+    for i in 2..=6 {
+        writer
+            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .unwrap();
+    }
+    writer.ping().unwrap();
+
+    // Reconnect with the old identity, rejoin with incremental
+    // catch-up from the mirror's last seq, resync the mirror.
+    let reconnected = CoronaClient::connect(
+        Box::new(net.dial_from("roaming", "server").unwrap()),
+        "roaming",
+        Some(roaming_id),
+    )
+    .unwrap();
+    assert_eq!(reconnected.client_id(), roaming_id);
+    let (_, transfer) = reconnected
+        .join(G, MemberRole::Observer, mirror.catch_up_policy(), false)
+        .unwrap();
+    assert_eq!(transfer.updates.len(), 5, "exactly the missed window");
+    mirror.resync(&transfer);
+    assert_eq!(
+        mirror.state().object(O).unwrap().materialize().as_ref(),
+        b"1;2;3;4;5;6;"
+    );
+    assert_eq!(mirror.last_seq(), SeqNo::new(6));
+
+    writer.close();
+    reconnected.close();
+    server.shutdown();
+}
+
+/// Builds a server on its own storage dir, runs `edits` against it,
+/// shuts it down, and returns the recovered group log — one partition
+/// side's history.
+fn run_partition_side(
+    dir: &std::path::Path,
+    create: bool,
+    edits: &[&str],
+) -> GroupLog {
+    let net = MemNetwork::new();
+    let listener = net.listen("server").unwrap();
+    let server = CoronaServer::start(
+        Box::new(listener),
+        ServerConfig::stateful(ServerId::new(1))
+            .with_storage(dir)
+            .with_sync_policy(SyncPolicy::EveryRecord),
+    )
+    .unwrap();
+    let c = CoronaClient::connect(
+        Box::new(net.dial_from("c", "server").unwrap()),
+        "c",
+        None,
+    )
+    .unwrap();
+    if create {
+        c.create_group(G, Persistence::Persistent, SharedState::new())
+            .unwrap();
+    }
+    c.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .unwrap();
+    for e in edits {
+        c.bcast_update(G, O, e.as_bytes().to_vec(), DeliveryScope::SenderExclusive)
+            .unwrap();
+    }
+    c.ping().unwrap();
+    c.close();
+    server.shutdown();
+
+    let store = StableStore::open(dir, SyncPolicy::OsDefault).unwrap();
+    let (recovered, _) = store.recover_group(G).unwrap().unwrap();
+    recovered.log
+}
+
+#[test]
+fn partition_divergence_and_merge_end_to_end() {
+    // Two replicas share a prefix, partition, evolve independently
+    // (each side's server keeps sequencing its own clients), then the
+    // histories are compared and merged per §4.2.
+    let base = std::env::temp_dir().join(format!("corona-partition-{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Shared prefix on side A's storage, then duplicate it to B —
+    // the state both sides held when the network split.
+    run_partition_side(&dir_a, true, &["shared1;", "shared2;"]);
+    copy_dir(&dir_a, &dir_b);
+
+    // The partition: each side evolves separately.
+    let log_a = run_partition_side(&dir_a, false, &["a-only;"]);
+    let log_b = run_partition_side(&dir_b, false, &["b1;", "b2;"]);
+
+    // Connectivity restored: identify the last globally consistent
+    // state from checkpoints and sequence numbers.
+    let divergence = find_divergence(&log_a, &log_b);
+    assert_eq!(divergence.common_seq, SeqNo::new(2));
+    assert!(divergence.is_conflicting());
+
+    let text = |log: &GroupLog| {
+        String::from_utf8_lossy(&log.current_state().object(O).unwrap().materialize()).into_owned()
+    };
+
+    // Choice 1: roll back to the consistent state.
+    let rolled = merge(&divergence, MergeResolution::RollBack);
+    assert_eq!(text(&rolled.primary), "shared1;shared2;");
+
+    // Choice 2: select one of the updated states.
+    let adopted = merge(&divergence, MergeResolution::Adopt(Side::B));
+    assert_eq!(text(&adopted.primary), "shared1;shared2;b1;b2;");
+
+    // Choice 3: evolve as two different groups.
+    let forked = merge(
+        &divergence,
+        MergeResolution::Fork {
+            keep: Side::A,
+            fork_group: GroupId::new(2),
+        },
+    );
+    assert_eq!(text(&forked.primary), "shared1;shared2;a-only;");
+    let fork = forked.fork.unwrap();
+    assert_eq!(fork.group(), GroupId::new(2));
+    assert_eq!(text(&fork), "shared1;shared2;b1;b2;");
+
+    std::fs::remove_dir_all(&base).ok();
+}
+
+fn copy_dir(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), target).unwrap();
+        }
+    }
+}
