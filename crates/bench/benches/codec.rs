@@ -3,12 +3,12 @@
 //! associated with broadcasting a message" to serialisation; this
 //! bench quantifies our codec's share.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
 use corona_types::message::{ClientRequest, ServerEvent};
 use corona_types::policy::DeliveryScope;
 use corona_types::state::{LoggedUpdate, StateUpdate, Timestamp};
 use corona_types::wire::{Decode, Encode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_codec(c: &mut Criterion) {
@@ -32,9 +32,11 @@ fn bench_codec(c: &mut Criterion) {
         let encoded_ev = event.encode_to_vec();
 
         group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(BenchmarkId::new("encode_request", payload), &request, |b, r| {
-            b.iter(|| black_box(r.encode_to_vec()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("encode_request", payload),
+            &request,
+            |b, r| b.iter(|| black_box(r.encode_to_vec())),
+        );
         group.bench_with_input(
             BenchmarkId::new("decode_request", payload),
             &encoded_req,

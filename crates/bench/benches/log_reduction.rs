@@ -1,10 +1,10 @@
 //! **ABL-REDUCE** — the value of §3.2 log reduction: the cost of the
 //! reduction itself, and the recovery-replay cost a checkpoint saves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corona_statelog::GroupLog;
 use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
 use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn build_log(n: u64) -> GroupLog {

@@ -7,13 +7,13 @@
 //! signatures at loopback scale: RTT grows with the receiver count,
 //! and the stateful and stateless servers are nearly indistinguishable.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corona_core::{client::CoronaClient, config::ServerConfig, server::CoronaServer};
 use corona_transport::{Dialer, Listener, TcpAcceptor, TcpDialer};
 use corona_types::id::{GroupId, ObjectId, ServerId};
 use corona_types::message::ServerEvent;
 use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
 use corona_types::state::SharedState;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 
 const G: GroupId = GroupId(1);
@@ -35,9 +35,8 @@ fn build_rig(n_receivers: usize, stateful: bool) -> Rig {
     };
     let server = CoronaServer::start(Box::new(acceptor), config).unwrap();
 
-    let connect = |name: &str| {
-        CoronaClient::connect(TcpDialer.dial(&addr).unwrap(), name, None).unwrap()
-    };
+    let connect =
+        |name: &str| CoronaClient::connect(TcpDialer.dial(&addr).unwrap(), name, None).unwrap();
     let measuring = connect("measuring");
     measuring
         .create_group(G, Persistence::Transient, SharedState::new())
@@ -80,12 +79,7 @@ fn bench_roundtrip(c: &mut Criterion) {
                         let start = Instant::now();
                         for _ in 0..iters {
                             rig.measuring
-                                .bcast_update(
-                                    G,
-                                    O,
-                                    payload.clone(),
-                                    DeliveryScope::SenderInclusive,
-                                )
+                                .bcast_update(G, O, payload.clone(), DeliveryScope::SenderInclusive)
                                 .unwrap();
                             // Wait for the sender's own sequenced copy:
                             // that is the paper's round-trip.

@@ -12,15 +12,13 @@
 //!   synchronously before the fan-out (what the paper's design
 //!   avoids).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use corona_core::{Effect, LogEffect, ServerCore, ServerConfig};
+use corona_core::{Effect, LogEffect, ServerConfig, ServerCore};
 use corona_statelog::{ReductionPolicy, StableStore, SyncPolicy};
 use corona_types::id::{ClientId, GroupId, ObjectId, ServerId};
 use corona_types::message::ClientRequest;
-use corona_types::policy::{
-    DeliveryScope, MemberRole, Persistence, StateTransferPolicy,
-};
+use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
 use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 const G: GroupId = GroupId(1);
@@ -93,8 +91,10 @@ fn bench_state_overhead(c: &mut Criterion) {
         // limit across bench iterations (as a long-lived server would
         // configure it).
         let (mut core, clients) = build_core(
-            ServerConfig::stateful(ServerId::new(1))
-                .with_reduction(ReductionPolicy::MaxUpdates { max: 1024, keep: 128 }),
+            ServerConfig::stateful(ServerId::new(1)).with_reduction(ReductionPolicy::MaxUpdates {
+                max: 1024,
+                keep: 128,
+            }),
         );
         group.bench_with_input(
             BenchmarkId::new("stateful_memory", payload_len),
@@ -116,7 +116,10 @@ fn bench_state_overhead(c: &mut Criterion) {
         let (mut core, clients) = build_core(
             ServerConfig::stateful(ServerId::new(1))
                 .with_storage(&dir)
-                .with_reduction(ReductionPolicy::MaxUpdates { max: 1024, keep: 128 }),
+                .with_reduction(ReductionPolicy::MaxUpdates {
+                    max: 1024,
+                    keep: 128,
+                }),
         );
         group.bench_with_input(
             BenchmarkId::new("stateful_disk_on_path", payload_len),

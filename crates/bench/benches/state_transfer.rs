@@ -2,11 +2,11 @@
 //! accumulated group state grows: the customised-transfer argument is
 //! that a slow client should not pay for state it does not need.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use corona_statelog::GroupLog;
 use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
 use corona_types::policy::StateTransferPolicy;
 use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 /// Builds a log with `n` updates of 1000 bytes spread over 8 objects.

@@ -9,7 +9,8 @@
 //! averages 600 messages sent one per 100 ms.
 
 use corona_bench::{arg_value, header, row};
-use corona_sim::{roundtrip, ExperimentConfig};
+use corona_metrics::Registry;
+use corona_sim::{roundtrip_with_metrics, ExperimentConfig};
 
 fn main() {
     let payload: usize = arg_value("--payload")
@@ -26,10 +27,19 @@ fn main() {
     let interval_us: u64 = if payload > 4000 { 1_000_000 } else { 100_000 };
 
     println!("FIG3: round-trip delay vs #clients, single server, {payload}-byte messages");
-    println!("(deterministic simulation; calibrated 1999 host profiles; mean over {messages} msgs)\n");
+    println!(
+        "(deterministic simulation; calibrated 1999 host profiles; mean over {messages} msgs)\n"
+    );
     let widths = [8, 16, 16, 12];
-    println!("{}", header(&["clients", "stateful (ms)", "stateless (ms)", "overhead"], &widths));
+    println!(
+        "{}",
+        header(
+            &["clients", "stateful (ms)", "stateless (ms)", "overhead"],
+            &widths
+        )
+    );
 
+    let registry = Registry::new();
     let mut prev_stateful: Option<f64> = None;
     let mut first = None;
     for n in (5..=60).step_by(5) {
@@ -40,14 +50,20 @@ fn main() {
             interval_us,
             ..ExperimentConfig::default()
         };
-        let stateful = roundtrip(ExperimentConfig {
-            stateful: true,
-            ..base
-        });
-        let stateless = roundtrip(ExperimentConfig {
-            stateful: false,
-            ..base
-        });
+        let stateful = roundtrip_with_metrics(
+            ExperimentConfig {
+                stateful: true,
+                ..base
+            },
+            &registry,
+        );
+        let stateless = roundtrip_with_metrics(
+            ExperimentConfig {
+                stateful: false,
+                ..base
+            },
+            &registry,
+        );
         let overhead = (stateful.mean_ms - stateless.mean_ms) / stateless.mean_ms * 100.0;
         println!(
             "{}",
@@ -73,4 +89,9 @@ fn main() {
              the two curves stay within a few percent (paper: 'the two curves are very close')."
         );
     }
+
+    // Aggregate simulator metrics across the whole sweep (both
+    // curves): per-stage event counters plus fan-out/RTT latency
+    // histograms with p50/p90/p99.
+    println!("\nMETRICS {}", registry.snapshot().render_json());
 }

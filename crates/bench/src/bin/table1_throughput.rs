@@ -16,7 +16,10 @@ fn main() {
     let widths = [24, 14, 14, 12];
     println!(
         "{}",
-        header(&["server host", "1000 B", "10000 B", "srv util@10k"], &widths)
+        header(
+            &["server host", "1000 B", "10000 B", "srv util@10k"],
+            &widths
+        )
     );
 
     let window = 60_000_000; // 60 virtual seconds

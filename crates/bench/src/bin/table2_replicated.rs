@@ -8,7 +8,8 @@
 //! clients; compared against one server carrying the same population.
 
 use corona_bench::{header, row};
-use corona_sim::{roundtrip, ExperimentConfig};
+use corona_metrics::Registry;
+use corona_sim::{roundtrip_with_metrics, ExperimentConfig};
 
 fn main() {
     println!("TAB2: round-trip delay (ms), 1000-byte multicast, single vs 1+6 replicated servers");
@@ -16,9 +17,14 @@ fn main() {
     let widths = [10, 16, 20, 10];
     println!(
         "{}",
-        header(&["clients", "single (ms)", "replicated (ms)", "speedup"], &widths)
+        header(
+            &["clients", "single (ms)", "replicated (ms)", "speedup"],
+            &widths
+        )
     );
 
+    let single_registry = Registry::new();
+    let replicated_registry = Registry::new();
     for n in [100, 200, 300] {
         let base = ExperimentConfig {
             n_clients: n,
@@ -27,14 +33,20 @@ fn main() {
             closed_loop: true,
             ..ExperimentConfig::default()
         };
-        let single = roundtrip(ExperimentConfig {
-            n_servers: 1,
-            ..base
-        });
-        let replicated = roundtrip(ExperimentConfig {
-            n_servers: 6,
-            ..base
-        });
+        let single = roundtrip_with_metrics(
+            ExperimentConfig {
+                n_servers: 1,
+                ..base
+            },
+            &single_registry,
+        );
+        let replicated = roundtrip_with_metrics(
+            ExperimentConfig {
+                n_servers: 6,
+                ..base
+            },
+            &replicated_registry,
+        );
         println!(
             "{}",
             row(
@@ -55,5 +67,17 @@ fn main() {
          parallel over separate segments, while the single server serialises all\n\
          N sends on one CPU and one wire (paper: 'better scalability and\n\
          responsiveness to user requests are achieved')."
+    );
+
+    // Per-topology simulator metrics across all three populations:
+    // stage counters (origin/coordinator/member-server hops) and
+    // fan-out/RTT latency histograms with p50/p90/p99.
+    println!(
+        "\nMETRICS single {}",
+        single_registry.snapshot().render_json()
+    );
+    println!(
+        "METRICS replicated {}",
+        replicated_registry.snapshot().render_json()
     );
 }

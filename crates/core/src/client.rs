@@ -12,6 +12,7 @@
 //! routed to the event stream without disturbing the call.
 
 use crate::mirror::GroupMirror;
+use corona_transport::Connection;
 use corona_types::error::{CoronaError, ErrorCode, Result};
 use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, ServerEvent, StateTransfer, PROTOCOL_VERSION};
@@ -20,7 +21,6 @@ use corona_types::policy::{
 };
 use corona_types::state::{SharedState, StateUpdate};
 use corona_types::wire::{Decode, Encode};
-use corona_transport::Connection;
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -245,8 +245,12 @@ impl CoronaClient {
         role: MemberRole,
         notify_membership: bool,
     ) -> Result<(Vec<MemberInfo>, GroupMirror)> {
-        let (members, transfer) =
-            self.join(group, role, StateTransferPolicy::FullState, notify_membership)?;
+        let (members, transfer) = self.join(
+            group,
+            role,
+            StateTransferPolicy::FullState,
+            notify_membership,
+        )?;
         Ok((members, GroupMirror::from_transfer(&transfer)))
     }
 

@@ -44,6 +44,9 @@ pub struct ServerConfig {
     /// QoS-adaptive delivery policy (§5.3 extension): load-shed
     /// expendable event classes to clients that cannot keep up.
     pub qos: QosPolicy,
+    /// If set, a background thread dumps the server's metric registry
+    /// as one JSON line to stderr at this interval.
+    pub metrics_dump_interval: Option<std::time::Duration>,
 }
 
 impl ServerConfig {
@@ -58,6 +61,7 @@ impl ServerConfig {
             policy: Arc::new(AllowAll),
             log_on_critical_path: false,
             qos: QosPolicy::default(),
+            metrics_dump_interval: None,
         }
     }
 
@@ -111,6 +115,13 @@ impl ServerConfig {
         self.qos = qos;
         self
     }
+
+    /// Enables periodic JSON metric dumps to stderr (builder-style).
+    #[must_use]
+    pub fn with_metrics_dump_interval(mut self, interval: std::time::Duration) -> Self {
+        self.metrics_dump_interval = Some(interval);
+        self
+    }
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -139,7 +150,10 @@ mod tests {
             .with_reduction(ReductionPolicy::default_interactive())
             .with_log_on_critical_path(true);
         assert_eq!(cfg.statefulness, Statefulness::Stateful);
-        assert_eq!(cfg.storage_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        assert_eq!(
+            cfg.storage_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
         assert_eq!(cfg.sync_policy, SyncPolicy::EveryRecord);
         assert!(cfg.log_on_critical_path);
     }

@@ -18,8 +18,9 @@
 //! connections.
 
 use crate::config::{ServerConfig, Statefulness};
-use corona_membership::{Action, GroupRegistry, LockTable, RegistryError, SessionPolicy};
 use corona_membership::{AcquireOutcome, MembershipError};
+use corona_membership::{Action, GroupRegistry, LockTable, RegistryError, SessionPolicy};
+use corona_metrics::{Counter, Histogram, Registry};
 use corona_statelog::{GroupLog, ReductionPolicy};
 use corona_types::error::ErrorCode;
 use corona_types::id::{ClientId, GroupId, IdAllocator, SeqNo, ServerId};
@@ -111,7 +112,10 @@ struct ClientMeta {
     connected: bool,
 }
 
-/// Counters the core maintains; mirrored into the runtime's stats.
+/// Counter snapshot exposed by [`ServerCore::counters`]. The values
+/// live in the core's metric [`Registry`] (names `core.broadcasts`,
+/// `core.deliveries`, `core.joins`, `core.reductions`); this struct is
+/// a convenience read of those counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreCounters {
     /// Client broadcasts accepted and sequenced.
@@ -122,6 +126,42 @@ pub struct CoreCounters {
     pub joins: u64,
     /// Automatic or requested log reductions performed.
     pub reductions: u64,
+}
+
+/// Registry-backed metric handles the core records into. Handles are
+/// resolved once (per group for the delivery counters) so the hot
+/// paths only touch atomics.
+struct CoreMetrics {
+    registry: Arc<Registry>,
+    broadcasts: Arc<Counter>,
+    deliveries: Arc<Counter>,
+    joins: Arc<Counter>,
+    reductions: Arc<Counter>,
+    lock_waits: Arc<Counter>,
+    lock_wait_us: Arc<Histogram>,
+    group_deliveries: HashMap<GroupId, Arc<Counter>>,
+}
+
+impl CoreMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        CoreMetrics {
+            broadcasts: registry.counter("core.broadcasts"),
+            deliveries: registry.counter("core.deliveries"),
+            joins: registry.counter("core.joins"),
+            reductions: registry.counter("core.reductions"),
+            lock_waits: registry.counter("core.lock_waits"),
+            lock_wait_us: registry.histogram("core.lock_wait_us"),
+            group_deliveries: HashMap::new(),
+            registry,
+        }
+    }
+
+    fn group_deliveries(&mut self, group: GroupId) -> &Counter {
+        let registry = &self.registry;
+        self.group_deliveries
+            .entry(group)
+            .or_insert_with(|| registry.counter(&format!("core.group.{group}.deliveries")))
+    }
 }
 
 /// The Corona server state machine. See the module docs.
@@ -140,13 +180,27 @@ pub struct ServerCore {
     locks: LockTable,
     clients: HashMap<ClientId, ClientMeta>,
     next_client: IdAllocator,
-    counters: CoreCounters,
+    metrics: CoreMetrics,
+    /// Contended lock acquisitions awaiting a grant, keyed by
+    /// (group, object, waiter), with the enqueue timestamp.
+    pending_locks: HashMap<(GroupId, corona_types::id::ObjectId, ClientId), Timestamp>,
+    /// Most recent caller-supplied timestamp; used to time lock grants
+    /// without the core reading a clock.
+    last_now: Timestamp,
     storage_enabled: bool,
 }
 
 impl ServerCore {
-    /// Creates a core from a server configuration.
+    /// Creates a core from a server configuration, with a private
+    /// metric registry.
     pub fn new(config: &ServerConfig) -> Self {
+        Self::with_registry(config, Registry::new())
+    }
+
+    /// Creates a core that records its metrics into `registry` —
+    /// the runtime shares one registry across the core, transport and
+    /// logger so a single snapshot covers the whole server.
+    pub fn with_registry(config: &ServerConfig, registry: Arc<Registry>) -> Self {
         ServerCore {
             server_id: config.server_id,
             stateful: config.statefulness == Statefulness::Stateful,
@@ -159,7 +213,9 @@ impl ServerCore {
             locks: LockTable::new(),
             clients: HashMap::new(),
             next_client: IdAllocator::starting_at(1),
-            counters: CoreCounters::default(),
+            metrics: CoreMetrics::new(registry),
+            pending_locks: HashMap::new(),
+            last_now: Timestamp::ZERO,
             storage_enabled: config.storage_dir.is_some(),
         }
     }
@@ -171,7 +227,17 @@ impl ServerCore {
 
     /// Counter snapshot.
     pub fn counters(&self) -> CoreCounters {
-        self.counters
+        CoreCounters {
+            broadcasts: self.metrics.broadcasts.get(),
+            deliveries: self.metrics.deliveries.get(),
+            joins: self.metrics.joins.get(),
+            reductions: self.metrics.reductions.get(),
+        }
+    }
+
+    /// The metric registry this core records into.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.metrics.registry)
     }
 
     /// Number of live groups.
@@ -266,6 +332,7 @@ impl ServerCore {
         request: ClientRequest,
         now: Timestamp,
     ) -> Vec<Effect> {
+        self.last_now = now;
         match request {
             ClientRequest::Hello { .. } => {
                 // A second Hello on an established session is a
@@ -333,16 +400,38 @@ impl ServerCore {
         }
         for (group, object, next) in self.locks.release_all(client) {
             if let Some(next) = next {
+                self.note_lock_granted(group, object, next);
                 effects.push(Effect::send(
                     next,
                     ServerEvent::LockGranted { group, object },
                 ));
             }
         }
+        // Abandoned waits never resolve; drop their pending entries.
+        self.pending_locks
+            .retain(|(_, _, waiter), _| *waiter != client);
         if let Some(meta) = self.clients.get_mut(&client) {
             meta.connected = false;
         }
         effects
+    }
+
+    /// Records the wait of a queued lock acquisition that was just
+    /// granted, timed with caller-supplied timestamps (the core reads
+    /// no clock).
+    fn note_lock_granted(
+        &mut self,
+        group: GroupId,
+        object: corona_types::id::ObjectId,
+        next: ClientId,
+    ) {
+        if let Some(enqueued) = self.pending_locks.remove(&(group, object, next)) {
+            self.metrics.lock_wait_us.record(
+                self.last_now
+                    .as_micros()
+                    .saturating_sub(enqueued.as_micros()),
+            );
+        }
     }
 
     // ----- replication support ----------------------------------------------
@@ -408,7 +497,7 @@ impl ServerCore {
                 update,
             }
         };
-        self.counters.broadcasts += 1;
+        self.metrics.broadcasts.inc();
         if self.stateful {
             let due = {
                 let log = self.logs.get(&group).expect("stateful group has a log");
@@ -482,7 +571,11 @@ impl ServerCore {
         initial_state: SharedState,
     ) -> Vec<Effect> {
         if !self.policy.authorize(client, &Action::CreateGroup(group)) {
-            return vec![Effect::error(client, ErrorCode::PolicyDenied, "create denied")];
+            return vec![Effect::error(
+                client,
+                ErrorCode::PolicyDenied,
+                "create denied",
+            )];
         }
         if let Err(e) = self.registry.create(group, persistence) {
             return vec![registry_error(client, group, e)];
@@ -508,7 +601,11 @@ impl ServerCore {
 
     fn delete_group(&mut self, client: ClientId, group: GroupId) -> Vec<Effect> {
         if !self.policy.authorize(client, &Action::DeleteGroup(group)) {
-            return vec![Effect::error(client, ErrorCode::PolicyDenied, "delete denied")];
+            return vec![Effect::error(
+                client,
+                ErrorCode::PolicyDenied,
+                "delete denied",
+            )];
         }
         let removed = match self.registry.delete(group) {
             Ok(g) => g,
@@ -529,6 +626,7 @@ impl ServerCore {
     /// delete, or transient dissolution).
     fn drop_group_state(&mut self, group: GroupId) -> Vec<Effect> {
         self.locks.clear_group(group);
+        self.pending_locks.retain(|(g, _, _), _| *g != group);
         self.logs.remove(&group);
         self.stateless_seq.remove(&group);
         let persistence = self.persistence.remove(&group);
@@ -548,7 +646,11 @@ impl ServerCore {
         notify_membership: bool,
     ) -> Vec<Effect> {
         if !self.policy.authorize(client, &Action::Join { group, role }) {
-            return vec![Effect::error(client, ErrorCode::PolicyDenied, "join denied")];
+            return vec![Effect::error(
+                client,
+                ErrorCode::PolicyDenied,
+                "join denied",
+            )];
         }
         let display_name = self
             .clients
@@ -561,7 +663,7 @@ impl ServerCore {
             Err(e) => return vec![registry_error(client, group, e)],
         };
         let members = joined.member_infos();
-        self.counters.joins += 1;
+        self.metrics.joins.inc();
 
         // The join protocol does not involve existing members (§3.2):
         // the transfer is served entirely from server state.
@@ -586,12 +688,15 @@ impl ServerCore {
         let mut effects = vec![Effect::send(client, ServerEvent::Left { group })];
         for (object, next) in self.locks.release_client_group(group, client) {
             if let Some(next) = next {
+                self.note_lock_granted(group, object, next);
                 effects.push(Effect::send(
                     next,
                     ServerEvent::LockGranted { group, object },
                 ));
             }
         }
+        self.pending_locks
+            .retain(|(g, _, waiter), _| !(*g == group && *waiter == client));
         if outcome.dissolved {
             effects.extend(self.drop_group_state(group));
         } else {
@@ -636,7 +741,11 @@ impl ServerCore {
                 object: update.object,
             },
         ) {
-            return vec![Effect::error(client, ErrorCode::PolicyDenied, "broadcast denied")];
+            return vec![Effect::error(
+                client,
+                ErrorCode::PolicyDenied,
+                "broadcast denied",
+            )];
         }
 
         let mut effects = Vec::new();
@@ -662,16 +771,17 @@ impl ServerCore {
                 update,
             }
         };
-        self.counters.broadcasts += 1;
+        self.metrics.broadcasts.inc();
 
         // Fan out via multiple point-to-point sends (the measured
         // configuration of §5.2).
         let g = self.registry.get(group).expect("checked above");
+        let mut fanned = 0u64;
         for member in g.member_ids() {
             if scope == DeliveryScope::SenderExclusive && member == client {
                 continue;
             }
-            self.counters.deliveries += 1;
+            fanned += 1;
             effects.push(Effect::send(
                 member,
                 ServerEvent::Multicast {
@@ -680,6 +790,8 @@ impl ServerCore {
                 },
             ));
         }
+        self.metrics.deliveries.add(fanned);
+        self.metrics.group_deliveries(group).add(fanned);
 
         // Service-initiated log reduction (§3.2), after the fan-out so
         // it is off the latency-critical path.
@@ -751,7 +863,10 @@ impl ServerCore {
                 }
                 match self.locks.acquire(group, object, client, wait) {
                     AcquireOutcome::Granted => {
-                        vec![Effect::send(client, ServerEvent::LockGranted { group, object })]
+                        vec![Effect::send(
+                            client,
+                            ServerEvent::LockGranted { group, object },
+                        )]
                     }
                     AcquireOutcome::Denied { holder } => vec![Effect::send(
                         client,
@@ -763,7 +878,12 @@ impl ServerCore {
                     )],
                     // Queued: the grant arrives asynchronously when the
                     // holder releases.
-                    AcquireOutcome::Queued { .. } => Vec::new(),
+                    AcquireOutcome::Queued { .. } => {
+                        self.metrics.lock_waits.inc();
+                        self.pending_locks
+                            .insert((group, object, client), self.last_now);
+                        Vec::new()
+                    }
                 }
             }
             Some(_) => vec![registry_error(
@@ -788,6 +908,7 @@ impl ServerCore {
                     ServerEvent::LockReleased { group, object },
                 )];
                 if let Some(next) = next {
+                    self.note_lock_granted(group, object, next);
                     effects.push(Effect::send(
                         next,
                         ServerEvent::LockGranted { group, object },
@@ -810,7 +931,11 @@ impl ServerCore {
         through: Option<SeqNo>,
     ) -> Vec<Effect> {
         if !self.policy.authorize(client, &Action::ReduceLog(group)) {
-            return vec![Effect::error(client, ErrorCode::PolicyDenied, "reduce denied")];
+            return vec![Effect::error(
+                client,
+                ErrorCode::PolicyDenied,
+                "reduce denied",
+            )];
         }
         if !self.stateful {
             return vec![Effect::error(
@@ -857,7 +982,7 @@ impl ServerCore {
         if log.reduce(through).is_err() {
             return Vec::new();
         }
-        self.counters.reductions += 1;
+        self.metrics.reductions.inc();
         let mut effects = Vec::new();
         if self.storage_enabled && self.persistence.get(&group) == Some(&Persistence::Persistent) {
             effects.push(Effect::Log(LogEffect::Checkpoint {

@@ -179,7 +179,10 @@ mod tests {
     fn detects_duplicates_and_gaps() {
         let mut m = fresh_mirror();
         m.apply_event(&multicast(1, 1, "a"));
-        assert_eq!(m.apply_event(&multicast(1, 1, "a")), ApplyOutcome::Duplicate);
+        assert_eq!(
+            m.apply_event(&multicast(1, 1, "a")),
+            ApplyOutcome::Duplicate
+        );
         assert_eq!(
             m.apply_event(&multicast(1, 5, "z")),
             ApplyOutcome::Gap {
@@ -209,10 +212,7 @@ mod tests {
                     seq: SeqNo::new(s),
                     sender: ClientId::new(1),
                     timestamp: Timestamp::ZERO,
-                    update: StateUpdate::incremental(
-                        ObjectId::new(1),
-                        format!("{s}").into_bytes(),
-                    ),
+                    update: StateUpdate::incremental(ObjectId::new(1), format!("{s}").into_bytes()),
                 })
                 .collect(),
         };

@@ -22,17 +22,19 @@
 use crate::config::ServerConfig;
 use crate::core::{Effect, LogEffect, ServerCore};
 use crate::qos::{classify, QosPolicy};
+use corona_metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use corona_statelog::{GroupStore, StableStore};
+use corona_transport::{Connection, Listener, MeteredConnection, TransportMetrics};
 use corona_types::error::{CoronaError, Result};
 use corona_types::id::{ClientId, GroupId};
 use corona_types::message::{ClientRequest, ServerEvent};
 use corona_types::state::Timestamp;
 use corona_types::wire::{Decode, Encode};
-use corona_transport::{Connection, Listener};
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A point-in-time statistics snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -47,6 +49,12 @@ pub struct ServerStats {
     pub reductions: u64,
     /// Events shed by the QoS-adaptive delivery policy (§5.3).
     pub shed: u64,
+    /// Transport connections accepted since start.
+    pub conns_accepted: u64,
+    /// Transport connections closed since start.
+    pub conns_closed: u64,
+    /// Inbound frames dropped because they failed to decode.
+    pub decode_errors: u64,
     /// Live groups.
     pub groups: usize,
     /// Known clients (connected or resumable).
@@ -66,7 +74,51 @@ enum Command {
         conn_id: u64,
     },
     Stats(Sender<ServerStats>),
+    Metrics(Sender<MetricsSnapshot>),
     Shutdown,
+}
+
+/// Runtime-level metric handles, resolved once from the server's
+/// shared registry. Stage histograms record microseconds.
+struct ServerMetrics {
+    registry: Arc<Registry>,
+    conns_accepted: Arc<Counter>,
+    conns_closed: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    shed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    stage_handle_us: Arc<Histogram>,
+    stage_fanout_us: Arc<Histogram>,
+    stage_log_us: Arc<Histogram>,
+    group_shed: HashMap<GroupId, Arc<Counter>>,
+}
+
+impl ServerMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        ServerMetrics {
+            conns_accepted: registry.counter("server.conns.accepted"),
+            conns_closed: registry.counter("server.conns.closed"),
+            decode_errors: registry.counter("server.decode_errors"),
+            shed: registry.counter("server.shed"),
+            queue_depth: registry.gauge("server.queue.depth"),
+            stage_handle_us: registry.histogram("server.stage.handle_us"),
+            stage_fanout_us: registry.histogram("server.stage.fanout_us"),
+            stage_log_us: registry.histogram("server.stage.log_us"),
+            group_shed: HashMap::new(),
+            registry,
+        }
+    }
+
+    fn note_shed(&mut self, event: &ServerEvent) {
+        self.shed.inc();
+        if let ServerEvent::Multicast { group, .. } = event {
+            let registry = &self.registry;
+            self.group_shed
+                .entry(*group)
+                .or_insert_with(|| registry.counter(&format!("server.group.{group}.shed")))
+                .inc();
+        }
+    }
 }
 
 struct ConnState {
@@ -139,6 +191,9 @@ pub struct CoronaServer {
     accept: Option<JoinHandle<()>>,
     logger: Option<JoinHandle<()>>,
     listener: Arc<Box<dyn Listener>>,
+    registry: Arc<Registry>,
+    dump_stop: Option<Sender<()>>,
+    dump: Option<JoinHandle<()>>,
 }
 
 impl CoronaServer {
@@ -154,12 +209,13 @@ impl CoronaServer {
     /// Storage open/recovery failures.
     pub fn start(listener: Box<dyn Listener>, config: ServerConfig) -> Result<CoronaServer> {
         let addr = listener.local_addr();
-        let mut core = ServerCore::new(&config);
+        let registry = Registry::new();
+        let mut core = ServerCore::with_registry(&config, Arc::clone(&registry));
 
         // Recover persistent groups before serving.
         let mut logger_state = match &config.storage_dir {
             Some(dir) => {
-                let store = StableStore::open(dir, config.sync_policy)?;
+                let store = StableStore::open(dir, config.sync_policy)?.with_metrics(&registry);
                 let mut handles = HashMap::new();
                 for group in store.list_groups()? {
                     if let Some((recovered, handle)) = store.recover_group(group)? {
@@ -198,15 +254,40 @@ impl CoronaServer {
                 .expect("spawn dispatcher thread")
         };
 
-        // Accept thread.
+        // Accept thread. Accepted connections are wrapped in
+        // [`MeteredConnection`] so all client traffic is accounted in
+        // the shared registry.
         let listener: Arc<Box<dyn Listener>> = Arc::new(listener);
         let accept = {
             let cmd_tx = cmd_tx.clone();
             let listener = Arc::clone(&listener);
+            let transport_metrics = TransportMetrics::new(&registry);
             std::thread::Builder::new()
                 .name("corona-accept".into())
-                .spawn(move || accept_loop(listener, cmd_tx))
+                .spawn(move || accept_loop(listener, cmd_tx, transport_metrics))
                 .expect("spawn accept thread")
+        };
+
+        // Optional periodic metrics dump (one JSON line to stderr).
+        let (dump_stop, dump) = match config.metrics_dump_interval {
+            Some(interval) => {
+                let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+                let registry = Arc::clone(&registry);
+                let addr = addr.clone();
+                let handle = std::thread::Builder::new()
+                    .name("corona-metrics-dump".into())
+                    .spawn(move || {
+                        while let Err(RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                            eprintln!(
+                                "corona-metrics {addr} {}",
+                                registry.snapshot().render_json()
+                            );
+                        }
+                    })
+                    .expect("spawn metrics dump thread");
+                (Some(stop_tx), Some(handle))
+            }
+            None => (None, None),
         };
 
         Ok(CoronaServer {
@@ -216,6 +297,9 @@ impl CoronaServer {
             accept: Some(accept),
             logger: logger_handle,
             listener,
+            registry,
+            dump_stop,
+            dump,
         })
     }
 
@@ -238,6 +322,28 @@ impl CoronaServer {
         rx.recv().map_err(|_| CoronaError::Closed)
     }
 
+    /// A full snapshot of the server's metric registry (core counters,
+    /// stage latency histograms, transport traffic, storage timings),
+    /// answered by the dispatcher for consistency with [`Self::stats`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Closed`] if the server has shut down.
+    pub fn metrics(&self) -> Result<MetricsSnapshot> {
+        let (tx, rx) = channel::bounded(1);
+        self.cmd_tx
+            .send(Command::Metrics(tx))
+            .map_err(|_| CoronaError::Closed)?;
+        rx.recv().map_err(|_| CoronaError::Closed)
+    }
+
+    /// The metric registry shared by this server's core, transport and
+    /// logger. Live handle — snapshots taken here race the dispatcher;
+    /// use [`Self::metrics`] for a consistent cut.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
     /// Orderly shutdown: stop accepting, close every connection, drain
     /// the logger and sync stable storage.
     pub fn shutdown(mut self) {
@@ -247,6 +353,9 @@ impl CoronaServer {
     fn shutdown_inner(&mut self) {
         self.listener.shutdown();
         let _ = self.cmd_tx.send(Command::Shutdown);
+        if let Some(stop) = self.dump_stop.take() {
+            let _ = stop.send(());
+        }
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
@@ -254,6 +363,9 @@ impl CoronaServer {
             let _ = h.join();
         }
         if let Some(h) = self.logger.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dump.take() {
             let _ = h.join();
         }
     }
@@ -302,11 +414,18 @@ fn logger_loop(mut state: LoggerState, rx: Receiver<LogEffect>) {
     state.sync_all();
 }
 
-fn accept_loop(listener: Arc<Box<dyn Listener>>, cmd_tx: Sender<Command>) {
+fn accept_loop(
+    listener: Arc<Box<dyn Listener>>,
+    cmd_tx: Sender<Command>,
+    transport_metrics: TransportMetrics,
+) {
     let mut next_conn: u64 = 1;
     loop {
         let Ok(conn) = listener.accept() else { break };
-        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
+        let conn: Arc<Box<dyn Connection>> = Arc::new(Box::new(MeteredConnection::new(
+            conn,
+            transport_metrics.clone(),
+        )));
         let conn_id = next_conn;
         next_conn += 1;
         if cmd_tx
@@ -322,14 +441,9 @@ fn accept_loop(listener: Arc<Box<dyn Listener>>, cmd_tx: Sender<Command>) {
         std::thread::Builder::new()
             .name(format!("corona-conn-{conn_id}"))
             .spawn(move || {
-                loop {
-                    match conn.recv() {
-                        Ok(frame) => {
-                            if reader_tx.send(Command::Frame { conn_id, frame }).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
+                while let Ok(frame) = conn.recv() {
+                    if reader_tx.send(Command::Frame { conn_id, frame }).is_err() {
+                        break;
                     }
                 }
                 let _ = reader_tx.send(Command::Closed { conn_id });
@@ -346,11 +460,13 @@ fn dispatcher_loop(
 ) {
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut client_conn: HashMap<ClientId, u64> = HashMap::new();
-    let mut shed: u64 = 0;
+    let mut metrics = ServerMetrics::new(core.metrics_registry());
 
     while let Ok(cmd) = cmd_rx.recv() {
+        metrics.queue_depth.set(cmd_rx.len() as i64);
         match cmd {
             Command::Accepted { conn_id, conn } => {
+                metrics.conns_accepted.inc();
                 conns.insert(conn_id, ConnState { conn, client: None });
             }
             Command::Frame { conn_id, frame } => {
@@ -359,6 +475,7 @@ fn dispatcher_loop(
                     Err(_) => {
                         // Malformed frame: drop the connection (it may
                         // be version-skewed or hostile).
+                        metrics.decode_errors.inc();
                         if let Some(state) = conns.get(&conn_id) {
                             state.conn.close();
                         }
@@ -366,6 +483,7 @@ fn dispatcher_loop(
                     }
                 };
                 let now = Timestamp::now();
+                let handle_started = Instant::now();
                 let effects = match conns.get(&conn_id).and_then(|s| s.client) {
                     None => match request {
                         ClientRequest::Hello {
@@ -403,14 +521,25 @@ fn dispatcher_loop(
                         effects
                     }
                 };
-                execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut shed);
+                metrics
+                    .stage_handle_us
+                    .record_duration(handle_started.elapsed());
+                execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut metrics);
             }
             Command::Closed { conn_id } => {
                 if let Some(state) = conns.remove(&conn_id) {
+                    metrics.conns_closed.inc();
                     if let Some(client) = state.client {
                         client_conn.remove(&client);
                         let effects = core.client_disconnected(client);
-                        execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut shed);
+                        execute_effects(
+                            effects,
+                            &conns,
+                            &client_conn,
+                            &mut log,
+                            &qos,
+                            &mut metrics,
+                        );
                     }
                 }
             }
@@ -421,10 +550,16 @@ fn dispatcher_loop(
                     deliveries: c.deliveries,
                     joins: c.joins,
                     reductions: c.reductions,
-                    shed,
+                    shed: metrics.shed.get(),
+                    conns_accepted: metrics.conns_accepted.get(),
+                    conns_closed: metrics.conns_closed.get(),
+                    decode_errors: metrics.decode_errors.get(),
                     groups: core.group_count(),
                     clients: core.client_count(),
                 });
+            }
+            Command::Metrics(reply) => {
+                let _ = reply.send(metrics.registry.snapshot());
             }
             Command::Shutdown => break,
         }
@@ -443,26 +578,38 @@ fn execute_effects(
     client_conn: &HashMap<ClientId, u64>,
     log: &mut LogSink,
     qos: &QosPolicy,
-    shed: &mut u64,
+    metrics: &mut ServerMetrics,
 ) {
+    let fanout_started = Instant::now();
+    let mut fanned = false;
     for effect in effects {
         match effect {
             Effect::Send { to, event } => {
+                fanned = true;
                 if let Some(conn_id) = client_conn.get(&to) {
                     if let Some(state) = conns.get(conn_id) {
                         // QoS-adaptive delivery (§5.3): expendable
                         // classes are shed for clients whose transmit
                         // backlog shows they cannot keep up.
                         if !qos.should_deliver(classify(&event), state.conn.backlog()) {
-                            *shed += 1;
+                            metrics.note_shed(&event);
                             continue;
                         }
                         let _ = state.conn.send(encode_event(&event));
                     }
                 }
             }
-            Effect::Log(log_effect) => log.apply(log_effect),
+            Effect::Log(log_effect) => {
+                let log_started = Instant::now();
+                log.apply(log_effect);
+                metrics.stage_log_us.record_duration(log_started.elapsed());
+            }
         }
+    }
+    if fanned {
+        metrics
+            .stage_fanout_us
+            .record_duration(fanout_started.elapsed());
     }
 }
 

@@ -5,9 +5,7 @@
 use corona_core::{config::ServerConfig, core::Effect, mirror::GroupMirror, ServerCore};
 use corona_types::id::{GroupId, ObjectId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, ServerEvent, StateTransfer};
-use corona_types::policy::{
-    DeliveryScope, MemberRole, Persistence, StateTransferPolicy,
-};
+use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
 use corona_types::state::{SharedState, StateUpdate, Timestamp, UpdateKind};
 use proptest::prelude::*;
 
@@ -19,16 +17,55 @@ const OBJECTS: u64 = 3;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create { client: u64, group: u64, persistent: bool },
-    Delete { client: u64, group: u64 },
-    Join { client: u64, group: u64, observer: bool, notify: bool },
-    Leave { client: u64, group: u64 },
-    Broadcast { client: u64, group: u64, object: u64, set: bool, payload: Vec<u8>, exclusive: bool },
-    Lock { client: u64, group: u64, object: u64, wait: bool },
-    Unlock { client: u64, group: u64, object: u64 },
-    Reduce { client: u64, group: u64 },
-    Disconnect { client: u64 },
-    GetState { client: u64, group: u64 },
+    Create {
+        client: u64,
+        group: u64,
+        persistent: bool,
+    },
+    Delete {
+        client: u64,
+        group: u64,
+    },
+    Join {
+        client: u64,
+        group: u64,
+        observer: bool,
+        notify: bool,
+    },
+    Leave {
+        client: u64,
+        group: u64,
+    },
+    Broadcast {
+        client: u64,
+        group: u64,
+        object: u64,
+        set: bool,
+        payload: Vec<u8>,
+        exclusive: bool,
+    },
+    Lock {
+        client: u64,
+        group: u64,
+        object: u64,
+        wait: bool,
+    },
+    Unlock {
+        client: u64,
+        group: u64,
+        object: u64,
+    },
+    Reduce {
+        client: u64,
+        group: u64,
+    },
+    Disconnect {
+        client: u64,
+    },
+    GetState {
+        client: u64,
+        group: u64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -59,52 +96,108 @@ fn to_request(op: &Op) -> Option<(u64, ClientRequest)> {
     let gid = |g: u64| GroupId::new(g + 1);
     let oid = |o: u64| ObjectId::new(o + 1);
     Some(match op {
-        Op::Create { client, group, persistent } => (
+        Op::Create {
+            client,
+            group,
+            persistent,
+        } => (
             *client,
             ClientRequest::CreateGroup {
                 group: gid(*group),
-                persistence: if *persistent { Persistence::Persistent } else { Persistence::Transient },
+                persistence: if *persistent {
+                    Persistence::Persistent
+                } else {
+                    Persistence::Transient
+                },
                 initial_state: SharedState::new(),
             },
         ),
-        Op::Delete { client, group } => (*client, ClientRequest::DeleteGroup { group: gid(*group) }),
-        Op::Join { client, group, observer, notify } => (
+        Op::Delete { client, group } => {
+            (*client, ClientRequest::DeleteGroup { group: gid(*group) })
+        }
+        Op::Join {
+            client,
+            group,
+            observer,
+            notify,
+        } => (
             *client,
             ClientRequest::Join {
                 group: gid(*group),
-                role: if *observer { MemberRole::Observer } else { MemberRole::Principal },
+                role: if *observer {
+                    MemberRole::Observer
+                } else {
+                    MemberRole::Principal
+                },
                 policy: StateTransferPolicy::FullState,
                 notify_membership: *notify,
             },
         ),
         Op::Leave { client, group } => (*client, ClientRequest::Leave { group: gid(*group) }),
-        Op::Broadcast { client, group, object, set, payload, exclusive } => (
+        Op::Broadcast {
+            client,
+            group,
+            object,
+            set,
+            payload,
+            exclusive,
+        } => (
             *client,
             ClientRequest::Broadcast {
                 group: gid(*group),
                 update: StateUpdate {
                     object: oid(*object),
-                    kind: if *set { UpdateKind::SetState } else { UpdateKind::Incremental },
+                    kind: if *set {
+                        UpdateKind::SetState
+                    } else {
+                        UpdateKind::Incremental
+                    },
                     payload: payload.clone().into(),
                 },
-                scope: if *exclusive { DeliveryScope::SenderExclusive } else { DeliveryScope::SenderInclusive },
+                scope: if *exclusive {
+                    DeliveryScope::SenderExclusive
+                } else {
+                    DeliveryScope::SenderInclusive
+                },
             },
         ),
-        Op::Lock { client, group, object, wait } => (
+        Op::Lock {
+            client,
+            group,
+            object,
+            wait,
+        } => (
             *client,
-            ClientRequest::AcquireLock { group: gid(*group), object: oid(*object), wait: *wait },
+            ClientRequest::AcquireLock {
+                group: gid(*group),
+                object: oid(*object),
+                wait: *wait,
+            },
         ),
-        Op::Unlock { client, group, object } => (
+        Op::Unlock {
+            client,
+            group,
+            object,
+        } => (
             *client,
-            ClientRequest::ReleaseLock { group: gid(*group), object: oid(*object) },
+            ClientRequest::ReleaseLock {
+                group: gid(*group),
+                object: oid(*object),
+            },
         ),
         Op::Reduce { client, group } => (
             *client,
-            ClientRequest::ReduceLog { group: gid(*group), through: None },
+            ClientRequest::ReduceLog {
+                group: gid(*group),
+                through: None,
+            },
         ),
         Op::GetState { client, group } => (
             *client,
-            ClientRequest::GetState { group: gid(*group), policy: StateTransferPolicy::FullState },
+            ClientRequest::GetState {
+                group: gid(*group),
+                policy: StateTransferPolicy::FullState,
+            },
         ),
         Op::Disconnect { .. } => return None,
     })

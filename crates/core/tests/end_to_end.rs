@@ -39,11 +39,21 @@ fn basic_collaboration_over_mem_transport() {
         .create_group(G, Persistence::Transient, SharedState::new())
         .unwrap();
     let (members, _) = alice
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     assert_eq!(members.len(), 1);
     let (members, _) = bob
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     assert_eq!(members.len(), 2);
 
@@ -82,7 +92,12 @@ fn late_joiner_converges_via_mirror() {
         .unwrap();
     for i in 0..20 {
         writer
-            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .bcast_update(
+                G,
+                O,
+                format!("{i};").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
             .unwrap();
     }
     // Ensure all broadcasts are sequenced before the late join (ping
@@ -150,11 +165,10 @@ fn total_order_agrees_across_concurrent_senders() {
     for c in &clients {
         let mut seen = Vec::new();
         while seen.len() < 100 {
-            match c.next_event_timeout(Duration::from_secs(10)).unwrap() {
-                ServerEvent::Multicast { logged, .. } => {
-                    seen.push((logged.seq, logged.update.payload.clone()))
-                }
-                _ => {}
+            if let ServerEvent::Multicast { logged, .. } =
+                c.next_event_timeout(Duration::from_secs(10)).unwrap()
+            {
+                seen.push((logged.seq, logged.update.payload.clone()))
             }
         }
         // Seq numbers strictly increasing.
@@ -201,8 +215,13 @@ fn persistence_across_server_restart() {
         c.join(G, MemberRole::Principal, StateTransferPolicy::None, false)
             .unwrap();
         for i in 0..10 {
-            c.bcast_update(G, O, format!("{i},").into_bytes(), DeliveryScope::SenderExclusive)
-                .unwrap();
+            c.bcast_update(
+                G,
+                O,
+                format!("{i},").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
+            .unwrap();
         }
         c.ping().unwrap(); // flush pipeline
         c.close();
@@ -220,11 +239,21 @@ fn persistence_across_server_restart() {
         let conn = net.dial_from("rejoiner", "server2").unwrap();
         let c = CoronaClient::connect(Box::new(conn), "rejoiner", None).unwrap();
         let (_, transfer) = c
-            .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+            .join(
+                G,
+                MemberRole::Principal,
+                StateTransferPolicy::FullState,
+                false,
+            )
             .unwrap();
         let expected: String = (0..10).map(|i| format!("{i},")).collect();
         assert_eq!(
-            transfer.reconstruct().object(O).unwrap().materialize().as_ref(),
+            transfer
+                .reconstruct()
+                .object(O)
+                .unwrap()
+                .materialize()
+                .as_ref(),
             expected.as_bytes()
         );
         assert_eq!(transfer.through, SeqNo::new(10));
@@ -247,7 +276,12 @@ fn reconnect_resume_and_catchup() {
     let b = CoronaClient::connect(Box::new(b_conn), "b", None).unwrap();
     let b_id = b.client_id();
     let (_, transfer) = b
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     let seen_through = transfer.through;
     // b "crashes".
@@ -256,8 +290,13 @@ fn reconnect_resume_and_catchup() {
 
     // Traffic continues while b is away.
     for i in 0..5 {
-        a.bcast_update(G, O, format!("{i}").into_bytes(), DeliveryScope::SenderExclusive)
-            .unwrap();
+        a.bcast_update(
+            G,
+            O,
+            format!("{i}").into_bytes(),
+            DeliveryScope::SenderExclusive,
+        )
+        .unwrap();
     }
     a.ping().unwrap();
 
@@ -315,7 +354,12 @@ fn protocol_errors_surface_as_typed_errors() {
     let c = mem_client(&net, "c");
     // Join a group that does not exist.
     let err = c
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap_err();
     assert_eq!(err.code(), Some(ErrorCode::NoSuchGroup));
     // Create twice.
@@ -407,10 +451,20 @@ fn works_over_real_tcp() {
         .create_group(G, Persistence::Transient, SharedState::new())
         .unwrap();
     alice
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
-    bob.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
-        .unwrap();
+    bob.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )
+    .unwrap();
 
     // 1000-byte payloads as in the paper's experiments.
     let payload = vec![0x42u8; 1000];

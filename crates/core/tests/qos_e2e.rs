@@ -107,7 +107,12 @@ fn awareness_is_shed_for_backlogged_clients_but_data_is_not() {
     const ROUNDS: usize = 30;
     for i in 0..ROUNDS {
         writer
-            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .bcast_update(
+                G,
+                O,
+                format!("{i};").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
             .unwrap();
         let visitor = CoronaClient::connect(
             Box::new(net.dial_from(&format!("v{i}"), "server").unwrap()),
@@ -164,11 +169,8 @@ fn awareness_is_shed_for_backlogged_clients_but_data_is_not() {
 fn default_policy_sheds_nothing() {
     let net = MemNetwork::new();
     let listener = net.listen("server").unwrap();
-    let server = CoronaServer::start(
-        Box::new(listener),
-        ServerConfig::stateful(ServerId::new(1)),
-    )
-    .unwrap();
+    let server =
+        CoronaServer::start(Box::new(listener), ServerConfig::stateful(ServerId::new(1))).unwrap();
     let writer = CoronaClient::connect(
         Box::new(net.dial_from("writer", "server").unwrap()),
         "writer",

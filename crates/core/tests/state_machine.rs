@@ -1,7 +1,10 @@
 //! Tests of the [`ServerCore`] state machine: every service of §3.2
 //! exercised at the protocol level, without threads or I/O.
 
-use corona_core::{config::ServerConfig, core::{Effect, LogEffect, ServerCore}};
+use corona_core::{
+    config::ServerConfig,
+    core::{Effect, LogEffect, ServerCore},
+};
 use corona_membership::{AclPolicy, Capability, DenyAll};
 use corona_types::error::ErrorCode;
 use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
@@ -50,9 +53,13 @@ fn create(core: &mut ServerCore, client: ClientId, persistence: Persistence) {
         },
         now(),
     );
-    assert!(effects
-        .iter()
-        .any(|e| matches!(e, Effect::Send { event: ServerEvent::GroupCreated { .. }, .. })));
+    assert!(effects.iter().any(|e| matches!(
+        e,
+        Effect::Send {
+            event: ServerEvent::GroupCreated { .. },
+            ..
+        }
+    )));
 }
 
 fn join(core: &mut ServerCore, client: ClientId) {
@@ -442,7 +449,12 @@ fn persistent_group_retains_state_at_null_membership() {
     match sends_to(&effects, b)[0] {
         ServerEvent::Joined { transfer, .. } => {
             assert_eq!(
-                transfer.reconstruct().object(O).unwrap().materialize().as_ref(),
+                transfer
+                    .reconstruct()
+                    .object(O)
+                    .unwrap()
+                    .materialize()
+                    .as_ref(),
                 b"durable"
             );
         }
@@ -479,14 +491,25 @@ fn lock_protocol_grant_deny_queue_release() {
 
     let effects = core.handle_request(
         a,
-        ClientRequest::AcquireLock { group: G, object: O, wait: false },
+        ClientRequest::AcquireLock {
+            group: G,
+            object: O,
+            wait: false,
+        },
         now(),
     );
-    assert!(matches!(sends_to(&effects, a)[0], ServerEvent::LockGranted { .. }));
+    assert!(matches!(
+        sends_to(&effects, a)[0],
+        ServerEvent::LockGranted { .. }
+    ));
 
     let effects = core.handle_request(
         b,
-        ClientRequest::AcquireLock { group: G, object: O, wait: false },
+        ClientRequest::AcquireLock {
+            group: G,
+            object: O,
+            wait: false,
+        },
         now(),
     );
     assert!(matches!(
@@ -497,7 +520,11 @@ fn lock_protocol_grant_deny_queue_release() {
     // Queued acquire emits nothing immediately.
     let effects = core.handle_request(
         b,
-        ClientRequest::AcquireLock { group: G, object: O, wait: true },
+        ClientRequest::AcquireLock {
+            group: G,
+            object: O,
+            wait: true,
+        },
         now(),
     );
     assert!(effects.is_empty());
@@ -505,16 +532,28 @@ fn lock_protocol_grant_deny_queue_release() {
     // Release hands over.
     let effects = core.handle_request(
         a,
-        ClientRequest::ReleaseLock { group: G, object: O },
+        ClientRequest::ReleaseLock {
+            group: G,
+            object: O,
+        },
         now(),
     );
-    assert!(matches!(sends_to(&effects, a)[0], ServerEvent::LockReleased { .. }));
-    assert!(matches!(sends_to(&effects, b)[0], ServerEvent::LockGranted { .. }));
+    assert!(matches!(
+        sends_to(&effects, a)[0],
+        ServerEvent::LockReleased { .. }
+    ));
+    assert!(matches!(
+        sends_to(&effects, b)[0],
+        ServerEvent::LockGranted { .. }
+    ));
 
     // Releasing a lock you don't hold errors.
     let effects = core.handle_request(
         a,
-        ClientRequest::ReleaseLock { group: G, object: O },
+        ClientRequest::ReleaseLock {
+            group: G,
+            object: O,
+        },
         now(),
     );
     assert_eq!(error_code(&effects, a), Some(ErrorCode::LockNotHeld));
@@ -630,7 +669,10 @@ fn stateless_mode_sequences_but_keeps_nothing() {
     // Log reduction is meaningless.
     let effects = core.handle_request(
         a,
-        ClientRequest::ReduceLog { group: G, through: None },
+        ClientRequest::ReduceLog {
+            group: G,
+            through: None,
+        },
         now(),
     );
     assert_eq!(error_code(&effects, a), Some(ErrorCode::Unsupported));
@@ -642,8 +684,7 @@ fn session_policy_gates_actions() {
         .allow_create(ClientId::new(1))
         .grant(ClientId::new(1), G, Capability::Manage)
         .grant(ClientId::new(2), G, Capability::Observe);
-    let config =
-        ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(acl));
+    let config = ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(acl));
     let mut core = ServerCore::new(&config);
     let a = hello(&mut core, "a"); // ClientId 1
     let b = hello(&mut core, "b"); // ClientId 2
@@ -680,8 +721,7 @@ fn session_policy_gates_actions() {
 
 #[test]
 fn deny_all_policy_blocks_everything() {
-    let config =
-        ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(DenyAll));
+    let config = ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(DenyAll));
     let mut core = ServerCore::new(&config);
     let a = hello(&mut core, "a");
     let effects = core.handle_request(

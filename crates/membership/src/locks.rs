@@ -156,10 +156,7 @@ impl LockTable {
     /// Releases every lock held by `client` and removes it from every
     /// wait queue (leave/disconnect cleanup). Returns
     /// `(group, object, newly granted holder)` for each released lock.
-    pub fn release_all(
-        &mut self,
-        client: ClientId,
-    ) -> Vec<(GroupId, ObjectId, Option<ClientId>)> {
+    pub fn release_all(&mut self, client: ClientId) -> Vec<(GroupId, ObjectId, Option<ClientId>)> {
         // First drop the client from all wait queues.
         for state in self.locks.values_mut() {
             state.waiters.retain(|w| *w != client);
@@ -251,10 +248,19 @@ mod tests {
     fn fifo_wait_queue() {
         let mut t = LockTable::new();
         t.acquire(G, O, cid(1), false);
-        assert_eq!(t.acquire(G, O, cid(2), true), AcquireOutcome::Queued { position: 0 });
-        assert_eq!(t.acquire(G, O, cid(3), true), AcquireOutcome::Queued { position: 1 });
+        assert_eq!(
+            t.acquire(G, O, cid(2), true),
+            AcquireOutcome::Queued { position: 0 }
+        );
+        assert_eq!(
+            t.acquire(G, O, cid(3), true),
+            AcquireOutcome::Queued { position: 1 }
+        );
         // Duplicate wait keeps the original position.
-        assert_eq!(t.acquire(G, O, cid(2), true), AcquireOutcome::Queued { position: 0 });
+        assert_eq!(
+            t.acquire(G, O, cid(2), true),
+            AcquireOutcome::Queued { position: 0 }
+        );
         assert_eq!(t.release(G, O, cid(1)).unwrap(), Some(cid(2)));
         assert_eq!(t.holder(G, O), Some(cid(2)));
         assert_eq!(t.release(G, O, cid(2)).unwrap(), Some(cid(3)));
@@ -267,7 +273,10 @@ mod tests {
         let mut t = LockTable::new();
         t.acquire(G, O, cid(1), false);
         assert_eq!(t.release(G, O, cid(2)), Err(LockError::NotHeld));
-        assert_eq!(t.release(G, ObjectId::new(9), cid(1)), Err(LockError::NotHeld));
+        assert_eq!(
+            t.release(G, ObjectId::new(9), cid(1)),
+            Err(LockError::NotHeld)
+        );
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl SessionPolicy for AclPolicy {
             }
             Action::Join { group, role } => match role {
                 MemberRole::Observer => self.capability(client, *group) >= Capability::Observe,
-                MemberRole::Principal => {
-                    self.capability(client, *group) >= Capability::Participate
-                }
+                MemberRole::Principal => self.capability(client, *group) >= Capability::Participate,
             },
             Action::Broadcast { group, .. } => {
                 self.capability(client, *group) >= Capability::Participate
@@ -200,7 +198,10 @@ mod tests {
             group: G,
             role: MemberRole::Principal,
         };
-        let broadcast = Action::Broadcast { group: G, object: O };
+        let broadcast = Action::Broadcast {
+            group: G,
+            object: O,
+        };
         let delete = Action::DeleteGroup(G);
 
         // Observer-level client.
@@ -235,6 +236,13 @@ mod tests {
     #[test]
     fn action_group_accessor() {
         assert_eq!(Action::CreateGroup(G).group(), G);
-        assert_eq!(Action::Broadcast { group: G, object: O }.group(), G);
+        assert_eq!(
+            Action::Broadcast {
+                group: G,
+                object: O
+            }
+            .group(),
+            G
+        );
     }
 }

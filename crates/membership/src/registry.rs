@@ -237,7 +237,8 @@ mod tests {
     #[test]
     fn persistent_group_survives_null_membership() {
         let mut reg = GroupRegistry::new();
-        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        reg.create(GroupId::new(1), Persistence::Persistent)
+            .unwrap();
         reg.join(GroupId::new(1), info(1), false).unwrap();
         let out = reg.leave(GroupId::new(1), ClientId::new(1)).unwrap();
         assert!(!out.dissolved);
@@ -253,7 +254,8 @@ mod tests {
         let mut reg = GroupRegistry::new();
         reg.create(GroupId::new(1), Persistence::Transient).unwrap();
         assert_eq!(
-            reg.create(GroupId::new(1), Persistence::Persistent).unwrap_err(),
+            reg.create(GroupId::new(1), Persistence::Persistent)
+                .unwrap_err(),
             RegistryError::GroupExists
         );
     }
@@ -278,7 +280,8 @@ mod tests {
     #[test]
     fn delete_returns_final_members() {
         let mut reg = GroupRegistry::new();
-        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        reg.create(GroupId::new(1), Persistence::Persistent)
+            .unwrap();
         reg.join(GroupId::new(1), info(1), false).unwrap();
         let g = reg.delete(GroupId::new(1)).unwrap();
         assert_eq!(g.member_ids(), vec![ClientId::new(1)]);
@@ -289,7 +292,8 @@ mod tests {
     fn disconnect_sweeps_all_groups() {
         let mut reg = GroupRegistry::new();
         for gid in 1..=3u64 {
-            reg.create(GroupId::new(gid), Persistence::Transient).unwrap();
+            reg.create(GroupId::new(gid), Persistence::Transient)
+                .unwrap();
             reg.join(GroupId::new(gid), info(7), false).unwrap();
         }
         reg.join(GroupId::new(2), info(8), false).unwrap();
@@ -318,7 +322,8 @@ mod tests {
         // joins and leaves" (§1) — at the registry level this means a
         // join/leave never perturbs other members' records.
         let mut reg = GroupRegistry::new();
-        reg.create(GroupId::new(1), Persistence::Persistent).unwrap();
+        reg.create(GroupId::new(1), Persistence::Persistent)
+            .unwrap();
         for n in 1..=20u64 {
             reg.join(GroupId::new(1), info(n), n % 2 == 0).unwrap();
         }

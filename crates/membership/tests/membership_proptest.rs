@@ -1,7 +1,7 @@
 //! Property-based tests for membership, locks and the ACL policy.
 
 use corona_membership::{
-    AcquireOutcome, AclPolicy, Action, Capability, GroupRegistry, LockTable, SessionPolicy,
+    AclPolicy, AcquireOutcome, Action, Capability, GroupRegistry, LockTable, SessionPolicy,
 };
 use corona_types::id::{ClientId, GroupId, ObjectId};
 use corona_types::policy::{MemberInfo, MemberRole, Persistence};
@@ -19,7 +19,8 @@ enum RegOp {
 
 fn arb_reg_op() -> impl Strategy<Value = RegOp> {
     prop_oneof![
-        (0..4u64, any::<bool>()).prop_map(|(group, persistent)| RegOp::Create { group, persistent }),
+        (0..4u64, any::<bool>())
+            .prop_map(|(group, persistent)| RegOp::Create { group, persistent }),
         (0..4u64).prop_map(|group| RegOp::Delete { group }),
         (0..4u64, 0..5u64).prop_map(|(group, client)| RegOp::Join { group, client }),
         (0..4u64, 0..5u64).prop_map(|(group, client)| RegOp::Leave { group, client }),

@@ -56,10 +56,22 @@ impl CoordinatorCore {
     /// authoritative state built from `config` (rebuild messages from
     /// replicas fill it in after an election).
     pub fn new(config: &corona_core::ServerConfig, epoch: Epoch) -> Self {
+        Self::with_registry(config, epoch, corona_metrics::Registry::new())
+    }
+
+    /// Like [`Self::new`], but the authoritative [`ServerCore`] records
+    /// its metrics into `registry` (the replicated runtime shares one
+    /// registry across roles, so sequencing counters survive
+    /// re-elections within a process).
+    pub fn with_registry(
+        config: &corona_core::ServerConfig,
+        epoch: Epoch,
+        registry: std::sync::Arc<corona_metrics::Registry>,
+    ) -> Self {
         CoordinatorCore {
             me: config.server_id,
             epoch,
-            core: ServerCore::new(config),
+            core: ServerCore::with_registry(config, registry),
             client_home: HashMap::new(),
             hosting: HashMap::new(),
         }

@@ -154,7 +154,12 @@ impl ElectionCore {
     /// Records a heartbeat from the coordinator. Returns effects (a
     /// deposed candidate returns to following a higher-epoch
     /// coordinator).
-    pub fn on_heartbeat(&mut self, from: ServerId, epoch: Epoch, now_ms: u64) -> Vec<ElectionEffect> {
+    pub fn on_heartbeat(
+        &mut self,
+        from: ServerId,
+        epoch: Epoch,
+        now_ms: u64,
+    ) -> Vec<ElectionEffect> {
         if epoch < self.epoch {
             return Vec::new(); // stale coordinator
         }
@@ -579,7 +584,13 @@ mod tests {
             .expect("claim to s3");
         let response = c3.on_claim(claim.0, claim.1, 100);
         match &response[..] {
-            [ElectionEffect::SendTo(to, PeerMessage::ElectionNack { current_coordinator, .. })] => {
+            [ElectionEffect::SendTo(
+                to,
+                PeerMessage::ElectionNack {
+                    current_coordinator,
+                    ..
+                },
+            )] => {
                 assert_eq!(*to, sid(2));
                 assert_eq!(*current_coordinator, sid(1));
             }

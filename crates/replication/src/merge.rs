@@ -121,8 +121,16 @@ pub fn find_divergence(a: &GroupLog, b: &GroupLog) -> Divergence {
         (b.checkpoint_state().clone(), Side::B)
     };
 
-    let suffix_a: Vec<LoggedUpdate> = a.suffix_iter().filter(|u| u.seq > base_seq).cloned().collect();
-    let suffix_b: Vec<LoggedUpdate> = b.suffix_iter().filter(|u| u.seq > base_seq).cloned().collect();
+    let suffix_a: Vec<LoggedUpdate> = a
+        .suffix_iter()
+        .filter(|u| u.seq > base_seq)
+        .cloned()
+        .collect();
+    let suffix_b: Vec<LoggedUpdate> = b
+        .suffix_iter()
+        .filter(|u| u.seq > base_seq)
+        .cloned()
+        .collect();
 
     // Longest agreeing prefix. A side whose suffix starts later than
     // base_seq+1 (because it checkpointed deeper) implicitly agrees
@@ -271,7 +279,10 @@ mod tests {
         let (a, b) = split(&["x"], &["more"], &[]);
         let d = find_divergence(&a, &b);
         assert!(d.is_divergent());
-        assert!(!d.is_conflicting(), "single-sided progress is a fast-forward");
+        assert!(
+            !d.is_conflicting(),
+            "single-sided progress is a fast-forward"
+        );
         assert_eq!(d.common_seq, SeqNo::new(1));
         assert_eq!(d.side_a.len(), 1);
         assert!(d.side_b.is_empty());
@@ -286,9 +297,7 @@ mod tests {
         assert_eq!(d.side_a.len(), 2);
         assert_eq!(d.side_b.len(), 1);
         assert_eq!(
-            String::from_utf8_lossy(
-                &d.common_state.object(O).unwrap().materialize()
-            ),
+            String::from_utf8_lossy(&d.common_state.object(O).unwrap().materialize()),
             "shared"
         );
     }

@@ -165,14 +165,16 @@ impl ReplicaCore {
                 scope,
             } => {
                 let tag = self.fresh_tag();
-                vec![ReplicaEffect::ToCoordinator(PeerMessage::ForwardBroadcast {
-                    origin: self.me,
-                    sender: client,
-                    group,
-                    update,
-                    scope,
-                    local_tag: tag,
-                })]
+                vec![ReplicaEffect::ToCoordinator(
+                    PeerMessage::ForwardBroadcast {
+                        origin: self.me,
+                        sender: client,
+                        group,
+                        update,
+                        scope,
+                        local_tag: tag,
+                    },
+                )]
             }
             ClientRequest::Goodbye => self.client_disconnected(client),
             request => {
@@ -359,13 +361,11 @@ impl ReplicaCore {
                         if first_member {
                             // Start hosting: announce and bootstrap the
                             // standby log.
-                            effects.push(ReplicaEffect::ToCoordinator(
-                                PeerMessage::GroupHosting {
-                                    server: self.me,
-                                    group: *group,
-                                    hosting: true,
-                                },
-                            ));
+                            effects.push(ReplicaEffect::ToCoordinator(PeerMessage::GroupHosting {
+                                server: self.me,
+                                group: *group,
+                                hosting: true,
+                            }));
                             effects.push(ReplicaEffect::ToCoordinator(
                                 PeerMessage::GroupStateQuery {
                                     from: self.me,
@@ -433,11 +433,11 @@ impl ReplicaCore {
             // Keep the standby copy current.
             match &mut local.log {
                 Some(log) => {
-                    if !log.append_sequenced(logged.clone()) && logged.seq > log.last_seq() {
-                        // Gap (we missed traffic, e.g. across an
-                        // election): refresh from the coordinator.
-                        needs_refresh = true;
-                    }
+                    // An append rejection past our tail is a gap (we
+                    // missed traffic, e.g. across an election):
+                    // refresh from the coordinator.
+                    needs_refresh =
+                        !log.append_sequenced(logged.clone()) && logged.seq > log.last_seq();
                 }
                 None if logged.seq == SeqNo::new(1) => {
                     // First update of a brand-new group: we can build

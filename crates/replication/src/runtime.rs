@@ -15,12 +15,13 @@ use crate::coordinator::{CoordEffect, CoordinatorCore};
 use crate::election::{ElectionCore, ElectionEffect};
 use crate::replica::{ReplicaCore, ReplicaEffect};
 use corona_core::ServerConfig;
+use corona_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
+use corona_transport::{Connection, Dialer, Listener};
 use corona_types::error::{CoronaError, Result};
 use corona_types::id::{ClientId, Epoch, ServerId};
 use corona_types::message::{ClientRequest, PeerMessage, ServerEvent};
 use corona_types::state::Timestamp;
 use corona_types::wire::{Decode, Encode};
-use corona_transport::{Connection, Dialer, Listener};
 use crossbeam::channel::{self, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -73,12 +74,28 @@ pub struct ReplicaStatus {
 }
 
 enum Command {
-    ClientAccepted { conn_id: u64, conn: Arc<Box<dyn Connection>> },
-    ClientFrame { conn_id: u64, frame: bytes::Bytes },
-    ClientClosed { conn_id: u64 },
-    PeerAccepted { conn_id: u64, conn: Arc<Box<dyn Connection>> },
-    PeerFrame { conn_id: u64, frame: bytes::Bytes },
-    PeerClosed { conn_id: u64 },
+    ClientAccepted {
+        conn_id: u64,
+        conn: Arc<Box<dyn Connection>>,
+    },
+    ClientFrame {
+        conn_id: u64,
+        frame: bytes::Bytes,
+    },
+    ClientClosed {
+        conn_id: u64,
+    },
+    PeerAccepted {
+        conn_id: u64,
+        conn: Arc<Box<dyn Connection>>,
+    },
+    PeerFrame {
+        conn_id: u64,
+        frame: bytes::Bytes,
+    },
+    PeerClosed {
+        conn_id: u64,
+    },
     Tick,
     Status(Sender<ReplicaStatus>),
     Shutdown,
@@ -92,6 +109,40 @@ pub struct ReplicatedServer {
     client_listener: Arc<Box<dyn Listener>>,
     peer_listener: Arc<Box<dyn Listener>>,
     threads: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
+}
+
+/// Replication-layer metric handles. Names:
+/// `repl.heartbeats.sent` / `repl.heartbeats.recv` (counters),
+/// `repl.heartbeat_gap_ms` (gap between heartbeats seen from the
+/// coordinator), `repl.elections.rounds` (claim rounds started here),
+/// `repl.elections.won`, `repl.failover_ms` (first local claim to
+/// resolved coordinator), `repl.peer.sent` (all peer messages out) and
+/// `repl.fanout.sequenced` (per-hosting-server `Sequenced` fan-out).
+struct ReplMetrics {
+    heartbeats_sent: Arc<Counter>,
+    heartbeats_recv: Arc<Counter>,
+    heartbeat_gap_ms: Arc<Histogram>,
+    election_rounds: Arc<Counter>,
+    elections_won: Arc<Counter>,
+    failover_ms: Arc<Histogram>,
+    peer_sent: Arc<Counter>,
+    fanout_sequenced: Arc<Counter>,
+}
+
+impl ReplMetrics {
+    fn new(registry: &Registry) -> Self {
+        ReplMetrics {
+            heartbeats_sent: registry.counter("repl.heartbeats.sent"),
+            heartbeats_recv: registry.counter("repl.heartbeats.recv"),
+            heartbeat_gap_ms: registry.histogram("repl.heartbeat_gap_ms"),
+            election_rounds: registry.counter("repl.elections.rounds"),
+            elections_won: registry.counter("repl.elections.won"),
+            failover_ms: registry.histogram("repl.failover_ms"),
+            peer_sent: registry.counter("repl.peer.sent"),
+            fanout_sequenced: registry.counter("repl.fanout.sequenced"),
+        }
+    }
 }
 
 impl ReplicatedServer {
@@ -119,6 +170,7 @@ impl ReplicatedServer {
             )));
         }
         let client_addr = client_listener.local_addr();
+        let registry = Registry::new();
         let (cmd_tx, cmd_rx) = channel::unbounded::<Command>();
         let mut threads = Vec::new();
 
@@ -133,9 +185,14 @@ impl ReplicatedServer {
                 std::thread::Builder::new()
                     .name(format!("repl-{me}-client-accept"))
                     .spawn(move || {
-                        accept_loop(listener, tx, 1_000_000, |conn_id, conn| Command::ClientAccepted { conn_id, conn },
+                        accept_loop(
+                            listener,
+                            tx,
+                            1_000_000,
+                            |conn_id, conn| Command::ClientAccepted { conn_id, conn },
                             |conn_id, frame| Command::ClientFrame { conn_id, frame },
-                            |conn_id| Command::ClientClosed { conn_id })
+                            |conn_id| Command::ClientClosed { conn_id },
+                        )
                     })
                     .expect("spawn client accept"),
             );
@@ -148,9 +205,14 @@ impl ReplicatedServer {
                 std::thread::Builder::new()
                     .name(format!("repl-{me}-peer-accept"))
                     .spawn(move || {
-                        accept_loop(listener, tx, 2_000_000, |conn_id, conn| Command::PeerAccepted { conn_id, conn },
+                        accept_loop(
+                            listener,
+                            tx,
+                            2_000_000,
+                            |conn_id, conn| Command::PeerAccepted { conn_id, conn },
                             |conn_id, frame| Command::PeerFrame { conn_id, frame },
-                            |conn_id| Command::PeerClosed { conn_id })
+                            |conn_id| Command::PeerClosed { conn_id },
+                        )
                     })
                     .expect("spawn peer accept"),
             );
@@ -174,11 +236,12 @@ impl ReplicatedServer {
         // Dispatcher.
         {
             let tx = cmd_tx.clone();
+            let registry = Arc::clone(&registry);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("repl-{me}-dispatch"))
                     .spawn(move || {
-                        Dispatcher::new(config, dialer, tx).run(cmd_rx);
+                        Dispatcher::new(config, dialer, tx, registry).run(cmd_rx);
                     })
                     .expect("spawn dispatcher"),
             );
@@ -191,6 +254,7 @@ impl ReplicatedServer {
             client_listener,
             peer_listener,
             threads,
+            registry,
         })
     }
 
@@ -216,6 +280,20 @@ impl ReplicatedServer {
             .map_err(|_| CoronaError::Closed)?;
         rx.recv_timeout(Duration::from_secs(5))
             .map_err(|_| CoronaError::Closed)
+    }
+
+    /// A snapshot of this server's metric registry (election rounds,
+    /// failover durations, heartbeat gaps, peer fan-out, plus the
+    /// coordinator core's sequencing counters while this server holds
+    /// the role). Taken directly from the shared registry — values may
+    /// trail the dispatcher by a few operations.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The metric registry shared by this server's roles.
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Orderly shutdown.
@@ -280,6 +358,10 @@ fn accept_loop(
     }
 }
 
+/// A client connection and the client it authenticated as (once its
+/// `Hello` arrives).
+type ClientConn = (Arc<Box<dyn Connection>>, Option<ClientId>);
+
 /// Internal work items processed iteratively (no recursion).
 enum Work {
     /// A peer message to handle locally.
@@ -305,7 +387,7 @@ struct Dispatcher {
     /// Accepted peer connections awaiting their `ServerHello`.
     pending_peers: HashMap<u64, Arc<Box<dyn Connection>>>,
     /// Client connections.
-    client_conns: HashMap<u64, (Arc<Box<dyn Connection>>, Option<ClientId>)>,
+    client_conns: HashMap<u64, ClientConn>,
     client_conn_of: HashMap<ClientId, u64>,
     /// Coordinator-bound messages buffered while no coordinator is
     /// known (mid-election).
@@ -313,18 +395,37 @@ struct Dispatcher {
     /// Epoch whose coordinator we already resynced with.
     resynced_epoch: Option<Epoch>,
     next_conn_id: u64,
+    registry: Arc<Registry>,
+    metrics: ReplMetrics,
+    /// When the last coordinator heartbeat arrived (gap histogram).
+    last_heartbeat: Option<Instant>,
+    /// When this server first claimed the epoch it is electing for;
+    /// cleared (into `repl.failover_ms`) once a coordinator resolves.
+    failover_started: Option<Instant>,
+    /// Highest epoch this server has claimed (one round per epoch).
+    claimed_epoch: Option<Epoch>,
 }
 
 impl Dispatcher {
-    fn new(config: ReplicatedConfig, dialer: Arc<dyn Dialer>, cmd_tx: Sender<Command>) -> Self {
+    fn new(
+        config: ReplicatedConfig,
+        dialer: Arc<dyn Dialer>,
+        cmd_tx: Sender<Command>,
+        registry: Arc<Registry>,
+    ) -> Self {
         let me = config.server_config.server_id;
         let order: Vec<ServerId> = config.servers.iter().map(|(id, _)| *id).collect();
         let addr_of = config.servers.iter().cloned().collect();
         let election = ElectionCore::new(me, order, config.base_timeout_ms, 0);
         let mut coordinator = None;
         if election.is_coordinator() {
-            coordinator = Some(CoordinatorCore::new(&config.server_config, Epoch::ZERO));
+            coordinator = Some(CoordinatorCore::with_registry(
+                &config.server_config,
+                Epoch::ZERO,
+                Arc::clone(&registry),
+            ));
         }
+        let metrics = ReplMetrics::new(&registry);
         Dispatcher {
             me,
             dialer,
@@ -341,6 +442,11 @@ impl Dispatcher {
             coord_backlog: VecDeque::new(),
             resynced_epoch: Some(Epoch::ZERO),
             next_conn_id: 0,
+            registry,
+            metrics,
+            last_heartbeat: None,
+            failover_started: None,
+            claimed_epoch: None,
             config,
         }
     }
@@ -480,7 +586,12 @@ impl Dispatcher {
             .map(Work::Election)
             .collect();
         if self.election.is_coordinator() {
-            work.extend(self.election.coordinator_heartbeats().into_iter().map(Work::Election));
+            work.extend(
+                self.election
+                    .coordinator_heartbeats()
+                    .into_iter()
+                    .map(Work::Election),
+            );
         }
         self.drain(work);
     }
@@ -510,6 +621,13 @@ impl Dispatcher {
         let now = Timestamp::now();
         match msg {
             PeerMessage::Heartbeat { from, epoch } => {
+                self.metrics.heartbeats_recv.inc();
+                if let Some(prev) = self.last_heartbeat {
+                    self.metrics
+                        .heartbeat_gap_ms
+                        .record(prev.elapsed().as_millis() as u64);
+                }
+                self.last_heartbeat = Some(Instant::now());
                 let effects = self.election.on_heartbeat(from, epoch, now_ms);
                 self.sync_role();
                 queue.extend(effects.into_iter().map(Work::Election));
@@ -591,9 +709,10 @@ impl Dispatcher {
     /// Aligns the coordinator role object with the election state.
     fn sync_role(&mut self) {
         if self.election.is_coordinator() && self.coordinator.is_none() {
-            self.coordinator = Some(CoordinatorCore::new(
+            self.coordinator = Some(CoordinatorCore::with_registry(
                 &self.config.server_config,
                 self.election.epoch(),
+                Arc::clone(&self.registry),
             ));
         } else if !self.election.is_coordinator() && self.coordinator.is_some() {
             self.coordinator = None;
@@ -602,11 +721,27 @@ impl Dispatcher {
 
     fn exec_election(&mut self, eff: ElectionEffect, queue: &mut VecDeque<Work>) {
         match eff {
-            ElectionEffect::SendTo(to, msg) => self.send_peer(to, msg, queue),
+            ElectionEffect::SendTo(to, msg) => {
+                // A fresh claim for a new epoch marks the start of a
+                // failover as observed from this server.
+                if let PeerMessage::ElectionClaim { candidate, epoch } = &msg {
+                    if *candidate == self.me && self.claimed_epoch != Some(*epoch) {
+                        self.claimed_epoch = Some(*epoch);
+                        self.metrics.election_rounds.inc();
+                        if self.failover_started.is_none() {
+                            self.failover_started = Some(Instant::now());
+                        }
+                    }
+                }
+                self.send_peer(to, msg, queue);
+            }
             ElectionEffect::BecomeCoordinator => {
-                self.coordinator = Some(CoordinatorCore::new(
+                self.metrics.elections_won.inc();
+                self.note_failover_resolved();
+                self.coordinator = Some(CoordinatorCore::with_registry(
                     &self.config.server_config,
                     self.election.epoch(),
+                    Arc::clone(&self.registry),
                 ));
                 self.resynced_epoch = Some(self.election.epoch());
                 // Feed our own replica's knowledge into the fresh
@@ -620,6 +755,7 @@ impl Dispatcher {
                 }
             }
             ElectionEffect::FollowCoordinator(coordinator) => {
+                self.note_failover_resolved();
                 self.coordinator = None;
                 if self.resynced_epoch != Some(self.election.epoch()) {
                     self.resynced_epoch = Some(self.election.epoch());
@@ -676,17 +812,31 @@ impl Dispatcher {
         }
     }
 
+    /// Closes out an in-flight failover measurement, recording the
+    /// duration from this server's first claim to the resolution.
+    fn note_failover_resolved(&mut self) {
+        if let Some(started) = self.failover_started.take() {
+            self.metrics
+                .failover_ms
+                .record(started.elapsed().as_millis() as u64);
+        }
+    }
+
     fn send_peer(&mut self, to: ServerId, msg: PeerMessage, _queue: &mut VecDeque<Work>) {
+        match &msg {
+            PeerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent.inc(),
+            PeerMessage::Sequenced { .. } => self.metrics.fanout_sequenced.inc(),
+            _ => {}
+        }
+        self.metrics.peer_sent.inc();
         if to == self.me {
             // Shouldn't normally happen; handle locally to be safe.
             let mut q = VecDeque::from([Work::Local(msg)]);
             self.drain_nested(&mut q);
             return;
         }
-        if !self.peer_conns.contains_key(&to) {
-            if !self.connect_peer(to) {
-                return; // unreachable peer; failure detection handles it
-            }
+        if !self.peer_conns.contains_key(&to) && !self.connect_peer(to) {
+            return; // unreachable peer; failure detection handles it
         }
         let mut failed = false;
         if let Some((_, conn)) = self.peer_conns.get(&to) {

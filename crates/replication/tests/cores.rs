@@ -6,9 +6,7 @@ use corona_core::ServerConfig;
 use corona_replication::{CoordEffect, CoordinatorCore, ReplicaCore, ReplicaEffect};
 use corona_types::id::{ClientId, Epoch, GroupId, ObjectId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, PeerMessage, ServerEvent};
-use corona_types::policy::{
-    DeliveryScope, MemberRole, Persistence, StateTransferPolicy,
-};
+use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
 use corona_types::state::{SharedState, StateUpdate, Timestamp};
 
 const G: GroupId = GroupId(1);
@@ -228,12 +226,7 @@ fn coordinator_answers_state_queries_from_authoritative_log() {
     match &effects[..] {
         [CoordEffect::ToServer {
             to,
-            msg:
-                PeerMessage::GroupStateReply {
-                    group,
-                    updates,
-                    ..
-                },
+            msg: PeerMessage::GroupStateReply { group, updates, .. },
         }] => {
             assert_eq!(*to, ServerId::new(3));
             assert_eq!(*group, G);
@@ -298,7 +291,11 @@ fn coordinator_rebuilds_from_replica_announcements() {
     )));
     let log = coord.authoritative().group_log(G).unwrap();
     assert_eq!(
-        log.current_state().object(O).unwrap().materialize().as_ref(),
+        log.current_state()
+            .object(O)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         b"oldnew"
     );
 }
@@ -326,7 +323,12 @@ fn coordinator_cleans_up_after_server_crash() {
     )));
     assert_eq!(coord.hosting_servers(G), vec![s2]);
     assert_eq!(
-        coord.authoritative().registry().get(G).unwrap().member_count(),
+        coord
+            .authoritative()
+            .registry()
+            .get(G)
+            .unwrap()
+            .member_count(),
         1
     );
 }
@@ -371,14 +373,12 @@ fn replica_answers_ping_locally_and_forwards_control() {
             ..
         }]
     ));
-    let effects = r.handle_request(
-        c,
-        ClientRequest::GetMembership { group: G },
-        now(),
-    );
+    let effects = r.handle_request(c, ClientRequest::GetMembership { group: G }, now());
     assert!(matches!(
         &effects[..],
-        [ReplicaEffect::ToCoordinator(PeerMessage::ForwardRequest { .. })]
+        [ReplicaEffect::ToCoordinator(
+            PeerMessage::ForwardRequest { .. }
+        )]
     ));
 }
 

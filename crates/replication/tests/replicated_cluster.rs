@@ -117,14 +117,29 @@ fn cross_server_collaboration_with_total_order() {
 
     a.create_group(G, Persistence::Persistent, SharedState::new())
         .unwrap();
-    a.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
-        .unwrap();
+    a.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )
+    .unwrap();
     let (members, _) = b
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     assert_eq!(members.len(), 2);
-    c.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
-        .unwrap();
+    c.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )
+    .unwrap();
 
     // Interleaved broadcasts from different servers.
     a.bcast_update(G, O, &b"from-a;"[..], DeliveryScope::SenderInclusive)
@@ -163,7 +178,12 @@ fn late_joiner_on_other_server_gets_state_transfer() {
         .unwrap();
     for i in 0..10 {
         writer
-            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .bcast_update(
+                G,
+                O,
+                format!("{i};").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
             .unwrap();
     }
     // Flush the forward pipeline (membership query is FIFO behind the
@@ -172,11 +192,21 @@ fn late_joiner_on_other_server_gets_state_transfer() {
 
     let late = cluster.client("late", 2);
     let (_, transfer) = late
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     let expected: String = (0..10).map(|i| format!("{i};")).collect();
     assert_eq!(
-        transfer.reconstruct().object(O).unwrap().materialize().as_ref(),
+        transfer
+            .reconstruct()
+            .object(O)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         expected.as_bytes()
     );
     assert_eq!(transfer.through, SeqNo::new(10));
@@ -219,8 +249,13 @@ fn coordinator_failover_preserves_group_state() {
     c.join(G, MemberRole::Principal, StateTransferPolicy::None, false)
         .unwrap();
     for i in 0..5 {
-        b.bcast_update(G, O, format!("pre{i};").into_bytes(), DeliveryScope::SenderExclusive)
-            .unwrap();
+        b.bcast_update(
+            G,
+            O,
+            format!("pre{i};").into_bytes(),
+            DeliveryScope::SenderExclusive,
+        )
+        .unwrap();
     }
     // Drain carol's copies to confirm pre-crash traffic flowed.
     for _ in 0..5 {
@@ -257,7 +292,12 @@ fn coordinator_failover_preserves_group_state() {
     // new coordinator rebuilt it from hot-standby copies.
     let d = cluster.client("dave", 3);
     let (_, transfer) = d
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     let state = transfer.reconstruct();
     let materialized = state.object(O).unwrap().materialize();
@@ -356,7 +396,10 @@ fn member_server_crash_cleans_up_its_clients() {
             }
         }
     }
-    assert!(notified, "no awareness notification for the crashed server's client");
+    assert!(
+        notified,
+        "no awareness notification for the crashed server's client"
+    );
 }
 
 #[test]
@@ -406,11 +449,17 @@ fn cascading_coordinator_failures() {
     // A late joiner still sees the pre-failover write.
     let dave = cluster.client("dave", 3);
     let (_, transfer) = dave
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
-    let text = String::from_utf8_lossy(
-        &transfer.reconstruct().object(O).unwrap().materialize(),
-    )
-    .into_owned();
-    assert!(text.starts_with("epoch0;"), "lost pre-failover state: {text}");
+    let text = String::from_utf8_lossy(&transfer.reconstruct().object(O).unwrap().materialize())
+        .into_owned();
+    assert!(
+        text.starts_with("epoch0;"),
+        "lost pre-failover state: {text}"
+    );
 }

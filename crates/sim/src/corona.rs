@@ -20,6 +20,37 @@
 
 use crate::engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
 use crate::hosts::{HostProfile, NetworkProfile};
+use corona_metrics::{Counter, Histogram, Registry};
+use std::sync::Arc;
+
+/// Metric handles the round-trip model records into when run via
+/// [`roundtrip_with_metrics`]. Stage counters count protocol events
+/// (`sim.stage.*`); `sim.fanout_us` is the per-server fan-out latency
+/// (first send to last delivery of one message); `sim.rtt_us` mirrors
+/// the returned samples.
+struct SimMetrics {
+    emit: Arc<Counter>,
+    at_origin_server: Arc<Counter>,
+    at_coordinator: Arc<Counter>,
+    at_member_server: Arc<Counter>,
+    delivered: Arc<Counter>,
+    fanout_us: Arc<Histogram>,
+    rtt_us: Arc<Histogram>,
+}
+
+impl SimMetrics {
+    fn new(registry: &Registry) -> Self {
+        SimMetrics {
+            emit: registry.counter("sim.stage.emit"),
+            at_origin_server: registry.counter("sim.stage.at_origin_server"),
+            at_coordinator: registry.counter("sim.stage.at_coordinator"),
+            at_member_server: registry.counter("sim.stage.at_member_server"),
+            delivered: registry.counter("sim.stage.delivered"),
+            fanout_us: registry.histogram("sim.fanout_us"),
+            rtt_us: registry.histogram("sim.rtt_us"),
+        }
+    }
+}
 
 /// Parameters shared by the experiment models.
 #[derive(Debug, Clone, Copy)]
@@ -140,6 +171,7 @@ struct RoundTripModel {
     disk: Resource,
     emit_at: Vec<SimTime>,
     rtts: Vec<SimTime>,
+    metrics: Option<SimMetrics>,
 }
 
 impl RoundTripModel {
@@ -154,6 +186,7 @@ impl RoundTripModel {
             disk: Resource::new(),
             emit_at: vec![0; cfg.messages as usize],
             rtts: Vec::with_capacity(cfg.messages as usize),
+            metrics: None,
             cfg,
         }
     }
@@ -207,6 +240,9 @@ impl RoundTripModel {
             let wired = self.lans[server].acquire(sent, self.cfg.lan.transmission_us(payload));
             last_delivery = Some(wired + self.cfg.lan.hop_latency_us);
         }
+        if let (Some(m), Some(last)) = (&self.metrics, last_delivery) {
+            m.fanout_us.record(last.saturating_sub(ready));
+        }
         if server == 0 {
             // Worst case (paper §5.2.1): the measuring client is the
             // last one the broadcast is sent to; add its receive cost.
@@ -224,17 +260,29 @@ impl SimModel for RoundTripModel {
         let payload = self.cfg.payload;
         match event {
             RtEvent::Emit(m) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.emit.inc();
+                }
                 self.emit_at[m as usize] = sched.now();
                 let cpu_done = self
                     .client_cpu
                     .acquire(sched.now(), self.cfg.client_profile.send_cost(payload));
                 let wired = self.lans[0].acquire(cpu_done, self.cfg.lan.transmission_us(payload));
-                sched.at(wired + self.cfg.lan.hop_latency_us, RtEvent::AtOriginServer(m));
+                sched.at(
+                    wired + self.cfg.lan.hop_latency_us,
+                    RtEvent::AtOriginServer(m),
+                );
                 if !self.cfg.closed_loop && m + 1 < self.cfg.messages {
-                    sched.at(self.emit_at[m as usize] + self.cfg.interval_us, RtEvent::Emit(m + 1));
+                    sched.at(
+                        self.emit_at[m as usize] + self.cfg.interval_us,
+                        RtEvent::Emit(m + 1),
+                    );
                 }
             }
             RtEvent::AtOriginServer(m) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.at_origin_server.inc();
+                }
                 if self.cfg.n_servers <= 1 {
                     let ready = self.server_ingest(0, sched.now(), false);
                     if let Some(t) = self.fan_out(0, ready) {
@@ -248,10 +296,16 @@ impl SimModel for RoundTripModel {
                     let wired = self
                         .backbone
                         .acquire(sent, self.cfg.backbone.transmission_us(payload));
-                    sched.at(wired + self.cfg.backbone.hop_latency_us, RtEvent::AtCoordinator(m));
+                    sched.at(
+                        wired + self.cfg.backbone.hop_latency_us,
+                        RtEvent::AtCoordinator(m),
+                    );
                 }
             }
             RtEvent::AtCoordinator(m) => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.at_coordinator.inc();
+                }
                 let ready = self.server_ingest(0, sched.now(), true);
                 // One sequenced copy per member server, serialised on
                 // the coordinator CPU and the backbone (§4.1).
@@ -268,13 +322,21 @@ impl SimModel for RoundTripModel {
                 }
             }
             RtEvent::AtMemberServer { m, server } => {
+                if let Some(metrics) = &self.metrics {
+                    metrics.at_member_server.inc();
+                }
                 let ready = self.server_ingest(server, sched.now(), false);
                 if let Some(t) = self.fan_out(server, ready) {
                     sched.at(t, RtEvent::Delivered(m));
                 }
             }
             RtEvent::Delivered(m) => {
-                self.rtts.push(sched.now() - self.emit_at[m as usize]);
+                let rtt = sched.now() - self.emit_at[m as usize];
+                if let Some(metrics) = &self.metrics {
+                    metrics.delivered.inc();
+                    metrics.rtt_us.record(rtt);
+                }
+                self.rtts.push(rtt);
                 if self.cfg.closed_loop && m + 1 < self.cfg.messages {
                     let next = (self.emit_at[m as usize] + self.cfg.interval_us).max(sched.now());
                     sched.at(next, RtEvent::Emit(m + 1));
@@ -287,6 +349,17 @@ impl SimModel for RoundTripModel {
 /// Runs the round-trip experiment (Figure 3 / Table 2 configuration).
 pub fn roundtrip(cfg: ExperimentConfig) -> RoundTripResults {
     let mut sim = Simulation::new(RoundTripModel::new(cfg));
+    sim.seed(0, RtEvent::Emit(0));
+    sim.run_to_completion();
+    RoundTripResults::from_samples(sim.into_model().rtts)
+}
+
+/// Like [`roundtrip`], but records per-stage counters and fan-out/RTT
+/// latency histograms (`sim.*`) into the given metrics registry.
+pub fn roundtrip_with_metrics(cfg: ExperimentConfig, registry: &Registry) -> RoundTripResults {
+    let mut model = RoundTripModel::new(cfg);
+    model.metrics = Some(SimMetrics::new(registry));
+    let mut sim = Simulation::new(model);
     sim.seed(0, RtEvent::Emit(0));
     sim.run_to_completion();
     RoundTripResults::from_samples(sim.into_model().rtts)
@@ -338,13 +411,20 @@ impl SimModel for ThroughputModel {
                 let wired = self
                     .lan
                     .acquire(cpu_done, self.cfg.lan.transmission_us(payload));
-                sched.at(wired + self.cfg.lan.hop_latency_us, TpEvent::AtServer { client });
+                sched.at(
+                    wired + self.cfg.lan.hop_latency_us,
+                    TpEvent::AtServer { client },
+                );
             }
             TpEvent::AtServer { client } => {
                 let prof = self.cfg.server_profile;
-                let mut ready = self.server_cpu.acquire(sched.now(), prof.recv_cost(payload));
+                let mut ready = self
+                    .server_cpu
+                    .acquire(sched.now(), prof.recv_cost(payload));
                 if self.cfg.stateful {
-                    ready = self.server_cpu.acquire(ready, prof.state_apply_cost(payload));
+                    ready = self
+                        .server_cpu
+                        .acquire(ready, prof.state_apply_cost(payload));
                     if self.cfg.disk_on_critical_path {
                         ready = self.disk.acquire(ready, disk_cost_us(payload));
                     } else {
@@ -355,7 +435,9 @@ impl SimModel for ThroughputModel {
                 let mut self_time = ready;
                 for receiver in 0..self.cfg.n_clients {
                     let sent = self.server_cpu.acquire(ready, prof.send_cost(payload));
-                    let wired = self.lan.acquire(sent, self.cfg.lan.transmission_us(payload));
+                    let wired = self
+                        .lan
+                        .acquire(sent, self.cfg.lan.transmission_us(payload));
                     let delivered = wired + self.cfg.lan.hop_latency_us;
                     if delivered <= self.window_us {
                         self.delivered_bytes += payload as u64;
@@ -422,7 +504,10 @@ mod tests {
             .iter()
             .map(|&n| roundtrip(fig3_cfg(n, true)).mean_ms)
             .collect();
-        assert!(means.windows(2).all(|w| w[0] < w[1]), "not monotone: {means:?}");
+        assert!(
+            means.windows(2).all(|w| w[0] < w[1]),
+            "not monotone: {means:?}"
+        );
         // Approximate linearity: slope between consecutive points is
         // stable within 2x.
         let s1 = (means[1] - means[0]) / 10.0;
@@ -505,7 +590,10 @@ mod tests {
             );
             gaps.push(single - replicated);
         }
-        assert!(gaps.windows(2).all(|w| w[0] < w[1]), "gap must widen: {gaps:?}");
+        assert!(
+            gaps.windows(2).all(|w| w[0] < w[1]),
+            "gap must widen: {gaps:?}"
+        );
     }
 
     #[test]
@@ -551,5 +639,39 @@ mod tests {
         assert_eq!(r.rtts_us.len(), 100);
         assert!(r.mean_ms > 0.0);
         assert!(r.stddev_ms >= 0.0);
+    }
+
+    #[test]
+    fn metrics_variant_matches_plain_run_and_records_stages() {
+        let cfg = fig3_cfg(15, true);
+        let registry = Registry::new();
+        let with = roundtrip_with_metrics(cfg, &registry);
+        let plain = roundtrip(cfg);
+        assert_eq!(with.rtts_us, plain.rtts_us);
+
+        let snap = registry.snapshot();
+        let msgs = cfg.messages;
+        assert_eq!(snap.counter("sim.stage.emit"), msgs);
+        assert_eq!(snap.counter("sim.stage.at_origin_server"), msgs);
+        assert_eq!(snap.counter("sim.stage.delivered"), msgs);
+        let rtt = snap.histogram("sim.rtt_us").expect("rtt histogram");
+        assert_eq!(rtt.count, msgs);
+        let fan = snap.histogram("sim.fanout_us").expect("fanout histogram");
+        assert!(fan.count >= msgs);
+        assert!(fan.quantile(0.99) >= fan.quantile(0.50));
+    }
+
+    #[test]
+    fn replicated_metrics_pass_through_coordinator_stage() {
+        let mut cfg = fig3_cfg(30, true);
+        cfg.n_servers = 6;
+        let registry = Registry::new();
+        roundtrip_with_metrics(cfg, &registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("sim.stage.at_coordinator"), cfg.messages);
+        assert_eq!(
+            snap.counter("sim.stage.at_member_server"),
+            cfg.messages * cfg.n_servers as u64
+        );
     }
 }

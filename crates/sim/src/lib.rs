@@ -36,7 +36,10 @@ pub mod corona;
 pub mod engine;
 pub mod hosts;
 
-pub use corona::{roundtrip, throughput, ExperimentConfig, RoundTripResults, ThroughputResults};
+pub use corona::{
+    roundtrip, roundtrip_with_metrics, throughput, ExperimentConfig, RoundTripResults,
+    ThroughputResults,
+};
 pub use engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
 pub use hosts::{
     HostProfile, NetworkProfile, CAMPUS_BACKBONE, ETHERNET_10MBPS, PENTIUM_II_200, SPARC_20_CLIENT,

@@ -42,7 +42,11 @@ fn rtt_is_monotone_in_payload() {
             payload,
             ..base(30)
         });
-        assert!(r.mean_ms > prev, "payload {payload}: {} !> {prev}", r.mean_ms);
+        assert!(
+            r.mean_ms > prev,
+            "payload {payload}: {} !> {prev}",
+            r.mean_ms
+        );
         prev = r.mean_ms;
     }
 }
@@ -53,14 +57,30 @@ fn replication_has_a_crossover() {
     // server wins; at scale the parallel fan-out wins. Both regimes
     // must exist — that is the §4 design argument for splitting groups
     // over servers only when they are large.
-    let tiny_single = roundtrip(ExperimentConfig { n_servers: 1, ..base(4) }).mean_ms;
-    let tiny_repl = roundtrip(ExperimentConfig { n_servers: 6, ..base(4) }).mean_ms;
+    let tiny_single = roundtrip(ExperimentConfig {
+        n_servers: 1,
+        ..base(4)
+    })
+    .mean_ms;
+    let tiny_repl = roundtrip(ExperimentConfig {
+        n_servers: 6,
+        ..base(4)
+    })
+    .mean_ms;
     assert!(
         tiny_repl > tiny_single,
         "at 4 clients the extra hop must cost more than it saves ({tiny_repl} vs {tiny_single})"
     );
-    let big_single = roundtrip(ExperimentConfig { n_servers: 1, ..base(120) }).mean_ms;
-    let big_repl = roundtrip(ExperimentConfig { n_servers: 6, ..base(120) }).mean_ms;
+    let big_single = roundtrip(ExperimentConfig {
+        n_servers: 1,
+        ..base(120)
+    })
+    .mean_ms;
+    let big_repl = roundtrip(ExperimentConfig {
+        n_servers: 6,
+        ..base(120)
+    })
+    .mean_ms;
     assert!(big_repl < big_single, "at 120 clients replication must win");
 }
 
@@ -162,12 +182,17 @@ fn stateless_never_beats_stateful_by_more_than_model_noise() {
     // just the paper's points.
     for n in [5, 25, 45] {
         for payload in [500, 5000] {
-            let cfg = ExperimentConfig {
-                payload,
-                ..base(n)
-            };
-            let stateful = roundtrip(ExperimentConfig { stateful: true, ..cfg }).mean_ms;
-            let stateless = roundtrip(ExperimentConfig { stateful: false, ..cfg }).mean_ms;
+            let cfg = ExperimentConfig { payload, ..base(n) };
+            let stateful = roundtrip(ExperimentConfig {
+                stateful: true,
+                ..cfg
+            })
+            .mean_ms;
+            let stateless = roundtrip(ExperimentConfig {
+                stateful: false,
+                ..cfg
+            })
+            .mean_ms;
             let overhead = (stateful - stateless) / stateless;
             assert!(
                 (0.0..0.05).contains(&overhead),

@@ -47,4 +47,4 @@ pub mod storage;
 
 pub use memlog::{GroupLog, ReduceError};
 pub use reduction::ReductionPolicy;
-pub use storage::{GroupStore, RecoveredGroup, StableStore, SyncPolicy};
+pub use storage::{GroupStore, RecoveredGroup, StableStore, StorageMetrics, SyncPolicy};

@@ -383,8 +383,16 @@ mod tests {
     #[test]
     fn append_assigns_contiguous_seqnos() {
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
-        let a = log.append(cid(1), StateUpdate::incremental(oid(1), &b"a"[..]), Timestamp::ZERO);
-        let b = log.append(cid(2), StateUpdate::incremental(oid(1), &b"b"[..]), Timestamp::ZERO);
+        let a = log.append(
+            cid(1),
+            StateUpdate::incremental(oid(1), &b"a"[..]),
+            Timestamp::ZERO,
+        );
+        let b = log.append(
+            cid(2),
+            StateUpdate::incremental(oid(1), &b"b"[..]),
+            Timestamp::ZERO,
+        );
         assert_eq!(a.seq, SeqNo::new(1));
         assert_eq!(b.seq, SeqNo::new(2));
         assert_eq!(log.last_seq(), SeqNo::new(2));
@@ -428,10 +436,7 @@ mod tests {
         assert_eq!(log.checkpoint_seq(), SeqNo::new(4));
         assert_eq!(log.suffix_len(), 2);
         assert_eq!(
-            log.current_state()
-                .object(oid(1))
-                .unwrap()
-                .materialize(),
+            log.current_state().object(oid(1)).unwrap().materialize(),
             live_before.object(oid(1)).unwrap().materialize()
         );
         assert!(log.check_invariants());
@@ -497,8 +502,16 @@ mod tests {
     #[test]
     fn transfer_selected_objects_skips_missing() {
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
-        log.append(cid(1), StateUpdate::set_state(oid(1), &b"one"[..]), Timestamp::ZERO);
-        log.append(cid(1), StateUpdate::set_state(oid(2), &b"two"[..]), Timestamp::ZERO);
+        log.append(
+            cid(1),
+            StateUpdate::set_state(oid(1), &b"one"[..]),
+            Timestamp::ZERO,
+        );
+        log.append(
+            cid(1),
+            StateUpdate::set_state(oid(2), &b"two"[..]),
+            Timestamp::ZERO,
+        );
         let t = log.transfer(&StateTransferPolicy::Objects(vec![oid(2), oid(9)]));
         assert_eq!(t.objects.len(), 1);
         assert_eq!(t.objects[0].0, oid(2));
@@ -554,8 +567,16 @@ mod tests {
         );
         assert_eq!(restored.last_seq(), original.last_seq());
         assert_eq!(
-            restored.current_state().object(oid(1)).unwrap().materialize(),
-            original.current_state().object(oid(1)).unwrap().materialize()
+            restored
+                .current_state()
+                .object(oid(1))
+                .unwrap()
+                .materialize(),
+            original
+                .current_state()
+                .object(oid(1))
+                .unwrap()
+                .materialize()
         );
         assert!(restored.check_invariants());
     }
@@ -575,8 +596,16 @@ mod tests {
     #[test]
     fn suffix_bytes_accounting() {
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
-        log.append(cid(1), StateUpdate::incremental(oid(1), vec![0u8; 10]), Timestamp::ZERO);
-        log.append(cid(1), StateUpdate::incremental(oid(1), vec![0u8; 5]), Timestamp::ZERO);
+        log.append(
+            cid(1),
+            StateUpdate::incremental(oid(1), vec![0u8; 10]),
+            Timestamp::ZERO,
+        );
+        log.append(
+            cid(1),
+            StateUpdate::incremental(oid(1), vec![0u8; 5]),
+            Timestamp::ZERO,
+        );
         assert_eq!(log.suffix_bytes(), 15);
         log.reduce(SeqNo::new(1)).unwrap();
         assert_eq!(log.suffix_bytes(), 5);
@@ -587,8 +616,16 @@ mod tests {
     #[test]
     fn set_state_then_reduce_drops_history() {
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
-        log.append(cid(1), StateUpdate::incremental(oid(1), &b"junk"[..]), Timestamp::ZERO);
-        log.append(cid(1), StateUpdate::set_state(oid(1), &b"fresh"[..]), Timestamp::ZERO);
+        log.append(
+            cid(1),
+            StateUpdate::incremental(oid(1), &b"junk"[..]),
+            Timestamp::ZERO,
+        );
+        log.append(
+            cid(1),
+            StateUpdate::set_state(oid(1), &b"fresh"[..]),
+            Timestamp::ZERO,
+        );
         log.reduce_all();
         assert_eq!(
             log.checkpoint_state().object(oid(1)).unwrap().materialize(),

@@ -16,9 +16,10 @@ use crate::memlog::GroupLog;
 use corona_types::id::SeqNo;
 
 /// When and how far to reduce a group's suffix log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum ReductionPolicy {
     /// Never reduce automatically (clients may still request it).
+    #[default]
     Manual,
     /// Keep at most `max` updates; on overflow, reduce so that `keep`
     /// updates remain (`keep <= max`). Hysteresis avoids reducing on
@@ -78,12 +79,6 @@ impl ReductionPolicy {
                 through
             }
         }
-    }
-}
-
-impl Default for ReductionPolicy {
-    fn default() -> Self {
-        ReductionPolicy::Manual
     }
 }
 

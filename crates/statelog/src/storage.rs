@@ -18,16 +18,47 @@
 //! and are re-fetched from replicas or the original sender.
 
 use crate::memlog::GroupLog;
+use bytes::{BufMut, BytesMut};
+use corona_metrics::{Counter, Histogram, Registry};
 use corona_types::error::CodecError;
 use corona_types::frame::{read_frame, write_frame};
 use corona_types::id::{GroupId, SeqNo};
 use corona_types::policy::Persistence;
 use corona_types::state::{LoggedUpdate, SharedState};
 use corona_types::wire::{Decode, Encode, Reader};
-use bytes::{BufMut, BytesMut};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Metric handles for stable-storage operations, resolved once from a
+/// registry and shared by every [`GroupStore`] the store hands out.
+///
+/// Names (latencies in microseconds, sizes in bytes):
+/// `statelog.append_us`, `statelog.fsync_us`, `statelog.replay_us`,
+/// `statelog.snapshot_bytes`, `statelog.reduction_saved_bytes`.
+#[derive(Debug, Clone)]
+pub struct StorageMetrics {
+    append_us: Arc<Histogram>,
+    fsync_us: Arc<Histogram>,
+    replay_us: Arc<Histogram>,
+    snapshot_bytes: Arc<Histogram>,
+    reduction_saved_bytes: Arc<Counter>,
+}
+
+impl StorageMetrics {
+    /// Resolves the storage metric set from `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        StorageMetrics {
+            append_us: registry.histogram("statelog.append_us"),
+            fsync_us: registry.histogram("statelog.fsync_us"),
+            replay_us: registry.histogram("statelog.replay_us"),
+            snapshot_bytes: registry.histogram("statelog.snapshot_bytes"),
+            reduction_saved_bytes: registry.counter("statelog.reduction_saved_bytes"),
+        }
+    }
+}
 
 /// When the store calls `fsync` on the update log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +101,7 @@ const REC_UPDATE: u8 = 1;
 pub struct StableStore {
     root: PathBuf,
     sync: SyncPolicy,
+    metrics: Option<StorageMetrics>,
 }
 
 impl StableStore {
@@ -81,7 +113,19 @@ impl StableStore {
     pub fn open(root: impl Into<PathBuf>, sync: SyncPolicy) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(StableStore { root, sync })
+        Ok(StableStore {
+            root,
+            sync,
+            metrics: None,
+        })
+    }
+
+    /// Records storage timings/sizes into `registry` (builder-style);
+    /// every [`GroupStore`] handed out afterwards inherits the handles.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: &Registry) -> Self {
+        self.metrics = Some(StorageMetrics::new(registry));
+        self
     }
 
     /// The store's root directory.
@@ -123,6 +167,7 @@ impl StableStore {
             writer: BufWriter::new(file),
             sync: self.sync,
             unsynced: 0,
+            metrics: self.metrics.clone(),
         };
         let mut body = BytesMut::new();
         body.put_u8(REC_CREATED);
@@ -187,12 +232,16 @@ impl StableStore {
     ///
     /// I/O errors, or `InvalidData` if the log is structurally corrupt
     /// beyond a torn tail (e.g. missing creation record).
-    pub fn recover_group(&self, group: GroupId) -> io::Result<Option<(RecoveredGroup, GroupStore)>> {
+    pub fn recover_group(
+        &self,
+        group: GroupId,
+    ) -> io::Result<Option<(RecoveredGroup, GroupStore)>> {
         let dir = self.group_dir(group);
         let log_path = dir.join(LOG_FILE);
         if !log_path.exists() {
             return Ok(None);
         }
+        let replay_started = Instant::now();
 
         // 1. Snapshot, if present.
         let snapshot = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
@@ -279,7 +328,11 @@ impl StableStore {
             writer: BufWriter::new(file),
             sync: self.sync,
             unsynced: 0,
+            metrics: self.metrics.clone(),
         };
+        if let Some(m) = &self.metrics {
+            m.replay_us.record_duration(replay_started.elapsed());
+        }
         Ok(Some((
             RecoveredGroup {
                 persistence,
@@ -355,6 +408,7 @@ pub struct GroupStore {
     writer: BufWriter<File>,
     sync: SyncPolicy,
     unsynced: u32,
+    metrics: Option<StorageMetrics>,
 }
 
 impl GroupStore {
@@ -364,11 +418,16 @@ impl GroupStore {
     ///
     /// Any I/O error from the underlying file.
     pub fn append_update(&mut self, update: &LoggedUpdate) -> io::Result<()> {
+        let started = Instant::now();
         let mut body = BytesMut::new();
         body.put_u8(REC_UPDATE);
         update.encode(&mut body);
         self.append_record(&body)?;
-        self.flush_and_maybe_sync(false)
+        self.flush_and_maybe_sync(false)?;
+        if let Some(m) = &self.metrics {
+            m.append_us.record_duration(started.elapsed());
+        }
+        Ok(())
     }
 
     fn append_record(&mut self, body: &[u8]) -> io::Result<()> {
@@ -385,8 +444,17 @@ impl GroupStore {
                 SyncPolicy::EveryN(n) => self.unsynced >= n,
             };
         if should_sync {
-            self.writer.get_ref().sync_data()?;
+            self.timed_sync_data()?;
             self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    fn timed_sync_data(&mut self) -> io::Result<()> {
+        let started = Instant::now();
+        self.writer.get_ref().sync_data()?;
+        if let Some(m) = &self.metrics {
+            m.fsync_us.record_duration(started.elapsed());
         }
         Ok(())
     }
@@ -414,11 +482,15 @@ impl GroupStore {
             persistence.encode(&mut body);
             through.encode(&mut body);
             state.encode(&mut body);
+            if let Some(m) = &self.metrics {
+                m.snapshot_bytes.record(body.len() as u64);
+            }
             let mut f = File::create(&snap_tmp)?;
             write_frame(&mut f, &body)?;
             f.sync_all()?;
         }
         fs::rename(&snap_tmp, &snap_final)?;
+        let old_log_bytes = fs::metadata(self.dir.join(LOG_FILE)).map(|m| m.len()).ok();
 
         // 2. Rewrite the log with only the suffix, atomically.
         let log_tmp = self.dir.join("log.tmp");
@@ -433,6 +505,11 @@ impl GroupStore {
             }
             f.flush()?;
             f.get_ref().sync_all()?;
+        }
+        // Bytes the reduction reclaimed from the on-disk log.
+        if let (Some(m), Some(old)) = (&self.metrics, old_log_bytes) {
+            let new = fs::metadata(&log_tmp).map(|m| m.len()).unwrap_or(old);
+            m.reduction_saved_bytes.add(old.saturating_sub(new));
         }
         fs::rename(&log_tmp, &log_final)?;
 
@@ -452,7 +529,7 @@ impl GroupStore {
     /// Any I/O error from the underlying file.
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()?;
+        self.timed_sync_data()?;
         self.unsynced = 0;
         Ok(())
     }
@@ -549,7 +626,11 @@ mod tests {
         let store = StableStore::open(&root, SyncPolicy::OsDefault).unwrap();
         for g in [3u64, 1, 2] {
             store
-                .create_group(GroupId::new(g), Persistence::Persistent, &SharedState::new())
+                .create_group(
+                    GroupId::new(g),
+                    Persistence::Persistent,
+                    &SharedState::new(),
+                )
                 .unwrap();
         }
         assert_eq!(
@@ -571,7 +652,11 @@ mod tests {
         let root = tmpdir("torn");
         let store = StableStore::open(&root, SyncPolicy::EveryRecord).unwrap();
         let mut gs = store
-            .create_group(GroupId::new(1), Persistence::Persistent, &SharedState::new())
+            .create_group(
+                GroupId::new(1),
+                Persistence::Persistent,
+                &SharedState::new(),
+            )
             .unwrap();
         gs.append_update(&logged(1, "one")).unwrap();
         gs.append_update(&logged(2, "two")).unwrap();
@@ -604,7 +689,11 @@ mod tests {
         let root = tmpdir("ckpt");
         let store = StableStore::open(&root, SyncPolicy::OsDefault).unwrap();
         let mut gs = store
-            .create_group(GroupId::new(1), Persistence::Persistent, &SharedState::new())
+            .create_group(
+                GroupId::new(1),
+                Persistence::Persistent,
+                &SharedState::new(),
+            )
             .unwrap();
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
         for i in 1..=6u64 {
@@ -658,7 +747,11 @@ mod tests {
         let root = tmpdir("crash-order");
         let store = StableStore::open(&root, SyncPolicy::OsDefault).unwrap();
         let mut gs = store
-            .create_group(GroupId::new(1), Persistence::Persistent, &SharedState::new())
+            .create_group(
+                GroupId::new(1),
+                Persistence::Persistent,
+                &SharedState::new(),
+            )
             .unwrap();
         let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
         for i in 1..=4u64 {

@@ -12,8 +12,14 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Append { object: u8, kind: UpdateKind, payload: Vec<u8> },
-    Reduce { fraction: f64 },
+    Append {
+        object: u8,
+        kind: UpdateKind,
+        payload: Vec<u8>,
+    },
+    Reduce {
+        fraction: f64,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -33,7 +39,11 @@ fn run_ops(ops: &[Op]) -> GroupLog {
     let mut log = GroupLog::new(GroupId::new(1), SharedState::new());
     for op in ops {
         match op {
-            Op::Append { object, kind, payload } => {
+            Op::Append {
+                object,
+                kind,
+                payload,
+            } => {
                 log.append(
                     ClientId::new(1),
                     StateUpdate {
@@ -78,7 +88,7 @@ proptest! {
         // rebuilds that prefix (full-state fallback carries it in
         // `objects`; the incremental path assumes the client already
         // has it — reconstruct it by replaying the server's history).
-        let mut client_state = if transfer.basis == since && !log.updates_since(since).is_none() {
+        let mut client_state = if transfer.basis == since && log.updates_since(since).is_some() {
             // Incremental: simulate the client's pre-join state by
             // replaying the log prefix server-side.
             let mut prefix = GroupLog::new(GroupId::new(1), SharedState::new());

@@ -31,9 +31,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod mem;
+pub mod metered;
 pub mod tcp;
 pub mod traits;
 
 pub use mem::{MemConnection, MemDialer, MemListener, MemNetwork};
+pub use metered::{ConnTraffic, MeteredConnection, TransportMetrics};
 pub use tcp::{TcpAcceptor, TcpConnection, TcpDialer};
 pub use traits::{Connection, Dialer, Listener, TransportError};

@@ -453,7 +453,9 @@ mod tests {
         net.block("c", "s");
         client.send(Bytes::from_static(b"lost")).unwrap();
         assert_eq!(
-            server_conn.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            server_conn
+                .recv_timeout(Duration::from_millis(20))
+                .unwrap_err(),
             TransportError::Timeout
         );
 
@@ -520,7 +522,10 @@ mod tests {
         let handle = std::thread::spawn(move || l2.accept().map(|_| ()));
         std::thread::sleep(Duration::from_millis(30));
         listener.shutdown();
-        assert!(matches!(handle.join().unwrap(), Err(TransportError::Closed)));
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(TransportError::Closed)
+        ));
         // Address is reusable after shutdown.
         assert!(net.listen("s").is_ok());
     }
@@ -532,7 +537,10 @@ mod tests {
         let dialer: Box<dyn Dialer> = Box::new(net.dialer("cli"));
         let conn = dialer.dial("srv").unwrap();
         conn.send(Bytes::from_static(b"via-trait")).unwrap();
-        assert_eq!(listener.accept().unwrap().recv().unwrap().as_ref(), b"via-trait");
+        assert_eq!(
+            listener.accept().unwrap().recv().unwrap().as_ref(),
+            b"via-trait"
+        );
     }
 
     #[test]

@@ -50,14 +50,9 @@ impl TcpConnection {
             std::thread::Builder::new()
                 .name(format!("tcp-read-{peer}"))
                 .spawn(move || {
-                    loop {
-                        match read_frame(&mut read_stream) {
-                            Ok(Some(frame)) => {
-                                if in_tx.send(frame).is_err() {
-                                    break;
-                                }
-                            }
-                            Ok(None) | Err(_) => break,
+                    while let Ok(Some(frame)) = read_frame(&mut read_stream) {
+                        if in_tx.send(frame).is_err() {
+                            break;
                         }
                     }
                     closed.store(true, Ordering::Release);
@@ -249,8 +244,11 @@ mod tests {
         let server = std::thread::spawn(move || {
             let conn = acceptor.accept().unwrap();
             let frame = conn.recv().unwrap();
-            conn.send(Bytes::from(format!("echo:{}", String::from_utf8_lossy(&frame))))
-                .unwrap();
+            conn.send(Bytes::from(format!(
+                "echo:{}",
+                String::from_utf8_lossy(&frame)
+            )))
+            .unwrap();
             // Keep the connection alive until the client read the echo.
             let _ = conn.recv();
         });
@@ -279,7 +277,10 @@ mod tests {
         }
         let got = server.join().unwrap();
         for (i, frame) in got.iter().enumerate() {
-            assert_eq!(u32::from_le_bytes(frame.as_ref().try_into().unwrap()), i as u32);
+            assert_eq!(
+                u32::from_le_bytes(frame.as_ref().try_into().unwrap()),
+                i as u32
+            );
         }
     }
 

@@ -16,7 +16,9 @@ use crate::policy::{
     DeliveryScope, MemberInfo, MemberRole, MembershipChange, Persistence, StateTransferPolicy,
 };
 use crate::state::{LoggedUpdate, SharedState, StateUpdate, Timestamp};
-use crate::wire::{decode_opt, decode_seq, encode_opt, encode_seq, Decode, Encode, Reader, WriteExt};
+use crate::wire::{
+    decode_opt, decode_seq, encode_opt, encode_seq, Decode, Encode, Reader, WriteExt,
+};
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Protocol version carried in `Hello`; bumped on incompatible change.
@@ -59,15 +61,18 @@ impl StateTransfer {
     /// Total payload bytes carried (objects plus update payloads).
     pub fn payload_len(&self) -> usize {
         self.objects.iter().map(|(_, b)| b.len()).sum::<usize>()
-            + self.updates.iter().map(LoggedUpdate::payload_len).sum::<usize>()
+            + self
+                .updates
+                .iter()
+                .map(LoggedUpdate::payload_len)
+                .sum::<usize>()
     }
 
     /// Reconstructs a [`SharedState`] by installing the objects and
     /// then applying the updates in order.
     pub fn reconstruct(&self) -> SharedState {
-        let mut state = SharedState::from_objects(
-            self.objects.iter().map(|(id, b)| (*id, b.clone())),
-        );
+        let mut state =
+            SharedState::from_objects(self.objects.iter().map(|(id, b)| (*id, b.clone())));
         state.apply_all(&self.updates);
         state
     }
@@ -1209,7 +1214,11 @@ mod tests {
                 group: GroupId::new(3),
             },
             ServerEvent::Joined {
-                members: vec![MemberInfo::new(ClientId::new(1), MemberRole::Principal, "a")],
+                members: vec![MemberInfo::new(
+                    ClientId::new(1),
+                    MemberRole::Principal,
+                    "a",
+                )],
                 transfer: StateTransfer::empty(GroupId::new(3), SeqNo::ZERO),
             },
             ServerEvent::Left {
@@ -1314,17 +1323,23 @@ mod tests {
                 origin: ServerId::new(2),
                 client: ClientId::new(9),
                 local_tag: 3,
-                request: ClientRequest::Leave { group: GroupId::new(1) },
+                request: ClientRequest::Leave {
+                    group: GroupId::new(1),
+                },
             },
             PeerMessage::RequestOutcome {
                 origin: ServerId::new(2),
                 local_tag: 3,
                 client: ClientId::new(9),
-                events: vec![ServerEvent::Left { group: GroupId::new(1) }],
+                events: vec![ServerEvent::Left {
+                    group: GroupId::new(1),
+                }],
             },
             PeerMessage::Deliver {
                 client: ClientId::new(9),
-                event: ServerEvent::GroupDeleted { group: GroupId::new(1) },
+                event: ServerEvent::GroupDeleted {
+                    group: GroupId::new(1),
+                },
             },
             PeerMessage::MemberAnnounce {
                 server: ServerId::new(2),

@@ -330,7 +330,10 @@ mod tests {
 
     #[test]
     fn scope_persistence_role_roundtrip() {
-        for s in [DeliveryScope::SenderInclusive, DeliveryScope::SenderExclusive] {
+        for s in [
+            DeliveryScope::SenderInclusive,
+            DeliveryScope::SenderExclusive,
+        ] {
             assert_eq!(DeliveryScope::decode_exact(&s.encode_to_vec()).unwrap(), s);
         }
         for p in [Persistence::Persistent, Persistence::Transient] {
@@ -382,7 +385,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(StateTransferPolicy::FullState.to_string(), "full-state");
-        assert_eq!(StateTransferPolicy::LastUpdates(5).to_string(), "last-5-updates");
+        assert_eq!(
+            StateTransferPolicy::LastUpdates(5).to_string(),
+            "last-5-updates"
+        );
         assert_eq!(
             StateTransferPolicy::UpdatesSince(SeqNo::new(3)).to_string(),
             "updates-since-#3"

@@ -463,7 +463,10 @@ mod tests {
         assert!(!state.contains(oid(1)));
         state.apply(&StateUpdate::incremental(oid(1), &b"x"[..]));
         assert!(state.contains(oid(1)));
-        assert_eq!(state.object(oid(1)).unwrap().materialize(), Bytes::from_static(b"x"));
+        assert_eq!(
+            state.object(oid(1)).unwrap().materialize(),
+            Bytes::from_static(b"x")
+        );
     }
 
     #[test]

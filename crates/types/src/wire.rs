@@ -370,7 +370,18 @@ mod tests {
 
     #[test]
     fn varint_roundtrips() {
-        for v in [0, 1, 127, 128, 255, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            255,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             roundtrip_varint(v);
         }
     }
@@ -449,7 +460,10 @@ mod tests {
         let mut r = Reader::new(&[2]);
         assert!(matches!(
             r.read_bool(),
-            Err(CodecError::InvalidTag { context: "bool", .. })
+            Err(CodecError::InvalidTag {
+                context: "bool",
+                ..
+            })
         ));
     }
 

@@ -60,7 +60,11 @@ fn arb_member_info() -> impl Strategy<Value = MemberInfo> {
     (any::<u64>(), any::<bool>(), "[a-z]{0,12}").prop_map(|(c, obs, name)| {
         MemberInfo::new(
             ClientId::new(c),
-            if obs { MemberRole::Observer } else { MemberRole::Principal },
+            if obs {
+                MemberRole::Observer
+            } else {
+                MemberRole::Principal
+            },
             name,
         )
     })
@@ -116,20 +120,32 @@ fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
         (any::<u64>(), any::<bool>(), arb_shared_state()).prop_map(|(g, p, st)| {
             ClientRequest::CreateGroup {
                 group: GroupId::new(g),
-                persistence: if p { Persistence::Persistent } else { Persistence::Transient },
+                persistence: if p {
+                    Persistence::Persistent
+                } else {
+                    Persistence::Transient
+                },
                 initial_state: st,
             }
         }),
-        any::<u64>().prop_map(|g| ClientRequest::DeleteGroup { group: GroupId::new(g) }),
+        any::<u64>().prop_map(|g| ClientRequest::DeleteGroup {
+            group: GroupId::new(g)
+        }),
         (any::<u64>(), any::<bool>(), arb_policy(), any::<bool>()).prop_map(
             |(g, obs, policy, notify)| ClientRequest::Join {
                 group: GroupId::new(g),
-                role: if obs { MemberRole::Observer } else { MemberRole::Principal },
+                role: if obs {
+                    MemberRole::Observer
+                } else {
+                    MemberRole::Principal
+                },
                 policy,
                 notify_membership: notify,
             }
         ),
-        any::<u64>().prop_map(|g| ClientRequest::Leave { group: GroupId::new(g) }),
+        any::<u64>().prop_map(|g| ClientRequest::Leave {
+            group: GroupId::new(g)
+        }),
         (any::<u64>(), arb_state_update(), arb_scope()).prop_map(|(g, update, scope)| {
             ClientRequest::Broadcast {
                 group: GroupId::new(g),
@@ -166,7 +182,10 @@ fn arb_server_event() -> impl Strategy<Value = ServerEvent> {
             client: ClientId::new(c),
             version: 1,
         }),
-        (proptest::collection::vec(arb_member_info(), 0..4), arb_transfer())
+        (
+            proptest::collection::vec(arb_member_info(), 0..4),
+            arb_transfer()
+        )
             .prop_map(|(members, transfer)| ServerEvent::Joined { members, transfer }),
         (any::<u64>(), arb_logged()).prop_map(|(g, logged)| ServerEvent::Multicast {
             group: GroupId::new(g),
@@ -179,10 +198,8 @@ fn arb_server_event() -> impl Strategy<Value = ServerEvent> {
                 info,
             }
         }),
-        (any::<u16>(), "[ -~]{0,30}").prop_map(|(code, detail)| ServerEvent::Error {
-            code,
-            detail,
-        }),
+        (any::<u16>(), "[ -~]{0,30}")
+            .prop_map(|(code, detail)| ServerEvent::Error { code, detail }),
         (any::<u64>(), any::<u64>()).prop_map(|(nonce, at)| ServerEvent::Pong {
             nonce,
             at: Timestamp::from_micros(at),
@@ -196,16 +213,32 @@ fn arb_peer_message() -> impl Strategy<Value = PeerMessage> {
             from: ServerId::new(f),
             epoch: Epoch(e),
         }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), arb_state_update(), arb_scope(), any::<u64>())
-            .prop_map(|(o, s, g, update, scope, tag)| PeerMessage::ForwardBroadcast {
-                origin: ServerId::new(o),
-                sender: ClientId::new(s),
-                group: GroupId::new(g),
-                update,
-                scope,
-                local_tag: tag,
-            }),
-        (any::<u64>(), any::<u64>(), arb_logged(), arb_scope(), any::<u64>(), any::<u64>())
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_state_update(),
+            arb_scope(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(o, s, g, update, scope, tag)| PeerMessage::ForwardBroadcast {
+                    origin: ServerId::new(o),
+                    sender: ClientId::new(s),
+                    group: GroupId::new(g),
+                    update,
+                    scope,
+                    local_tag: tag,
+                }
+            ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_logged(),
+            arb_scope(),
+            any::<u64>(),
+            any::<u64>()
+        )
             .prop_map(|(g, e, logged, scope, o, tag)| PeerMessage::Sequenced {
                 group: GroupId::new(g),
                 epoch: Epoch(e),
@@ -214,7 +247,13 @@ fn arb_peer_message() -> impl Strategy<Value = PeerMessage> {
                 origin: ServerId::new(o),
                 local_tag: tag,
             }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), arb_shared_state(), proptest::collection::vec(arb_logged(), 0..4))
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_shared_state(),
+            proptest::collection::vec(arb_logged(), 0..4)
+        )
             .prop_map(|(f, g, t, state, updates)| PeerMessage::GroupStateReply {
                 from: ServerId::new(f),
                 group: GroupId::new(g),
@@ -223,7 +262,12 @@ fn arb_peer_message() -> impl Strategy<Value = PeerMessage> {
                 state,
                 updates,
             }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), arb_client_request())
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            arb_client_request()
+        )
             .prop_map(|(o, c, tag, request)| PeerMessage::ForwardRequest {
                 origin: ServerId::new(o),
                 client: ClientId::new(c),
@@ -234,13 +278,16 @@ fn arb_peer_message() -> impl Strategy<Value = PeerMessage> {
             client: ClientId::new(c),
             event,
         }),
-        (any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u64>(), 0..8)).prop_map(
-            |(e, c, servers)| PeerMessage::ServerList {
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..8)
+        )
+            .prop_map(|(e, c, servers)| PeerMessage::ServerList {
                 epoch: Epoch(e),
                 coordinator: ServerId::new(c),
                 servers: servers.into_iter().map(ServerId::new).collect(),
-            }
-        ),
+            }),
     ]
 }
 

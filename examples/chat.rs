@@ -40,8 +40,12 @@ impl User {
         // Sender-inclusive: the server's sequenced echo is what lands
         // in everyone's transcript, including ours — so all replicas
         // order every line identically.
-        self.client
-            .bcast_update(CHAT_ROOM, TRANSCRIPT, stamped.into_bytes(), DeliveryScope::SenderInclusive)
+        self.client.bcast_update(
+            CHAT_ROOM,
+            TRANSCRIPT,
+            stamped.into_bytes(),
+            DeliveryScope::SenderInclusive,
+        )
     }
 
     /// Drains pending events into the local transcript mirror.
@@ -87,8 +91,7 @@ fn main() -> corona::types::Result<()> {
     bob.sync();
 
     // A latecomer with a slow link asks for only the last 3 lines.
-    let late_client =
-        CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "cara", None)?;
+    let late_client = CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "cara", None)?;
     let (members, transfer) = late_client.join(
         CHAT_ROOM,
         MemberRole::Principal,
@@ -113,13 +116,29 @@ fn main() -> corona::types::Result<()> {
     cara.sync();
 
     println!("--- ann's full transcript ---\n{}", ann.transcript());
-    println!("--- cara's view (joined with last-3 policy) ---\n{}", cara.transcript());
+    println!(
+        "--- cara's view (joined with last-3 policy) ---\n{}",
+        cara.transcript()
+    );
 
     // Everyone who was present from the start converges exactly.
     assert_eq!(ann.transcript(), bob.transcript());
     // Cara's view is a suffix of the full transcript (she skipped the
     // oldest history on purpose).
     assert!(ann.transcript().ends_with(&cara.transcript()));
+
+    // What the session looked like from the server's side: the shared
+    // metric registry every layer records into (see DESIGN.md
+    // "Observability").
+    let stats = server.stats()?;
+    println!(
+        "--- server stats ---\nbroadcasts={} deliveries={} joins={} conns={} reductions={}",
+        stats.broadcasts, stats.deliveries, stats.joins, stats.conns_accepted, stats.reductions
+    );
+    println!(
+        "--- server metrics ---\n{}",
+        server.metrics()?.render_text()
+    );
 
     ann.client.close();
     bob.client.close();

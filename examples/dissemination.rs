@@ -25,25 +25,43 @@ fn reading(instrument: &str, t: u32) -> Vec<u8> {
 fn main() -> corona::types::Result<()> {
     let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
     let addr = acceptor.local_addr();
-    let server = CoronaServer::start(
-        Box::new(acceptor),
-        ServerConfig::stateful(ServerId::new(1)),
-    )?;
+    let server = CoronaServer::start(Box::new(acceptor), ServerConfig::stateful(ServerId::new(1)))?;
 
     // The publisher creates the persistent feed and pushes readings.
     // `StateTransferPolicy::None` on join: a pure publisher needs no
     // state back.
-    let publisher = CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "radar-station", None)?;
+    let publisher =
+        CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "radar-station", None)?;
     publisher.create_group(FEED, Persistence::Persistent, SharedState::new())?;
-    publisher.join(FEED, MemberRole::Principal, StateTransferPolicy::None, false)?;
+    publisher.join(
+        FEED,
+        MemberRole::Principal,
+        StateTransferPolicy::None,
+        false,
+    )?;
 
     // A permanent subscriber is online from the start (push mode).
     let permanent = CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "archive", None)?;
-    permanent.join(FEED, MemberRole::Observer, StateTransferPolicy::FullState, false)?;
+    permanent.join(
+        FEED,
+        MemberRole::Observer,
+        StateTransferPolicy::FullState,
+        false,
+    )?;
 
     for t in 0..5 {
-        publisher.bcast_update(FEED, RADAR, reading("radar", t), DeliveryScope::SenderExclusive)?;
-        publisher.bcast_update(FEED, LIDAR, reading("lidar", t), DeliveryScope::SenderExclusive)?;
+        publisher.bcast_update(
+            FEED,
+            RADAR,
+            reading("radar", t),
+            DeliveryScope::SenderExclusive,
+        )?;
+        publisher.bcast_update(
+            FEED,
+            LIDAR,
+            reading("lidar", t),
+            DeliveryScope::SenderExclusive,
+        )?;
     }
     publisher.ping()?; // flush
 
@@ -75,14 +93,22 @@ fn main() -> corona::types::Result<()> {
         transfer.payload_len(),
         String::from_utf8_lossy(&radar_only.object(RADAR).expect("radar").materialize())
     );
-    assert!(radar_only.object(LIDAR).is_none(), "lidar excluded by policy");
+    assert!(
+        radar_only.object(LIDAR).is_none(),
+        "lidar excluded by policy"
+    );
     let last_seen = transfer.through;
 
     // It disconnects; publishing continues; it returns and pulls only
     // the delta (`UpdatesSince`).
     occasional.leave(FEED)?;
     for t in 5..8 {
-        publisher.bcast_update(FEED, RADAR, reading("radar", t), DeliveryScope::SenderExclusive)?;
+        publisher.bcast_update(
+            FEED,
+            RADAR,
+            reading("radar", t),
+            DeliveryScope::SenderExclusive,
+        )?;
     }
     publisher.ping()?;
 

@@ -14,10 +14,7 @@ fn main() -> corona::types::Result<()> {
     // 1. Start a stateful server on an ephemeral TCP port.
     let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
     let addr = acceptor.local_addr();
-    let server = CoronaServer::start(
-        Box::new(acceptor),
-        ServerConfig::stateful(ServerId::new(1)),
-    )?;
+    let server = CoronaServer::start(Box::new(acceptor), ServerConfig::stateful(ServerId::new(1)))?;
     println!("server listening on {addr}");
 
     // 2. Alice connects, creates a persistent group and joins it.
@@ -25,13 +22,28 @@ fn main() -> corona::types::Result<()> {
     let group = GroupId::new(1);
     let notebook = ObjectId::new(1);
     alice.create_group(group, Persistence::Persistent, SharedState::new())?;
-    alice.join(group, MemberRole::Principal, StateTransferPolicy::FullState, true)?;
+    alice.join(
+        group,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        true,
+    )?;
     println!("alice joined {group} as {}", alice.client_id());
 
     // 3. Alice writes into the shared notebook object. `bcast_update`
     //    appends (preserving history); `bcast_state` would replace.
-    alice.bcast_update(group, notebook, &b"alice: hello, group!\n"[..], DeliveryScope::SenderExclusive)?;
-    alice.bcast_update(group, notebook, &b"alice: anyone here?\n"[..], DeliveryScope::SenderExclusive)?;
+    alice.bcast_update(
+        group,
+        notebook,
+        &b"alice: hello, group!\n"[..],
+        DeliveryScope::SenderExclusive,
+    )?;
+    alice.bcast_update(
+        group,
+        notebook,
+        &b"alice: anyone here?\n"[..],
+        DeliveryScope::SenderExclusive,
+    )?;
 
     // 4. Bob joins LATER — and still receives the full shared state
     //    from the server. No existing member is involved in his join
@@ -40,15 +52,29 @@ fn main() -> corona::types::Result<()> {
     let (members, mirror) = bob.join_mirrored(group, MemberRole::Principal, false)?;
     println!(
         "bob joined; members = {:?}",
-        members.iter().map(|m| m.display_name.as_str()).collect::<Vec<_>>()
+        members
+            .iter()
+            .map(|m| m.display_name.as_str())
+            .collect::<Vec<_>>()
     );
     println!(
         "bob's transferred notebook:\n{}",
-        String::from_utf8_lossy(&mirror.state().object(notebook).expect("notebook").materialize())
+        String::from_utf8_lossy(
+            &mirror
+                .state()
+                .object(notebook)
+                .expect("notebook")
+                .materialize()
+        )
     );
 
     // 5. Bob replies; Alice receives the sequenced multicast.
-    bob.bcast_update(group, notebook, &b"bob: hi alice!\n"[..], DeliveryScope::SenderExclusive)?;
+    bob.bcast_update(
+        group,
+        notebook,
+        &b"bob: hi alice!\n"[..],
+        DeliveryScope::SenderExclusive,
+    )?;
     loop {
         match alice.next_event_timeout(Duration::from_secs(5))? {
             ServerEvent::Multicast { logged, .. } => {

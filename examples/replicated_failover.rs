@@ -114,12 +114,20 @@ fn main() -> corona::types::Result<()> {
     // A fresh client joining after the crash still sees the full
     // history — the state survived the coordinator.
     let dave = connect("dave", 3)?;
-    let (_, transfer) =
-        dave.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)?;
+    let (_, transfer) = dave.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )?;
     println!(
         "dave's transferred state: {:?}",
         String::from_utf8_lossy(
-            &transfer.reconstruct().object(O).expect("object").materialize()
+            &transfer
+                .reconstruct()
+                .object(O)
+                .expect("object")
+                .materialize()
         )
     );
 

@@ -54,8 +54,18 @@ fn main() -> corona::types::Result<()> {
         let ann = CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "ann", None)?;
         let bob = CoronaClient::connect(TcpDialer.dial(&addr).expect("dial"), "bob", None)?;
         ann.create_group(BOARD, Persistence::Persistent, SharedState::new())?;
-        ann.join(BOARD, MemberRole::Principal, StateTransferPolicy::FullState, false)?;
-        bob.join(BOARD, MemberRole::Principal, StateTransferPolicy::FullState, false)?;
+        ann.join(
+            BOARD,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )?;
+        bob.join(
+            BOARD,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )?;
 
         let stroke1 = ObjectId::new(1);
         let stroke2 = ObjectId::new(2);
@@ -63,9 +73,19 @@ fn main() -> corona::types::Result<()> {
         // Ann draws stroke 1 under a lock, extending it point by point
         // (bcastUpdate appends, preserving the stroke's history).
         assert_eq!(ann.acquire_lock(BOARD, stroke1, true)?, LockResult::Granted);
-        ann.bcast_state(BOARD, stroke1, encode_points(&[(0, 0)]), DeliveryScope::SenderExclusive)?;
+        ann.bcast_state(
+            BOARD,
+            stroke1,
+            encode_points(&[(0, 0)]),
+            DeliveryScope::SenderExclusive,
+        )?;
         for p in [(10, 5), (20, 12), (30, 18)] {
-            ann.bcast_update(BOARD, stroke1, encode_points(&[p]), DeliveryScope::SenderExclusive)?;
+            ann.bcast_update(
+                BOARD,
+                stroke1,
+                encode_points(&[p]),
+                DeliveryScope::SenderExclusive,
+            )?;
         }
 
         // Bob tries to edit the same stroke: denied while Ann holds it.
@@ -75,13 +95,26 @@ fn main() -> corona::types::Result<()> {
             }
             LockResult::Granted => unreachable!("lock service failed"),
         }
-        assert_eq!(bob.acquire_lock(BOARD, stroke2, false)?, LockResult::Granted);
-        bob.bcast_state(BOARD, stroke2, encode_points(&[(100, 100), (90, 80)]), DeliveryScope::SenderExclusive)?;
+        assert_eq!(
+            bob.acquire_lock(BOARD, stroke2, false)?,
+            LockResult::Granted
+        );
+        bob.bcast_state(
+            BOARD,
+            stroke2,
+            encode_points(&[(100, 100), (90, 80)]),
+            DeliveryScope::SenderExclusive,
+        )?;
         bob.release_lock(BOARD, stroke2)?;
 
         // Ann erases and redraws stroke 1: bcastState REPLACES the
         // object, dropping its history.
-        ann.bcast_state(BOARD, stroke1, encode_points(&[(0, 0), (50, 50)]), DeliveryScope::SenderExclusive)?;
+        ann.bcast_state(
+            BOARD,
+            stroke1,
+            encode_points(&[(0, 0), (50, 50)]),
+            DeliveryScope::SenderExclusive,
+        )?;
         ann.release_lock(BOARD, stroke1)?;
 
         // Flush, then stop the server mid-session.
@@ -89,7 +122,10 @@ fn main() -> corona::types::Result<()> {
         ann.close();
         bob.close();
         server.shutdown();
-        println!("session 1 over; server stopped (canvas persisted to {})", storage.display());
+        println!(
+            "session 1 over; server stopped (canvas persisted to {})",
+            storage.display()
+        );
     }
 
     {

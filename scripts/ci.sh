@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# The full local CI gate: release build, test suite, formatting,
+# lints. Run from anywhere; operates on the workspace root. --offline
+# throughout — the workspace vendors its external deps as shims and
+# must keep building without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

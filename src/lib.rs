@@ -20,6 +20,8 @@
 //! * [`service`] — the stateful server and the client library;
 //! * [`replication`] — coordinator sequencing, elections, partition
 //!   merge;
+//! * [`metrics`] — the shared observability registry: counters,
+//!   gauges, log₂-bucketed latency histograms;
 //! * [`sim`] — the deterministic simulator reproducing the paper's
 //!   evaluation.
 //!
@@ -70,6 +72,10 @@ pub use corona_core as service;
 /// The replicated service: sequencing, election, partition merge.
 pub use corona_replication as replication;
 
+/// Lock-free counters, gauges and latency histograms shared by every
+/// layer of the stack.
+pub use corona_metrics as metrics;
+
 /// Deterministic discrete-event simulator for the paper's evaluation.
 pub use corona_sim as sim;
 
@@ -79,6 +85,7 @@ pub mod prelude {
         client::CoronaClient, config::ServerConfig, mirror::GroupMirror, server::CoronaServer,
         ApplyOutcome, EventClass, LockResult, QosPolicy, Statefulness,
     };
+    pub use corona_metrics::{MetricsSnapshot, Registry};
     pub use corona_replication::{ReplicatedConfig, ReplicatedServer};
     pub use corona_statelog::{ReductionPolicy, SyncPolicy};
     pub use corona_transport::{Connection, Dialer, Listener, MemNetwork, TcpAcceptor, TcpDialer};

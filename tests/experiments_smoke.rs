@@ -3,6 +3,7 @@
 //! CI). The full sweeps live in `corona-bench`; these runs are scaled
 //! down to keep the suite fast.
 
+use corona::prelude::*;
 use corona::sim::{roundtrip, throughput, ExperimentConfig, PENTIUM_II_200, ULTRASPARC_1};
 
 #[test]
@@ -23,7 +24,10 @@ fn fig3_linear_and_stateful_close_to_stateless() {
         assert!(stateful.mean_ms > prev, "monotone growth");
         prev = stateful.mean_ms;
         let gap = (stateful.mean_ms - stateless.mean_ms) / stateless.mean_ms;
-        assert!(gap.abs() < 0.05, "curves must nearly coincide, gap {gap:.3}");
+        assert!(
+            gap.abs() < 0.05,
+            "curves must nearly coincide, gap {gap:.3}"
+        );
     }
 }
 
@@ -77,12 +81,108 @@ fn table2_replication_wins_and_gap_widens() {
             closed_loop: true,
             ..ExperimentConfig::default()
         };
-        let single = roundtrip(ExperimentConfig { n_servers: 1, ..base }).mean_ms;
-        let multi = roundtrip(ExperimentConfig { n_servers: 6, ..base }).mean_ms;
+        let single = roundtrip(ExperimentConfig {
+            n_servers: 1,
+            ..base
+        })
+        .mean_ms;
+        let multi = roundtrip(ExperimentConfig {
+            n_servers: 6,
+            ..base
+        })
+        .mean_ms;
         assert!(multi < single, "{n}: {multi} !< {single}");
         gaps.push(single - multi);
     }
-    assert!(gaps.windows(2).all(|w| w[0] < w[1]), "gap must widen: {gaps:?}");
+    assert!(
+        gaps.windows(2).all(|w| w[0] < w[1]),
+        "gap must widen: {gaps:?}"
+    );
+}
+
+/// Runs a fixed two-group workload (two members, five broadcasts into
+/// g1, three into g2, all sender-inclusive) against a server built
+/// from `config` and returns its metrics snapshot.
+fn metered_workload(config: ServerConfig) -> MetricsSnapshot {
+    let net = MemNetwork::new();
+    let server = CoronaServer::start(Box::new(net.listen("server").unwrap()), config).unwrap();
+    let alice = CoronaClient::connect(
+        Box::new(net.dial_from("alice", "server").unwrap()),
+        "alice",
+        None,
+    )
+    .unwrap();
+    let bea = CoronaClient::connect(
+        Box::new(net.dial_from("bea", "server").unwrap()),
+        "bea",
+        None,
+    )
+    .unwrap();
+
+    let (g1, g2) = (GroupId::new(1), GroupId::new(2));
+    for g in [g1, g2] {
+        alice
+            .create_group(g, Persistence::Transient, SharedState::new())
+            .unwrap();
+        alice
+            .join(g, MemberRole::Principal, StateTransferPolicy::None, false)
+            .unwrap();
+        bea.join(g, MemberRole::Principal, StateTransferPolicy::None, false)
+            .unwrap();
+    }
+    let o = ObjectId::new(1);
+    for i in 0..5u8 {
+        alice
+            .bcast_update(g1, o, vec![i], DeliveryScope::SenderInclusive)
+            .unwrap();
+    }
+    for i in 0..3u8 {
+        bea.bcast_update(g2, o, vec![i], DeliveryScope::SenderInclusive)
+            .unwrap();
+    }
+    // A ping per client syncs the dispatcher past each one's requests.
+    alice.ping().unwrap();
+    bea.ping().unwrap();
+
+    let snap = server.metrics().unwrap();
+    alice.close();
+    bea.close();
+    server.shutdown();
+    snap
+}
+
+#[test]
+fn per_group_delivery_counters_sum_to_the_total() {
+    let snap = metered_workload(ServerConfig::stateful(ServerId::new(1)));
+    let total = snap.counter("core.deliveries");
+    // Sender-inclusive fan-out to two members: 8 broadcasts x 2.
+    assert_eq!(total, 16);
+    assert_eq!(
+        snap.counter_sum("core.group."),
+        total,
+        "per-group deliveries must partition the total"
+    );
+    assert_eq!(snap.counter("core.group.g1.deliveries"), 10);
+    assert_eq!(snap.counter("core.group.g2.deliveries"), 6);
+}
+
+#[test]
+fn stateful_and_stateless_sequence_the_same_broadcast_count() {
+    let stateful = metered_workload(ServerConfig::stateful(ServerId::new(1)));
+    let stateless = metered_workload(ServerConfig::stateless(ServerId::new(1)));
+    assert_eq!(stateful.counter("core.broadcasts"), 8);
+    assert_eq!(
+        stateful.counter("core.broadcasts"),
+        stateless.counter("core.broadcasts"),
+        "statefulness must not change how many broadcasts are sequenced"
+    );
+}
+
+#[test]
+fn nothing_is_shed_with_qos_disabled() {
+    let snap = metered_workload(ServerConfig::stateful(ServerId::new(1)));
+    assert_eq!(snap.counter("server.shed"), 0);
+    assert_eq!(snap.counter_sum("server.group."), 0);
 }
 
 #[test]

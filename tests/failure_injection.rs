@@ -6,7 +6,8 @@
 use corona::prelude::*;
 use corona::replication::{find_divergence, merge, MergeResolution, Side};
 use corona::statelog::{GroupLog, StableStore, SyncPolicy};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const G: GroupId = GroupId(1);
 const O: ObjectId = ObjectId(1);
@@ -15,11 +16,8 @@ const O: ObjectId = ObjectId(1);
 fn client_crash_releases_locks_and_membership() {
     let net = MemNetwork::new();
     let listener = net.listen("server").unwrap();
-    let server = CoronaServer::start(
-        Box::new(listener),
-        ServerConfig::stateful(ServerId::new(1)),
-    )
-    .unwrap();
+    let server =
+        CoronaServer::start(Box::new(listener), ServerConfig::stateful(ServerId::new(1))).unwrap();
 
     let stable = CoronaClient::connect(
         Box::new(net.dial_from("stable", "server").unwrap()),
@@ -43,7 +41,10 @@ fn client_crash_releases_locks_and_membership() {
     flaky
         .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
         .unwrap();
-    assert_eq!(flaky.acquire_lock(G, O, false).unwrap(), LockResult::Granted);
+    assert_eq!(
+        flaky.acquire_lock(G, O, false).unwrap(),
+        LockResult::Granted
+    );
 
     // The stable client queues behind the lock, then the holder's link
     // is severed (a crash, not a goodbye).
@@ -57,7 +58,10 @@ fn client_crash_releases_locks_and_membership() {
     });
     // Blocking acquire resolves once the server detects the crash and
     // hands the lock over.
-    assert_eq!(stable.acquire_lock(G, O, true).unwrap(), LockResult::Granted);
+    assert_eq!(
+        stable.acquire_lock(G, O, true).unwrap(),
+        LockResult::Granted
+    );
     waiter.join().unwrap();
 
     // Awareness: the survivor hears about the disconnect.
@@ -80,11 +84,8 @@ fn client_crash_releases_locks_and_membership() {
 fn reconnecting_client_catches_up_after_link_failure() {
     let net = MemNetwork::new();
     let listener = net.listen("server").unwrap();
-    let server = CoronaServer::start(
-        Box::new(listener),
-        ServerConfig::stateful(ServerId::new(1)),
-    )
-    .unwrap();
+    let server =
+        CoronaServer::start(Box::new(listener), ServerConfig::stateful(ServerId::new(1))).unwrap();
 
     let writer = CoronaClient::connect(
         Box::new(net.dial_from("writer", "server").unwrap()),
@@ -106,7 +107,9 @@ fn reconnecting_client_catches_up_after_link_failure() {
     )
     .unwrap();
     let roaming_id = roaming.client_id();
-    let (_, mut mirror) = roaming.join_mirrored(G, MemberRole::Observer, false).unwrap();
+    let (_, mut mirror) = roaming
+        .join_mirrored(G, MemberRole::Observer, false)
+        .unwrap();
 
     writer
         .bcast_update(G, O, &b"1;"[..], DeliveryScope::SenderExclusive)
@@ -118,7 +121,12 @@ fn reconnecting_client_catches_up_after_link_failure() {
     net.sever("roaming", "server");
     for i in 2..=6 {
         writer
-            .bcast_update(G, O, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .bcast_update(
+                G,
+                O,
+                format!("{i};").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
             .unwrap();
     }
     writer.ping().unwrap();
@@ -148,14 +156,186 @@ fn reconnecting_client_catches_up_after_link_failure() {
     server.shutdown();
 }
 
+/// The replicated-service failover path end to end: the coordinator
+/// is partitioned away mid-stream, a replica wins the election, the
+/// sequence numbers resume without a gap, and the failover shows up
+/// in the replication metrics (`repl.elections.*`, `repl.failover_ms`).
+#[test]
+fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
+    let net = MemNetwork::new();
+    let peers: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("s{i}-peer")))
+        .collect();
+    let mut servers = Vec::new();
+    for i in 1..=3u64 {
+        let config = ReplicatedConfig {
+            servers: peers.clone(),
+            heartbeat_ms: 30,
+            base_timeout_ms: 150,
+            server_config: ServerConfig::stateful(ServerId::new(i)),
+        };
+        servers.push(
+            ReplicatedServer::start(
+                Box::new(net.listen(&format!("s{i}-client")).unwrap()),
+                Box::new(net.listen(&format!("s{i}-peer")).unwrap()),
+                Arc::new(net.dialer(&format!("s{i}-node"))),
+                config,
+            )
+            .unwrap(),
+        );
+    }
+
+    let connect = |name: &str, srv: u64| {
+        let conn = net.dial_from(name, &format!("s{srv}-client")).unwrap();
+        let mut c = CoronaClient::connect(Box::new(conn), name, None).unwrap();
+        c.set_call_timeout(Duration::from_secs(15));
+        c
+    };
+    let bob = connect("bob", 2);
+    let carol = connect("carol", 3);
+
+    bob.create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    bob.join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+    carol
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+
+    let mut seqs = Vec::new();
+    let mut pump = |carol: &CoronaClient, want: usize| {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut got = 0;
+        while got < want {
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for multicasts"
+            );
+            match carol.next_event_timeout(Duration::from_millis(500)) {
+                Ok(ServerEvent::Multicast { logged, .. }) => {
+                    seqs.push(logged.seq.0);
+                    got += 1;
+                }
+                Ok(_) => {}
+                Err(_) => {}
+            }
+        }
+    };
+
+    // A stream of broadcasts under the initial coordinator (s1).
+    for i in 0..3 {
+        bob.bcast_update(
+            G,
+            O,
+            format!("pre{i};").into_bytes(),
+            DeliveryScope::SenderExclusive,
+        )
+        .unwrap();
+    }
+    pump(&carol, 3);
+
+    // Partition the coordinator away from everyone else, mid-stream:
+    // its existing connections become black holes, so s2 and s3 see
+    // heartbeats stop (a network failure, not a clean shutdown).
+    net.partition(&[
+        &["s1-client", "s1-peer", "s1-node"],
+        &[
+            "s2-client",
+            "s2-peer",
+            "s2-node",
+            "s3-client",
+            "s3-peer",
+            "s3-node",
+            "bob",
+            "carol",
+        ],
+    ]);
+
+    // The first surviving server in the list (s2) must win.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let agreed = servers[1..].iter().all(|s| {
+            s.status()
+                .map(|st| st.coordinator == Some(ServerId::new(2)))
+                .unwrap_or(false)
+        });
+        if agreed {
+            break;
+        }
+        assert!(Instant::now() < deadline, "election never settled on s2");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The stream resumes through the new coordinator.
+    for i in 0..3 {
+        bob.bcast_update(
+            G,
+            O,
+            format!("post{i};").into_bytes(),
+            DeliveryScope::SenderExclusive,
+        )
+        .unwrap();
+    }
+    pump(&carol, 3);
+
+    // Connectivity restored: the healed network must not disturb the
+    // surviving majority (s1's stale-epoch heartbeats are ignored).
+    net.heal();
+    bob.bcast_update(G, O, &b"healed;"[..], DeliveryScope::SenderExclusive)
+        .unwrap();
+    pump(&carol, 1);
+
+    // Gap-free sequencing across the failover: every multicast seq is
+    // exactly the predecessor plus one.
+    assert_eq!(
+        seqs,
+        (1..=7).collect::<Vec<u64>>(),
+        "sequence gap: {seqs:?}"
+    );
+
+    // The failover left a trace in the new coordinator's metrics.
+    let snap = servers[1].metrics();
+    assert!(
+        snap.counter("repl.elections.rounds") >= 1,
+        "no election round recorded"
+    );
+    assert!(
+        snap.counter("repl.elections.won") >= 1,
+        "no election win recorded"
+    );
+    let failover = snap
+        .histogram("repl.failover_ms")
+        .expect("failover histogram missing");
+    assert!(failover.count >= 1, "failover duration not recorded");
+    assert!(
+        failover.max < 10_000,
+        "implausible failover duration: {} ms",
+        failover.max
+    );
+    // The new coordinator heartbeats the survivors (and s3 hears
+    // them). The phases above can finish between two ticks, so poll.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if servers[1].metrics().counter("repl.heartbeats.sent") > 0
+            && servers[2].metrics().counter("repl.heartbeats.recv") > 0
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "no post-failover heartbeats");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    bob.close();
+    carol.close();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
 /// Builds a server on its own storage dir, runs `edits` against it,
 /// shuts it down, and returns the recovered group log — one partition
 /// side's history.
-fn run_partition_side(
-    dir: &std::path::Path,
-    create: bool,
-    edits: &[&str],
-) -> GroupLog {
+fn run_partition_side(dir: &std::path::Path, create: bool, edits: &[&str]) -> GroupLog {
     let net = MemNetwork::new();
     let listener = net.listen("server").unwrap();
     let server = CoronaServer::start(
@@ -165,18 +345,19 @@ fn run_partition_side(
             .with_sync_policy(SyncPolicy::EveryRecord),
     )
     .unwrap();
-    let c = CoronaClient::connect(
-        Box::new(net.dial_from("c", "server").unwrap()),
-        "c",
-        None,
-    )
-    .unwrap();
+    let c =
+        CoronaClient::connect(Box::new(net.dial_from("c", "server").unwrap()), "c", None).unwrap();
     if create {
         c.create_group(G, Persistence::Persistent, SharedState::new())
             .unwrap();
     }
-    c.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
-        .unwrap();
+    c.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )
+    .unwrap();
     for e in edits {
         c.bcast_update(G, O, e.as_bytes().to_vec(), DeliveryScope::SenderExclusive)
             .unwrap();

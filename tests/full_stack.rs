@@ -11,7 +11,10 @@ const DOC: ObjectId = ObjectId(1);
 fn tcp_server(config: ServerConfig) -> (String, CoronaServer) {
     let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
     let addr = acceptor.local_addr();
-    (addr, CoronaServer::start(Box::new(acceptor), config).unwrap())
+    (
+        addr,
+        CoronaServer::start(Box::new(acceptor), config).unwrap(),
+    )
 }
 
 fn connect(addr: &str, name: &str) -> CoronaClient {
@@ -24,26 +27,45 @@ fn collaborative_editing_session() {
     let ann = connect(&addr, "ann");
     let bob = connect(&addr, "bob");
 
-    ann.create_group(G, Persistence::Persistent, SharedState::from_objects([(DOC, &b"# Title\n"[..])]))
-        .unwrap();
+    ann.create_group(
+        G,
+        Persistence::Persistent,
+        SharedState::from_objects([(DOC, &b"# Title\n"[..])]),
+    )
+    .unwrap();
     let (_, mut ann_mirror) = ann.join_mirrored(G, MemberRole::Principal, true).unwrap();
     let (_, mut bob_mirror) = bob.join_mirrored(G, MemberRole::Principal, true).unwrap();
 
     // The creation-time initial state arrived via the join transfer.
     assert_eq!(
-        bob_mirror.state().object(DOC).unwrap().materialize().as_ref(),
+        bob_mirror
+            .state()
+            .object(DOC)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         b"# Title\n"
     );
 
     // Interleaved edits under the lock service.
     assert_eq!(ann.acquire_lock(G, DOC, true).unwrap(), LockResult::Granted);
-    ann.bcast_update(G, DOC, &b"ann's paragraph\n"[..], DeliveryScope::SenderInclusive)
-        .unwrap();
+    ann.bcast_update(
+        G,
+        DOC,
+        &b"ann's paragraph\n"[..],
+        DeliveryScope::SenderInclusive,
+    )
+    .unwrap();
     ann.release_lock(G, DOC).unwrap();
 
     assert_eq!(bob.acquire_lock(G, DOC, true).unwrap(), LockResult::Granted);
-    bob.bcast_update(G, DOC, &b"bob's paragraph\n"[..], DeliveryScope::SenderInclusive)
-        .unwrap();
+    bob.bcast_update(
+        G,
+        DOC,
+        &b"bob's paragraph\n"[..],
+        DeliveryScope::SenderInclusive,
+    )
+    .unwrap();
     bob.release_lock(G, DOC).unwrap();
 
     // Both mirrors converge via the sequenced stream.
@@ -59,11 +81,21 @@ fn collaborative_editing_session() {
     }
     let expected = b"# Title\nann's paragraph\nbob's paragraph\n";
     assert_eq!(
-        ann_mirror.state().object(DOC).unwrap().materialize().as_ref(),
+        ann_mirror
+            .state()
+            .object(DOC)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         expected.as_slice()
     );
     assert_eq!(
-        bob_mirror.state().object(DOC).unwrap().materialize().as_ref(),
+        bob_mirror
+            .state()
+            .object(DOC)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         expected.as_slice()
     );
 
@@ -87,7 +119,12 @@ fn log_reduction_is_transparent_to_late_joiners() {
         .unwrap();
     for i in 0..40 {
         writer
-            .bcast_update(G, DOC, format!("{i};").into_bytes(), DeliveryScope::SenderExclusive)
+            .bcast_update(
+                G,
+                DOC,
+                format!("{i};").into_bytes(),
+                DeliveryScope::SenderExclusive,
+            )
             .unwrap();
     }
     writer.ping().unwrap();
@@ -96,23 +133,39 @@ fn log_reduction_is_transparent_to_late_joiners() {
     // everything.
     let reader = connect(&addr, "reader");
     let (_, transfer) = reader
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     let expected: String = (0..40).map(|i| format!("{i};")).collect();
     assert_eq!(
-        transfer.reconstruct().object(DOC).unwrap().materialize().as_ref(),
+        transfer
+            .reconstruct()
+            .object(DOC)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         expected.as_bytes()
     );
 
     // An UpdatesSince older than the checkpoint degrades gracefully to
     // a full transfer.
-    let old = reader.state(G, StateTransferPolicy::UpdatesSince(SeqNo::new(1))).unwrap();
+    let old = reader
+        .state(G, StateTransferPolicy::UpdatesSince(SeqNo::new(1)))
+        .unwrap();
     assert!(
         !old.objects.is_empty(),
         "reduced-away window must fall back to full state"
     );
     assert_eq!(
-        old.reconstruct().object(DOC).unwrap().materialize().as_ref(),
+        old.reconstruct()
+            .object(DOC)
+            .unwrap()
+            .materialize()
+            .as_ref(),
         expected.as_bytes()
     );
 
@@ -132,8 +185,13 @@ fn explicit_client_reduction_via_facade() {
     c.join(G, MemberRole::Principal, StateTransferPolicy::None, false)
         .unwrap();
     for i in 0..10 {
-        c.bcast_update(G, DOC, format!("{i}").into_bytes(), DeliveryScope::SenderExclusive)
-            .unwrap();
+        c.bcast_update(
+            G,
+            DOC,
+            format!("{i}").into_bytes(),
+            DeliveryScope::SenderExclusive,
+        )
+        .unwrap();
     }
     c.ping().unwrap();
     let through = c.reduce_log(G, Some(SeqNo::new(7))).unwrap();
@@ -197,9 +255,8 @@ fn acl_session_policy_through_the_stack() {
         .allow_create(ClientId::new(1))
         .grant(ClientId::new(1), G, Capability::Manage)
         .grant(ClientId::new(2), G, Capability::Observe);
-    let (addr, server) = tcp_server(
-        ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(acl)),
-    );
+    let (addr, server) =
+        tcp_server(ServerConfig::stateful(ServerId::new(1)).with_session_policy(Arc::new(acl)));
     let admin = connect(&addr, "admin");
     let guest = connect(&addr, "guest");
     assert_eq!(admin.client_id(), ClientId::new(1));
@@ -232,8 +289,13 @@ fn stateless_baseline_through_the_stack() {
     let a = connect(&addr, "a");
     a.create_group(G, Persistence::Transient, SharedState::new())
         .unwrap();
-    a.join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
-        .unwrap();
+    a.join(
+        G,
+        MemberRole::Principal,
+        StateTransferPolicy::FullState,
+        false,
+    )
+    .unwrap();
     a.bcast_update(G, DOC, &b"x"[..], DeliveryScope::SenderInclusive)
         .unwrap();
     // Sequencing works...
@@ -244,7 +306,12 @@ fn stateless_baseline_through_the_stack() {
     // ...but a late joiner gets no state.
     let b = connect(&addr, "b");
     let (_, transfer) = b
-        .join(G, MemberRole::Principal, StateTransferPolicy::FullState, false)
+        .join(
+            G,
+            MemberRole::Principal,
+            StateTransferPolicy::FullState,
+            false,
+        )
         .unwrap();
     assert!(transfer.objects.is_empty());
     assert_eq!(transfer.through, SeqNo::new(1));
