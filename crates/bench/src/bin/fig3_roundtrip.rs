@@ -10,7 +10,8 @@
 
 use corona_bench::{arg_value, header, row};
 use corona_metrics::Registry;
-use corona_sim::{roundtrip_with_metrics, ExperimentConfig};
+use corona_sim::{roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
+use corona_trace::Breakdown;
 
 fn main() {
     let payload: usize = arg_value("--payload")
@@ -42,6 +43,7 @@ fn main() {
     let registry = Registry::new();
     let mut prev_stateful: Option<f64> = None;
     let mut first = None;
+    let mut trace_lines = Vec::new();
     for n in (5..=60).step_by(5) {
         let base = ExperimentConfig {
             n_clients: n,
@@ -50,13 +52,19 @@ fn main() {
             interval_us,
             ..ExperimentConfig::default()
         };
-        let stateful = roundtrip_with_metrics(
+        let (stateful, spans) = roundtrip_traced(
             ExperimentConfig {
                 stateful: true,
                 ..base
             },
             &registry,
         );
+        // Per-hop latency breakdown for this sweep point; the hop p50s
+        // must explain the measured round trip (sum within 10%).
+        trace_lines.push(format!(
+            "TRACE {{\"experiment\":\"fig3\",\"clients\":{n},\"payload\":{payload},\"breakdown\":{}}}",
+            Breakdown::from_spans(&spans).render_json()
+        ));
         let stateless = roundtrip_with_metrics(
             ExperimentConfig {
                 stateful: false,
@@ -88,6 +96,13 @@ fn main() {
             "\nShape check: delay grows ~linearly ({first:.1} ms @5 clients -> {last:.1} ms @60); \
              the two curves stay within a few percent (paper: 'the two curves are very close')."
         );
+    }
+
+    // Per-sweep-point per-hop latency breakdowns (stateful curve): one
+    // TRACE line per population with hop p50/p99 and round-trip stats.
+    println!();
+    for line in &trace_lines {
+        println!("{line}");
     }
 
     // Aggregate simulator metrics across the whole sweep (both

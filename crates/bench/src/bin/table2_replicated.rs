@@ -9,7 +9,8 @@
 
 use corona_bench::{header, row};
 use corona_metrics::Registry;
-use corona_sim::{roundtrip_with_metrics, ExperimentConfig};
+use corona_sim::{roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
+use corona_trace::Breakdown;
 
 fn main() {
     println!("TAB2: round-trip delay (ms), 1000-byte multicast, single vs 1+6 replicated servers");
@@ -25,6 +26,7 @@ fn main() {
 
     let single_registry = Registry::new();
     let replicated_registry = Registry::new();
+    let mut trace_lines = Vec::new();
     for n in [100, 200, 300] {
         let base = ExperimentConfig {
             n_clients: n,
@@ -40,13 +42,20 @@ fn main() {
             },
             &single_registry,
         );
-        let replicated = roundtrip_with_metrics(
+        let (replicated, spans) = roundtrip_traced(
             ExperimentConfig {
                 n_servers: 6,
                 ..base
             },
             &replicated_registry,
         );
+        // Per-hop breakdown of the replicated path: the forward hop to
+        // the coordinator and the sequenced copy's return are where the
+        // extra latency budget goes.
+        trace_lines.push(format!(
+            "TRACE {{\"experiment\":\"table2\",\"clients\":{n},\"servers\":6,\"breakdown\":{}}}",
+            Breakdown::from_spans(&spans).render_json()
+        ));
         println!(
             "{}",
             row(
@@ -68,6 +77,13 @@ fn main() {
          N sends on one CPU and one wire (paper: 'better scalability and\n\
          responsiveness to user requests are achieved')."
     );
+
+    // Per-population per-hop latency breakdowns of the replicated
+    // topology.
+    println!();
+    for line in &trace_lines {
+        println!("{line}");
+    }
 
     // Per-topology simulator metrics across all three populations:
     // stage counters (origin/coordinator/member-server hops) and

@@ -20,7 +20,7 @@ use corona_types::policy::{
     DeliveryScope, MemberInfo, MemberRole, Persistence, StateTransferPolicy,
 };
 use corona_types::state::{SharedState, StateUpdate};
-use corona_types::wire::{Decode, Encode};
+use corona_types::wire::{decode_traced, encode_traced, Decode, Encode, TraceToken};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -102,9 +102,19 @@ impl CoronaClient {
                 .name(format!("corona-client-{client_id}"))
                 .spawn(move || {
                     while let Ok(frame) = conn.recv() {
-                        let Ok(event) = ServerEvent::decode_exact(&frame) else {
+                        let Ok((event, token)) = decode_traced::<ServerEvent>(&frame) else {
                             break;
                         };
+                        if let Some(t) = token {
+                            let now = corona_trace::now_us();
+                            corona_trace::record_at(corona_trace::SpanEvent {
+                                trace: corona_trace::TraceId(t.id),
+                                hop: corona_trace::Hop::ClientDeliver,
+                                ts_us: now,
+                                dur_us: now.saturating_sub(t.origin_us),
+                                arg: 0,
+                            });
+                        }
                         match event {
                             // Pure notifications: always the event stream.
                             ServerEvent::Multicast { .. }
@@ -282,7 +292,7 @@ impl CoronaClient {
         payload: impl Into<bytes::Bytes>,
         scope: DeliveryScope,
     ) -> Result<()> {
-        self.send_raw(ClientRequest::Broadcast {
+        self.send_broadcast(ClientRequest::Broadcast {
             group,
             update: StateUpdate::set_state(object, payload),
             scope,
@@ -302,7 +312,7 @@ impl CoronaClient {
         payload: impl Into<bytes::Bytes>,
         scope: DeliveryScope,
     ) -> Result<()> {
-        self.send_raw(ClientRequest::Broadcast {
+        self.send_broadcast(ClientRequest::Broadcast {
             group,
             update: StateUpdate::incremental(object, payload),
             scope,
@@ -453,6 +463,32 @@ impl CoronaClient {
     fn send_raw(&self, request: ClientRequest) -> Result<()> {
         self.conn
             .send(request.encode_to_bytes())
+            .map_err(transport_to_corona)
+    }
+
+    /// Sends a fire-and-forget broadcast, minting a trace id and
+    /// stamping the submit span when tracing is enabled. The token
+    /// rides the wire so every later hop joins the same chain.
+    fn send_broadcast(&self, request: ClientRequest) -> Result<()> {
+        let token = if corona_trace::enabled() {
+            let id = corona_trace::next_trace_id();
+            let now = corona_trace::now_us();
+            corona_trace::record_at(corona_trace::SpanEvent {
+                trace: id,
+                hop: corona_trace::Hop::ClientSubmit,
+                ts_us: now,
+                dur_us: 0,
+                arg: 0,
+            });
+            Some(TraceToken {
+                id: id.0,
+                origin_us: now,
+            })
+        } else {
+            None
+        };
+        self.conn
+            .send(encode_traced(&request, token))
             .map_err(transport_to_corona)
     }
 

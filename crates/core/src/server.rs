@@ -29,7 +29,7 @@ use corona_types::error::{CoronaError, Result};
 use corona_types::id::{ClientId, GroupId};
 use corona_types::message::{ClientRequest, ServerEvent};
 use corona_types::state::Timestamp;
-use corona_types::wire::{Decode, Encode};
+use corona_types::wire::{decode_traced, encode_traced, Encode, TraceToken};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -470,8 +470,8 @@ fn dispatcher_loop(
                 conns.insert(conn_id, ConnState { conn, client: None });
             }
             Command::Frame { conn_id, frame } => {
-                let request = match ClientRequest::decode_exact(&frame) {
-                    Ok(r) => r,
+                let (request, trace) = match decode_traced::<ClientRequest>(&frame) {
+                    Ok(v) => v,
                     Err(_) => {
                         // Malformed frame: drop the connection (it may
                         // be version-skewed or hostile).
@@ -482,6 +482,14 @@ fn dispatcher_loop(
                         continue;
                     }
                 };
+                if let Some(t) = trace {
+                    corona_trace::record(
+                        corona_trace::Hop::ServerIngress,
+                        corona_trace::TraceId(t.id),
+                        0,
+                        0,
+                    );
+                }
                 let now = Timestamp::now();
                 let handle_started = Instant::now();
                 let effects = match conns.get(&conn_id).and_then(|s| s.client) {
@@ -524,7 +532,23 @@ fn dispatcher_loop(
                 metrics
                     .stage_handle_us
                     .record_duration(handle_started.elapsed());
-                execute_effects(effects, &conns, &client_conn, &mut log, &qos, &mut metrics);
+                if let Some(t) = trace {
+                    corona_trace::record(
+                        corona_trace::Hop::Sequence,
+                        corona_trace::TraceId(t.id),
+                        handle_started.elapsed().as_micros() as u64,
+                        0,
+                    );
+                }
+                execute_effects(
+                    effects,
+                    &conns,
+                    &client_conn,
+                    &mut log,
+                    &qos,
+                    &mut metrics,
+                    trace,
+                );
             }
             Command::Closed { conn_id } => {
                 if let Some(state) = conns.remove(&conn_id) {
@@ -539,6 +563,7 @@ fn dispatcher_loop(
                             &mut log,
                             &qos,
                             &mut metrics,
+                            None,
                         );
                     }
                 }
@@ -579,9 +604,30 @@ fn execute_effects(
     log: &mut LogSink,
     qos: &QosPolicy,
     metrics: &mut ServerMetrics,
+    trace: Option<TraceToken>,
 ) {
     let fanout_started = Instant::now();
     let mut fanned = false;
+    // The fan-out span is stamped just before the first traced
+    // multicast hits a transmit queue — so a client's delivery
+    // timestamp can never precede it — carrying the total multicast
+    // count as its argument.
+    let multicasts = match trace {
+        Some(_) => effects
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Effect::Send {
+                        event: ServerEvent::Multicast { .. },
+                        ..
+                    }
+                )
+            })
+            .count() as u64,
+        None => 0,
+    };
+    let mut fanout_recorded = false;
     for effect in effects {
         match effect {
             Effect::Send { to, event } => {
@@ -595,14 +641,38 @@ fn execute_effects(
                             metrics.note_shed(&event);
                             continue;
                         }
-                        let _ = state.conn.send(encode_event(&event));
+                        let frame = match (trace, &event) {
+                            (Some(t), ServerEvent::Multicast { .. }) => {
+                                if !fanout_recorded {
+                                    fanout_recorded = true;
+                                    corona_trace::record(
+                                        corona_trace::Hop::FanoutEnqueue,
+                                        corona_trace::TraceId(t.id),
+                                        0,
+                                        multicasts,
+                                    );
+                                }
+                                encode_traced(&event, Some(t))
+                            }
+                            _ => encode_event(&event),
+                        };
+                        let _ = state.conn.send(frame);
                     }
                 }
             }
             Effect::Log(log_effect) => {
                 let log_started = Instant::now();
+                let is_append = matches!(log_effect, LogEffect::Append { .. });
                 log.apply(log_effect);
                 metrics.stage_log_us.record_duration(log_started.elapsed());
+                if let (Some(t), true) = (trace, is_append) {
+                    corona_trace::record(
+                        corona_trace::Hop::LogAppend,
+                        corona_trace::TraceId(t.id),
+                        log_started.elapsed().as_micros() as u64,
+                        0,
+                    );
+                }
             }
         }
     }

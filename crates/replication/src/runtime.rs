@@ -497,12 +497,25 @@ impl Dispatcher {
     }
 
     fn client_frame(&mut self, conn_id: u64, frame: bytes::Bytes) {
-        let Ok(request) = ClientRequest::decode_exact(&frame) else {
+        // Clients may attach a trace token to broadcasts; accept it and
+        // stamp the ingress hop. Replicated sequencing does not thread
+        // the token through `PeerMessage`, so downstream replication
+        // hops record as infrastructure spans (see DESIGN.md).
+        let Ok((request, trace)) = corona_types::wire::decode_traced::<ClientRequest>(&frame)
+        else {
             if let Some((conn, _)) = self.client_conns.get(&conn_id) {
                 conn.close();
             }
             return;
         };
+        if let Some(t) = trace {
+            corona_trace::record(
+                corona_trace::Hop::ServerIngress,
+                corona_trace::TraceId(t.id),
+                0,
+                0,
+            );
+        }
         let now = Timestamp::now();
         let known_client = self.client_conns.get(&conn_id).and_then(|(_, c)| *c);
         let effects: Vec<ReplicaEffect> = match known_client {
@@ -693,10 +706,22 @@ impl Dispatcher {
                 let effects = self.replica.handle_peer(msg);
                 queue.extend(effects.into_iter().map(Work::Replica));
             }
-            // Replica-role traffic.
+            // Replica-role traffic. A sequenced copy or outcome coming
+            // back from the coordinator closes the forward round trip.
             msg @ (PeerMessage::RequestOutcome { .. }
             | PeerMessage::Sequenced { .. }
             | PeerMessage::Deliver { .. }) => {
+                if matches!(
+                    msg,
+                    PeerMessage::RequestOutcome { .. } | PeerMessage::Sequenced { .. }
+                ) {
+                    corona_trace::record(
+                        corona_trace::Hop::ReplAck,
+                        corona_trace::TraceId::NONE,
+                        0,
+                        0,
+                    );
+                }
                 let effects = self.replica.handle_peer(msg);
                 queue.extend(effects.into_iter().map(Work::Replica));
             }
@@ -819,6 +844,21 @@ impl Dispatcher {
             self.metrics
                 .failover_ms
                 .record(started.elapsed().as_millis() as u64);
+            // A completed election is exactly when a post-mortem is
+            // wanted: stamp the span and flush the flight recorder to
+            // disk (no-ops unless tracing is enabled).
+            corona_trace::record(
+                corona_trace::Hop::Election,
+                corona_trace::TraceId::NONE,
+                started.elapsed().as_micros() as u64,
+                self.election.epoch().0,
+            );
+            if let Some(path) = corona_trace::flight_dump("failover") {
+                eprintln!(
+                    "corona-replication: flight recorder dumped to {}",
+                    path.display()
+                );
+            }
         }
     }
 
@@ -827,6 +867,19 @@ impl Dispatcher {
             PeerMessage::Heartbeat { .. } => self.metrics.heartbeats_sent.inc(),
             PeerMessage::Sequenced { .. } => self.metrics.fanout_sequenced.inc(),
             _ => {}
+        }
+        // Replication-path infrastructure spans: a broadcast or request
+        // leaving for the coordinator marks the forward hop.
+        if matches!(
+            msg,
+            PeerMessage::ForwardBroadcast { .. } | PeerMessage::ForwardRequest { .. }
+        ) {
+            corona_trace::record(
+                corona_trace::Hop::ReplForward,
+                corona_trace::TraceId::NONE,
+                0,
+                u64::from(to),
+            );
         }
         self.metrics.peer_sent.inc();
         if to == self.me {

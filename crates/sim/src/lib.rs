@@ -37,8 +37,8 @@ pub mod engine;
 pub mod hosts;
 
 pub use corona::{
-    roundtrip, roundtrip_with_metrics, throughput, ExperimentConfig, RoundTripResults,
-    ThroughputResults,
+    roundtrip, roundtrip_traced, roundtrip_with_metrics, throughput, ExperimentConfig,
+    RoundTripResults, ThroughputResults,
 };
 pub use engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
 pub use hosts::{

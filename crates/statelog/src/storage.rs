@@ -422,11 +422,20 @@ impl GroupStore {
         let mut body = BytesMut::new();
         body.put_u8(REC_UPDATE);
         update.encode(&mut body);
+        let bytes = body.len() as u64;
         self.append_record(&body)?;
         self.flush_and_maybe_sync(false)?;
         if let Some(m) = &self.metrics {
             m.append_us.record_duration(started.elapsed());
         }
+        // Infrastructure span (no trace id): the storage-level append
+        // cost, with the record size as argument.
+        corona_trace::record(
+            corona_trace::Hop::LogAppend,
+            corona_trace::TraceId::NONE,
+            started.elapsed().as_micros() as u64,
+            bytes,
+        );
         Ok(())
     }
 
@@ -456,6 +465,12 @@ impl GroupStore {
         if let Some(m) = &self.metrics {
             m.fsync_us.record_duration(started.elapsed());
         }
+        corona_trace::record(
+            corona_trace::Hop::LogFsync,
+            corona_trace::TraceId::NONE,
+            started.elapsed().as_micros() as u64,
+            0,
+        );
         Ok(())
     }
 

@@ -1,0 +1,113 @@
+//! Span exporters: JSONL (one span per line, grep/jq friendly) and
+//! Chrome `trace_event` JSON (loadable in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev)).
+//!
+//! Both are hand-rolled — the workspace builds offline with no JSON
+//! dependency — and emit only numbers and fixed hop names, so no
+//! escaping is required.
+
+use crate::SpanEvent;
+use std::fmt::Write;
+
+/// Renders spans as JSONL: one `{"trace":..,"hop":..,"ts_us":..,
+/// "dur_us":..,"arg":..}` object per line.
+pub fn to_jsonl(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(spans.len() * 64);
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "{{\"trace\":{},\"hop\":\"{}\",\"ts_us\":{},\"dur_us\":{},\"arg\":{}}}",
+            s.trace.0,
+            s.hop.name(),
+            s.ts_us,
+            s.dur_us,
+            s.arg
+        );
+    }
+    out
+}
+
+/// Renders spans in the Chrome `trace_event` format.
+///
+/// Each span becomes a complete (`"ph":"X"`) event; the hop's position
+/// on the causal path is used as the `tid` so `chrome://tracing` lays
+/// the pipeline out as parallel tracks, and the trace id is attached
+/// both as the event `id` and under `args` for flow queries.
+pub fn to_chrome_trace(spans: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(spans.len() * 128 + 32);
+    out.push_str("{\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"corona\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"id\":{},\"args\":{{\"trace\":{},\"arg\":{}}}}}",
+            s.hop.name(),
+            s.ts_us,
+            s.dur_us,
+            s.hop as u8,
+            s.trace.0,
+            s.trace.0,
+            s.arg
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Hop, TraceId};
+
+    fn sample() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                trace: TraceId(1),
+                hop: Hop::ClientSubmit,
+                ts_us: 10,
+                dur_us: 0,
+                arg: 0,
+            },
+            SpanEvent {
+                trace: TraceId(1),
+                hop: Hop::ClientDeliver,
+                ts_us: 42,
+                dur_us: 3,
+                arg: 7,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_span() {
+        let text = to_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"trace\":1,\"hop\":\"client_submit\",\"ts_us\":10,\"dur_us\":0,\"arg\":0}"
+        );
+        assert!(lines[1].contains("\"hop\":\"client_deliver\""));
+        assert!(lines[1].contains("\"arg\":7"));
+    }
+
+    #[test]
+    fn chrome_trace_has_an_event_per_span() {
+        let text = to_chrome_trace(&sample());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 2);
+        assert!(text.contains("\"name\":\"client_submit\""));
+        assert!(text.contains("\"ts\":42"));
+        assert!(text.contains("\"dur\":3"));
+    }
+
+    #[test]
+    fn empty_exports_are_wellformed() {
+        assert_eq!(to_jsonl(&[]), "");
+        assert_eq!(to_chrome_trace(&[]), "{\"traceEvents\":[]}");
+    }
+}

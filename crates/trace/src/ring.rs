@@ -1,0 +1,150 @@
+//! The flight recorder: per-thread bounded ring buffers of span
+//! events.
+//!
+//! Each recording thread owns one ring (allocated lazily on its first
+//! span, registered in a process-wide list, and kept alive after the
+//! thread exits so late dumps still see its spans). The owning thread
+//! is the only writer, so writes need no CAS loops; a seqlock-style
+//! generation word per slot lets a concurrent dumper detect and skip
+//! slots it raced with. Memory is fixed: [`CAPACITY`] slots per ring,
+//! overwriting the oldest span when full — exactly the semantics of a
+//! crash flight recorder.
+
+use crate::{Hop, SpanEvent, TraceId};
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Spans retained per recording thread.
+pub(crate) const CAPACITY: usize = 4096;
+
+struct Slot {
+    /// 0 = never written; otherwise `head + 1` of the write that
+    /// filled the slot. Written last (Release) so a reader that sees a
+    /// stable generation also sees the matching payload.
+    gen: AtomicU64,
+    trace: AtomicU64,
+    hop: AtomicU64,
+    ts_us: AtomicU64,
+    dur_us: AtomicU64,
+    arg: AtomicU64,
+}
+
+impl Slot {
+    const fn empty() -> Slot {
+        Slot {
+            gen: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            hop: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            dur_us: AtomicU64::new(0),
+            arg: AtomicU64::new(0),
+        }
+    }
+}
+
+pub(crate) struct Ring {
+    slots: Box<[Slot]>,
+    /// Number of spans ever written to this ring (monotonic).
+    head: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            slots: (0..CAPACITY).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Single-writer append (only ever called by the owning thread).
+    fn push(&self, ev: SpanEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h as usize) % CAPACITY];
+        // Invalidate first so a racing reader cannot mix old and new
+        // halves of the payload without noticing.
+        slot.gen.store(0, Ordering::Release);
+        slot.trace.store(ev.trace.0, Ordering::Relaxed);
+        slot.hop.store(ev.hop as u64, Ordering::Relaxed);
+        slot.ts_us.store(ev.ts_us, Ordering::Relaxed);
+        slot.dur_us.store(ev.dur_us, Ordering::Relaxed);
+        slot.arg.store(ev.arg, Ordering::Relaxed);
+        slot.gen.store(h + 1, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Reads every consistent slot. A slot whose generation changes
+    /// mid-read (the writer lapped us) is skipped — the dump is a best
+    /// effort snapshot, never a blocking one.
+    fn read_all(&self, out: &mut Vec<SpanEvent>) {
+        for slot in self.slots.iter() {
+            let before = slot.gen.load(Ordering::Acquire);
+            if before == 0 {
+                continue;
+            }
+            let ev = SpanEvent {
+                trace: TraceId(slot.trace.load(Ordering::Relaxed)),
+                hop: match Hop::from_u8(slot.hop.load(Ordering::Relaxed) as u8) {
+                    Some(h) => h,
+                    None => continue,
+                },
+                ts_us: slot.ts_us.load(Ordering::Relaxed),
+                dur_us: slot.dur_us.load(Ordering::Relaxed),
+                arg: slot.arg.load(Ordering::Relaxed),
+            };
+            if slot.gen.load(Ordering::Acquire) == before {
+                out.push(ev);
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for slot in self.slots.iter() {
+            slot.gen.store(0, Ordering::Release);
+        }
+        self.head.store(0, Ordering::Release);
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL_RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+}
+
+/// Appends to the calling thread's ring, creating and registering it
+/// on first use.
+pub(crate) fn push(ev: SpanEvent) {
+    LOCAL_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Ring::new());
+            registry()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::clone(&ring));
+            ring
+        });
+        ring.push(ev);
+    });
+}
+
+/// Snapshots every registered ring.
+pub(crate) fn collect() -> Vec<SpanEvent> {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = Vec::new();
+    for ring in rings.iter() {
+        ring.read_all(&mut out);
+    }
+    out
+}
+
+/// Empties every registered ring.
+pub(crate) fn clear() {
+    let rings = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for ring in rings.iter() {
+        ring.reset();
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests for the breakdown and exporters: structural
+//! invariants that must hold for *any* recorded span population.
+
+use corona_trace::{to_chrome_trace, to_jsonl, Breakdown, Hop, SpanEvent, TraceId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_span() -> impl Strategy<Value = SpanEvent> {
+    (0u64..20, 0u8..11, 0u64..1_000_000, 0u64..1000, any::<u64>()).prop_map(
+        |(trace, hop, ts_us, dur_us, arg)| SpanEvent {
+            trace: TraceId(trace),
+            hop: Hop::from_u8(hop).expect("tag in range"),
+            ts_us,
+            dur_us,
+            arg,
+        },
+    )
+}
+
+proptest! {
+    /// Quantiles are ordered, per-hop counts cover every chained span,
+    /// and the per-trace identity "contributions sum to the round
+    /// trip" survives aggregation: the p50 sum can never exceed the
+    /// p99 round trip scaled by the hop count.
+    #[test]
+    fn breakdown_invariants(spans in vec(arb_span(), 0..300)) {
+        let b = Breakdown::from_spans(&spans);
+        prop_assert!(b.rtt_p50_us <= b.rtt_p99_us);
+        for h in &b.hops {
+            prop_assert!(h.p50_us <= h.p99_us);
+            prop_assert!(h.count > 0);
+            // Every contribution is bounded by some chain's round trip.
+            prop_assert!(h.p99_us <= b.rtt_p99_us);
+        }
+        // hops are emitted in Hop::ALL order, each at most once.
+        let order: Vec<u8> = Hop::ALL
+            .iter()
+            .filter(|hop| b.hops.iter().any(|h| h.hop == **hop))
+            .map(|h| *h as u8)
+            .collect();
+        let emitted: Vec<u8> = b.hops.iter().map(|h| h.hop as u8).collect();
+        prop_assert_eq!(order, emitted);
+    }
+
+    /// JSONL has exactly one line per span, and every line carries the
+    /// span's hop name.
+    #[test]
+    fn jsonl_shape(spans in vec(arb_span(), 0..100)) {
+        let text = to_jsonl(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(lines.len(), spans.len());
+        for (line, span) in lines.iter().zip(&spans) {
+            prop_assert!(line.starts_with('{') && line.ends_with('}'));
+            prop_assert!(line.contains(span.hop.name()));
+        }
+    }
+
+    /// The Chrome export is structurally sound: an event per span,
+    /// balanced braces, and every duration present.
+    #[test]
+    fn chrome_trace_shape(spans in vec(arb_span(), 0..100)) {
+        let text = to_chrome_trace(&spans);
+        prop_assert!(text.starts_with("{\"traceEvents\":["));
+        prop_assert!(text.ends_with("]}"));
+        prop_assert_eq!(text.matches("\"ph\":\"X\"").count(), spans.len());
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        prop_assert_eq!(opens, closes);
+    }
+}

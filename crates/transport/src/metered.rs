@@ -183,6 +183,55 @@ mod tests {
     }
 
     #[test]
+    fn failed_send_is_not_counted() {
+        let registry = Registry::new();
+        let metrics = TransportMetrics::new(&registry);
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let client = net.dial_from("c", "s").unwrap();
+        let metered = MeteredConnection::new(listener.accept().unwrap(), metrics);
+
+        metered.close();
+        assert!(metered.send(Bytes::from_static(b"lost")).is_err());
+        drop(client);
+
+        assert_eq!(metered.traffic(), ConnTraffic::default());
+        assert_eq!(registry.snapshot().counter("transport.frames_out"), 0);
+    }
+
+    #[test]
+    fn timeout_and_polling_receives_are_counted_once() {
+        let registry = Registry::new();
+        let metrics = TransportMetrics::new(&registry);
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let client = net.dial_from("c", "s").unwrap();
+        let metered = MeteredConnection::new(listener.accept().unwrap(), metrics);
+
+        // An empty poll and an expired timeout must not count.
+        assert!(metered.try_recv().unwrap().is_none());
+        assert!(metered.recv_timeout(Duration::from_millis(5)).is_err());
+        assert_eq!(metered.traffic().frames_in, 0);
+
+        client.send(Bytes::from_static(b"abc")).unwrap();
+        client.send(Bytes::from_static(b"de")).unwrap();
+        assert_eq!(
+            metered
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .as_ref(),
+            b"abc"
+        );
+        assert_eq!(metered.try_recv().unwrap().unwrap().as_ref(), b"de");
+
+        let t = metered.traffic();
+        assert_eq!((t.frames_in, t.bytes_in), (2, 5));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("transport.frames_in"), 2);
+        assert_eq!(snap.counter("transport.bytes_in"), 5);
+    }
+
+    #[test]
     fn aggregates_sum_across_connections() {
         let registry = Registry::new();
         let metrics = TransportMetrics::new(&registry);

@@ -17,6 +17,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// `arg` value of a [`corona_trace::Hop::Disconnect`] span for a peer
+/// that hung up cleanly between frames.
+pub const DISCONNECT_CLEAN: u64 = 0;
+/// `arg` value of a [`corona_trace::Hop::Disconnect`] span for an
+/// abnormal teardown: mid-frame EOF, I/O error, or CRC mismatch.
+pub const DISCONNECT_ERROR: u64 = 1;
+
 /// A TCP connection with background reader/writer threads.
 #[derive(Debug)]
 pub struct TcpConnection {
@@ -43,16 +50,48 @@ impl TcpConnection {
         let (out_tx, out_rx) = channel::unbounded::<Bytes>();
         let (in_tx, in_rx) = channel::unbounded::<Bytes>();
 
-        // Reader thread: frames -> inbound channel.
+        // Reader thread: frames -> inbound channel. A peer hanging up
+        // between frames (`Ok(None)`) is a clean shutdown; mid-frame
+        // EOF, I/O failures, and CRC mismatches are abnormal. Both end
+        // the connection, but they are distinct trace events — and a
+        // locally initiated close tears down the socket under the
+        // reader, so errors after `close()` are not recorded as peer
+        // failures.
         {
             let mut read_stream = stream.try_clone()?;
             let closed = Arc::clone(&closed);
             std::thread::Builder::new()
                 .name(format!("tcp-read-{peer}"))
                 .spawn(move || {
-                    while let Ok(Some(frame)) = read_frame(&mut read_stream) {
-                        if in_tx.send(frame).is_err() {
-                            break;
+                    loop {
+                        match read_frame(&mut read_stream) {
+                            Ok(Some(frame)) => {
+                                if in_tx.send(frame).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(None) => {
+                                if !closed.load(Ordering::Acquire) {
+                                    corona_trace::record(
+                                        corona_trace::Hop::Disconnect,
+                                        corona_trace::TraceId::NONE,
+                                        0,
+                                        DISCONNECT_CLEAN,
+                                    );
+                                }
+                                break;
+                            }
+                            Err(_) => {
+                                if !closed.load(Ordering::Acquire) {
+                                    corona_trace::record(
+                                        corona_trace::Hop::Disconnect,
+                                        corona_trace::TraceId::NONE,
+                                        0,
+                                        DISCONNECT_ERROR,
+                                    );
+                                }
+                                break;
+                            }
                         }
                     }
                     closed.store(true, Ordering::Release);
@@ -70,8 +109,10 @@ impl TcpConnection {
                 .name(format!("tcp-write-{peer}"))
                 .spawn(move || {
                     let mut writer = BufWriter::new(write_stream);
+                    let mut write_failed = false;
                     'outer: while let Ok(frame) = out_rx.recv() {
                         if write_frame(&mut writer, &frame).is_err() {
+                            write_failed = true;
                             break;
                         }
                         // Batch whatever else is already queued.
@@ -79,6 +120,7 @@ impl TcpConnection {
                             match out_rx.try_recv() {
                                 Ok(next) => {
                                     if write_frame(&mut writer, &next).is_err() {
+                                        write_failed = true;
                                         break 'outer;
                                     }
                                 }
@@ -90,8 +132,17 @@ impl TcpConnection {
                             }
                         }
                         if writer.flush().is_err() {
+                            write_failed = true;
                             break;
                         }
+                    }
+                    if write_failed && !closed.load(Ordering::Acquire) {
+                        corona_trace::record(
+                            corona_trace::Hop::Disconnect,
+                            corona_trace::TraceId::NONE,
+                            0,
+                            DISCONNECT_ERROR,
+                        );
                     }
                     closed.store(true, Ordering::Release);
                     let _ = writer.get_ref().shutdown(Shutdown::Both);
@@ -385,6 +436,58 @@ mod tests {
             std::thread::yield_now();
         }
         server.join().unwrap();
+    }
+
+    /// Waits until a Disconnect span with `arg` shows up in the flight
+    /// recorder (the reader thread records asynchronously).
+    fn await_disconnect_span(arg: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            let hit = corona_trace::drain()
+                .iter()
+                .any(|s| s.hop == corona_trace::Hop::Disconnect && s.arg == arg);
+            if hit {
+                return;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "no Disconnect span with arg={arg} recorded"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn disconnects_are_recorded_as_trace_events() {
+        corona_trace::set_enabled(true);
+        corona_trace::clear();
+
+        // Phase 1: the peer hangs up between frames — clean shutdown.
+        {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let client = TcpDialer.dial(&addr).unwrap();
+            let server_conn = acceptor.accept().unwrap();
+            client.close();
+            await_disconnect_span(DISCONNECT_CLEAN);
+            drop(server_conn);
+        }
+
+        // Phase 2: the stream dies mid-frame — abnormal teardown.
+        {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr();
+            let raw = TcpStream::connect(&addr).unwrap();
+            let server_conn = acceptor.accept().unwrap();
+            // Half a frame header, then hang up.
+            (&raw).write_all(&[9, 0, 0][..]).unwrap();
+            drop(raw);
+            await_disconnect_span(DISCONNECT_ERROR);
+            drop(server_conn);
+        }
+
+        corona_trace::set_enabled(false);
+        corona_trace::clear();
     }
 
     #[test]

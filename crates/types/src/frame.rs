@@ -163,6 +163,80 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_checksum_field_is_detected() {
+        // Corruption in the header's CRC field (not the body) must
+        // fail the same way as body corruption.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        buf[5] ^= 0xFF;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn torn_write_after_good_frames_stops_at_the_tear() {
+        // Models a torn tail write in the stable-storage log: intact
+        // records decode, the torn record surfaces as UnexpectedEof,
+        // and nothing past the tear is fabricated.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"record-1").unwrap();
+        write_frame(&mut buf, b"record-2").unwrap();
+        let intact = buf.len();
+        write_frame(&mut buf, b"torn record").unwrap();
+        buf.truncate(intact + FRAME_HEADER_LEN + 4);
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap().as_ref(),
+            b"record-1"
+        );
+        assert_eq!(
+            read_frame(&mut cursor).unwrap().unwrap().as_ref(),
+            b"record-2"
+        );
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn interrupted_reads_are_retried() {
+        // A reader that yields Interrupted between every byte still
+        // produces the frame.
+        struct Stutter {
+            data: Vec<u8>,
+            pos: usize,
+            interrupt: bool,
+        }
+        impl Read for Stutter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.interrupt {
+                    self.interrupt = false;
+                    return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+                }
+                self.interrupt = true;
+                if self.pos == self.data.len() {
+                    return Ok(0);
+                }
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut data = Vec::new();
+        write_frame(&mut data, b"slow but sure").unwrap();
+        let mut r = Stutter {
+            data,
+            pos: 0,
+            interrupt: true,
+        };
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap().as_ref(),
+            b"slow but sure"
+        );
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
     fn oversized_length_rejected_without_allocation() {
         let mut header = Vec::new();
         header.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());

@@ -279,6 +279,68 @@ pub fn decode_opt<T: Decode>(reader: &mut Reader<'_>) -> Result<Option<T>, Codec
     }
 }
 
+/// Marker byte introducing an optional trailing trace field after a
+/// top-level message encoding (see [`encode_traced`]).
+pub const TRACE_MARKER: u8 = 0xC7;
+
+/// The per-message trace context carried on the wire: a process-unique
+/// trace id plus the sender's origin timestamp in microseconds.
+///
+/// The token rides *after* the message body as an optional trailing
+/// field, which keeps the extension backward compatible: encodings
+/// produced without a token are byte-identical to the pre-tracing
+/// format, and [`decode_traced`] accepts both forms (an absent tail
+/// simply yields `None`). Only frames from tracing-enabled senders
+/// carry the extra bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceToken {
+    /// The trace id ([`corona-trace`'s `TraceId`] as a raw `u64`).
+    pub id: u64,
+    /// Sender-side origin timestamp in microseconds.
+    pub origin_us: u64,
+}
+
+/// Encodes a top-level message, optionally appending a trailing
+/// [`TraceToken`] (`TRACE_MARKER ∥ varint id ∥ varint origin_us`).
+pub fn encode_traced<T: Encode>(value: &T, token: Option<TraceToken>) -> Bytes {
+    let mut buf = BytesMut::new();
+    value.encode(&mut buf);
+    if let Some(t) = token {
+        buf.put_u8(TRACE_MARKER);
+        buf.put_varint(t.id);
+        buf.put_varint(t.origin_us);
+    }
+    buf.freeze()
+}
+
+/// Decodes a complete top-level message buffer that may carry a
+/// trailing [`TraceToken`]. Untraced buffers (the pre-tracing format)
+/// decode to `(value, None)`.
+///
+/// # Errors
+///
+/// Message decode errors; [`CodecError::TrailingBytes`] if the tail is
+/// present but malformed or followed by further bytes.
+pub fn decode_traced<T: Decode>(input: &[u8]) -> Result<(T, Option<TraceToken>), CodecError> {
+    let mut reader = Reader::new(input);
+    let value = T::decode(&mut reader)?;
+    if reader.remaining() == 0 {
+        return Ok((value, None));
+    }
+    let remaining = reader.remaining();
+    if reader.read_u8()? != TRACE_MARKER {
+        return Err(CodecError::TrailingBytes { remaining });
+    }
+    let id = reader.read_varint()?;
+    let origin_us = reader.read_varint()?;
+    if reader.remaining() != 0 {
+        return Err(CodecError::TrailingBytes {
+            remaining: reader.remaining(),
+        });
+    }
+    Ok((value, Some(TraceToken { id, origin_us })))
+}
+
 macro_rules! impl_id_codec {
     ($($ty:ty),+ $(,)?) => {
         $(
@@ -508,6 +570,58 @@ mod tests {
         buf.put_u8(0xAA);
         let err = u64::decode_exact(&buf).unwrap_err();
         assert_eq!(err, CodecError::TrailingBytes { remaining: 1 });
+    }
+
+    #[test]
+    fn traced_roundtrip_and_backward_compat() {
+        let token = TraceToken {
+            id: 42,
+            origin_us: 1_234_567,
+        };
+        let traced = encode_traced(&7u64, Some(token));
+        assert_eq!(decode_traced::<u64>(&traced).unwrap(), (7, Some(token)));
+
+        // Without a token the encoding is byte-identical to the plain
+        // form, and plain buffers decode with `None`.
+        let plain = encode_traced(&7u64, None);
+        let mut bare = BytesMut::new();
+        7u64.encode(&mut bare);
+        assert_eq!(&plain[..], &bare[..]);
+        assert_eq!(decode_traced::<u64>(&plain).unwrap(), (7, None));
+    }
+
+    #[test]
+    fn traced_decode_rejects_malformed_tails() {
+        // Trailing garbage that is not a trace marker.
+        let mut buf = BytesMut::new();
+        buf.put_varint(7);
+        buf.put_u8(0xAA);
+        assert_eq!(
+            decode_traced::<u64>(&buf).unwrap_err(),
+            CodecError::TrailingBytes { remaining: 1 }
+        );
+
+        // A marker with a truncated payload.
+        let mut buf = BytesMut::new();
+        buf.put_varint(7);
+        buf.put_u8(TRACE_MARKER);
+        buf.put_varint(42);
+        assert!(decode_traced::<u64>(&buf).is_err());
+
+        // Bytes after a complete token.
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_traced(
+            &7u64,
+            Some(TraceToken {
+                id: 1,
+                origin_us: 2,
+            }),
+        ));
+        buf.put_u8(0x00);
+        assert_eq!(
+            decode_traced::<u64>(&buf).unwrap_err(),
+            CodecError::TrailingBytes { remaining: 1 }
+        );
     }
 
     #[test]

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Regenerates the paper's headline numbers and spools the
+# machine-readable output into JSON files for regression tracking:
+#
+#   BENCH_fig3.json   - Figure 3 sweep: aggregate metrics + one per-hop
+#                       latency breakdown (TRACE line) per population
+#   BENCH_table2.json - Table 2: single vs replicated metrics + one
+#                       breakdown per population of the replicated star
+#
+# Each file is a single JSON object: {"bench":..,"metrics":..,
+# "trace":[..]} where every element is lifted verbatim from the
+# harness's METRICS / TRACE lines. Human-readable tables still go to
+# stdout. --offline throughout; the workspace builds without network.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline -p corona-bench"
+cargo build --release --offline -p corona-bench
+
+# stdin: one JSON object per line -> comma-joined JSON array body
+join_lines() {
+    awk 'NR > 1 { printf "," } { printf "%s", $0 }'
+}
+
+echo "==> fig3_roundtrip"
+out=$(./target/release/fig3_roundtrip "$@")
+printf '%s\n' "$out"
+metrics=$(printf '%s\n' "$out" | sed -n 's/^METRICS //p')
+traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
+printf '{"bench":"fig3","metrics":%s,"trace":[%s]}\n' \
+    "$metrics" "$traces" >BENCH_fig3.json
+echo "==> wrote BENCH_fig3.json"
+
+echo "==> table2_replicated"
+out=$(./target/release/table2_replicated)
+printf '%s\n' "$out"
+single=$(printf '%s\n' "$out" | sed -n 's/^METRICS single //p')
+replicated=$(printf '%s\n' "$out" | sed -n 's/^METRICS replicated //p')
+traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
+printf '{"bench":"table2","metrics":{"single":%s,"replicated":%s},"trace":[%s]}\n' \
+    "$single" "$replicated" "$traces" >BENCH_table2.json
+echo "==> wrote BENCH_table2.json"

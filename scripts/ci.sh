@@ -13,6 +13,12 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> cargo build --offline --examples"
+cargo build --offline --examples
+
+echo "==> cargo bench --no-run --offline"
+cargo bench --no-run --offline
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

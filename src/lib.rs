@@ -22,6 +22,9 @@
 //!   merge;
 //! * [`metrics`] — the shared observability registry: counters,
 //!   gauges, log₂-bucketed latency histograms;
+//! * [`trace`] — end-to-end distributed tracing: wire-carried trace
+//!   ids, per-hop spans, a lock-free flight recorder, JSONL and
+//!   `chrome://tracing` exporters;
 //! * [`sim`] — the deterministic simulator reproducing the paper's
 //!   evaluation.
 //!
@@ -75,6 +78,11 @@ pub use corona_replication as replication;
 /// Lock-free counters, gauges and latency histograms shared by every
 /// layer of the stack.
 pub use corona_metrics as metrics;
+
+/// Distributed tracing: wire-carried trace ids, per-hop span events,
+/// a lock-free flight recorder, JSONL/Chrome exporters and latency
+/// breakdowns.
+pub use corona_trace as trace;
 
 /// Deterministic discrete-event simulator for the paper's evaluation.
 pub use corona_sim as sim;

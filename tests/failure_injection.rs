@@ -162,6 +162,14 @@ fn reconnecting_client_catches_up_after_link_failure() {
 /// in the replication metrics (`repl.elections.*`, `repl.failover_ms`).
 #[test]
 fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
+    // Route the automatic flight-recorder dump somewhere inspectable:
+    // resolving a failover must flush the recorded spans to disk.
+    let dump_dir = std::env::temp_dir().join(format!("corona-flight-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dump_dir);
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    std::env::set_var("CORONA_TRACE_DIR", &dump_dir);
+    corona::trace::set_enabled(true);
+
     let net = MemNetwork::new();
     let peers: Vec<(ServerId, String)> = (1..=3)
         .map(|i| (ServerId::new(i), format!("s{i}-peer")))
@@ -325,11 +333,39 @@ fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
         std::thread::sleep(Duration::from_millis(20));
     }
 
+    // Resolving the failover must have dumped the flight recorder:
+    // a JSONL spool of the spans leading up to the election, written
+    // without being asked — that's the whole point of a black box.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let dump = loop {
+        let found = std::fs::read_dir(&dump_dir).ok().and_then(|entries| {
+            entries.flatten().map(|e| e.path()).find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("corona-flight-failover-"))
+                    && p.extension().is_some_and(|e| e == "jsonl")
+            })
+        });
+        if let Some(path) = found {
+            break path;
+        }
+        assert!(Instant::now() < deadline, "no flight-recorder dump found");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    let body = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        body.lines().any(|l| l.contains("\"hop\":\"election\"")),
+        "flight dump lacks the election span: {body}"
+    );
+
     bob.close();
     carol.close();
     for s in servers {
         s.shutdown();
     }
+    corona::trace::set_enabled(false);
+    corona::trace::clear();
+    let _ = std::fs::remove_dir_all(&dump_dir);
 }
 
 /// Builds a server on its own storage dir, runs `edits` against it,
