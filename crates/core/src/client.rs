@@ -542,6 +542,10 @@ fn transport_to_corona(e: corona_transport::TransportError) -> CoronaError {
         TransportError::Timeout => CoronaError::Timeout {
             operation: "transport",
         },
+        TransportError::Full => CoronaError::Io(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "transmit queue full",
+        )),
         TransportError::Io(msg) => CoronaError::Io(std::io::Error::other(msg)),
     }
 }

@@ -47,6 +47,16 @@ pub struct ServerConfig {
     /// If set, a background thread dumps the server's metric registry
     /// as one JSON line to stderr at this interval.
     pub metrics_dump_interval: Option<std::time::Duration>,
+    /// Number of fan-out worker threads. Outbound traffic is sharded
+    /// across them by connection id, so one stalled transmit queue
+    /// cannot head-of-line-block delivery to other clients (or the
+    /// dispatcher itself).
+    pub fanout_workers: usize,
+    /// Per-connection transmit-queue bound (frames). A send that would
+    /// exceed it fails with an explicit `Full` instead of buffering
+    /// unboundedly; the fan-out workers shed or disconnect on `Full`
+    /// per the QoS class.
+    pub send_queue_capacity: usize,
 }
 
 impl ServerConfig {
@@ -62,6 +72,8 @@ impl ServerConfig {
             log_on_critical_path: false,
             qos: QosPolicy::default(),
             metrics_dump_interval: None,
+            fanout_workers: 4,
+            send_queue_capacity: corona_transport::DEFAULT_SEND_CAPACITY,
         }
     }
 
@@ -122,6 +134,22 @@ impl ServerConfig {
         self.metrics_dump_interval = Some(interval);
         self
     }
+
+    /// Sets the number of fan-out worker threads (builder-style).
+    /// Clamped to at least 1.
+    #[must_use]
+    pub fn with_fanout_workers(mut self, workers: usize) -> Self {
+        self.fanout_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-connection transmit-queue bound in frames
+    /// (builder-style). Clamped to at least 1.
+    #[must_use]
+    pub fn with_send_queue_capacity(mut self, frames: usize) -> Self {
+        self.send_queue_capacity = frames.max(1);
+        self
+    }
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -134,6 +162,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("reduction", &self.reduction)
             .field("log_on_critical_path", &self.log_on_critical_path)
             .field("qos", &self.qos)
+            .field("fanout_workers", &self.fanout_workers)
+            .field("send_queue_capacity", &self.send_queue_capacity)
             .finish_non_exhaustive()
     }
 }

@@ -86,6 +86,22 @@ pub enum Effect {
         /// The event.
         event: ServerEvent,
     },
+    /// Send the identical `event` to every recipient (group fan-out).
+    ///
+    /// Batching the fan-out into one effect lets the runtime encode
+    /// the frame **once** and hand the same shared bytes to every
+    /// recipient's connection, instead of paying O(recipients) clones
+    /// and encodes of the same payload (§5: the server absorbs the
+    /// cost of group delivery).
+    Multicast {
+        /// The group being fanned out to (for per-group accounting
+        /// and QoS classification).
+        group: GroupId,
+        /// The members to deliver to, in membership order.
+        recipients: Vec<ClientId>,
+        /// The one event every recipient receives.
+        event: ServerEvent,
+    },
     /// Hand a record to the logger.
     Log(LogEffect),
 }
@@ -774,21 +790,21 @@ impl ServerCore {
         self.metrics.broadcasts.inc();
 
         // Fan out via multiple point-to-point sends (the measured
-        // configuration of §5.2).
+        // configuration of §5.2), batched into one effect so the
+        // runtime encodes the event once for all recipients.
         let g = self.registry.get(group).expect("checked above");
-        let mut fanned = 0u64;
-        for member in g.member_ids() {
-            if scope == DeliveryScope::SenderExclusive && member == client {
-                continue;
-            }
-            fanned += 1;
-            effects.push(Effect::send(
-                member,
-                ServerEvent::Multicast {
-                    group,
-                    logged: logged.clone(),
-                },
-            ));
+        let recipients: Vec<ClientId> = g
+            .member_ids()
+            .into_iter()
+            .filter(|member| !(scope == DeliveryScope::SenderExclusive && *member == client))
+            .collect();
+        let fanned = recipients.len() as u64;
+        if !recipients.is_empty() {
+            effects.push(Effect::Multicast {
+                group,
+                recipients,
+                event: ServerEvent::Multicast { group, logged },
+            });
         }
         self.metrics.deliveries.add(fanned);
         self.metrics.group_deliveries(group).add(fanned);

@@ -10,21 +10,33 @@
 //! * **dispatcher thread** — owns the [`ServerCore`] state machine;
 //!   processing commands one at a time yields the per-group total
 //!   order;
+//! * **fan-out workers** — a small pool that moves frames from the
+//!   dispatcher to the per-connection transmit queues. Traffic is
+//!   sharded by connection id, so every connection's frames flow
+//!   through exactly one worker (preserving per-connection FIFO) and
+//!   one stalled transmit queue cannot head-of-line-block the
+//!   dispatcher or delivery to other clients;
 //! * **logger thread** — executes [`LogEffect`]s against stable
 //!   storage, *in parallel with* the multicast fan-out ("state logging
 //!   ... is not in the critical path", §6). The
 //!   [`ServerConfig::log_on_critical_path`] ablation switch moves this
 //!   work inline into the dispatcher instead.
 //!
-//! Outbound sends go through [`Connection::send`], which enqueues to
-//! the transport's writer machinery without blocking the dispatcher.
+//! A group broadcast arrives at the dispatcher as one
+//! [`Effect::Multicast`]; the payload is encoded **once** into a
+//! shared [`bytes::Bytes`] and every recipient's work item clones the
+//! handle, not the bytes. Transmit queues are bounded: a send that
+//! would exceed the cap fails with an explicit `Full`, which the
+//! workers translate into shedding (awareness traffic) or
+//! disconnection (a client too slow to take data would desynchronise
+//! anyway), so a slow client can never OOM the server.
 
 use crate::config::ServerConfig;
 use crate::core::{Effect, LogEffect, ServerCore};
-use crate::qos::{classify, QosPolicy};
+use crate::qos::{classify, EventClass, QosPolicy};
 use corona_metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use corona_statelog::{GroupStore, StableStore};
-use corona_transport::{Connection, Listener, MeteredConnection, TransportMetrics};
+use corona_transport::{Connection, Listener, MeteredConnection, TransportError, TransportMetrics};
 use corona_types::error::{CoronaError, Result};
 use corona_types::id::{ClientId, GroupId};
 use corona_types::message::{ClientRequest, ServerEvent};
@@ -55,6 +67,11 @@ pub struct ServerStats {
     pub conns_closed: u64,
     /// Inbound frames dropped because they failed to decode.
     pub decode_errors: u64,
+    /// Connections reaped because an outbound send failed or the
+    /// bounded transmit queue overflowed on undroppable traffic.
+    pub dead_conns: u64,
+    /// Connections currently tracked by the dispatcher.
+    pub open_conns: usize,
     /// Live groups.
     pub groups: usize,
     /// Known clients (connected or resumable).
@@ -71,6 +88,12 @@ enum Command {
         frame: bytes::Bytes,
     },
     Closed {
+        conn_id: u64,
+    },
+    /// A fan-out worker failed to deliver to this connection (dead
+    /// peer, or bounded queue overflow on undroppable traffic): reap
+    /// it now instead of waiting for its reader thread to notice.
+    SendFailed {
         conn_id: u64,
     },
     Stats(Sender<ServerStats>),
@@ -90,7 +113,14 @@ struct ServerMetrics {
     stage_handle_us: Arc<Histogram>,
     stage_fanout_us: Arc<Histogram>,
     stage_log_us: Arc<Histogram>,
-    group_shed: HashMap<GroupId, Arc<Counter>>,
+    /// Multicast payload encodes — exactly one per group broadcast,
+    /// however many recipients (the whole point of [`Effect::Multicast`]).
+    fanout_encodes: Arc<Counter>,
+    /// Payload bytes *not* re-encoded thanks to frame sharing:
+    /// (recipients − 1) × frame length per broadcast.
+    fanout_bytes_saved: Arc<Counter>,
+    /// Connections reaped on send failure / queue overflow.
+    dead_conn: Arc<Counter>,
 }
 
 impl ServerMetrics {
@@ -104,19 +134,145 @@ impl ServerMetrics {
             stage_handle_us: registry.histogram("server.stage.handle_us"),
             stage_fanout_us: registry.histogram("server.stage.fanout_us"),
             stage_log_us: registry.histogram("server.stage.log_us"),
-            group_shed: HashMap::new(),
+            fanout_encodes: registry.counter("server.fanout.encodes"),
+            fanout_bytes_saved: registry.counter("server.fanout.bytes_saved"),
+            dead_conn: registry.counter("server.fanout.dead_conn"),
             registry,
         }
     }
+}
 
-    fn note_shed(&mut self, event: &ServerEvent) {
+/// Metric handles recorded by the fan-out workers. Cheap to clone —
+/// one set per worker, all pointing at the shared registry's atomics.
+#[derive(Clone)]
+struct FanoutWorkerMetrics {
+    registry: Arc<Registry>,
+    shed: Arc<Counter>,
+    enqueues: Arc<Counter>,
+    queue_depth: Arc<Histogram>,
+}
+
+impl FanoutWorkerMetrics {
+    fn new(registry: &Arc<Registry>) -> Self {
+        FanoutWorkerMetrics {
+            shed: registry.counter("server.shed"),
+            enqueues: registry.counter("server.fanout.enqueues"),
+            queue_depth: registry.histogram("server.fanout.queue_depth"),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    fn note_shed(&self, group: Option<GroupId>) {
         self.shed.inc();
-        if let ServerEvent::Multicast { group, .. } = event {
-            let registry = &self.registry;
-            self.group_shed
-                .entry(*group)
-                .or_insert_with(|| registry.counter(&format!("server.group.{group}.shed")))
+        if let Some(group) = group {
+            // Shedding is rare (only slow clients); the registry lock
+            // here is off the common path.
+            self.registry
+                .counter(&format!("server.group.{group}.shed"))
                 .inc();
+        }
+    }
+}
+
+/// One unit of outbound work: a pre-encoded frame bound for one
+/// connection. Multicast recipients share the same `frame` bytes.
+struct WorkItem {
+    conn_id: u64,
+    conn: Arc<Box<dyn Connection>>,
+    frame: bytes::Bytes,
+    class: EventClass,
+    /// Group for per-group shed accounting; `Some` only for multicast
+    /// fan-out items.
+    group: Option<GroupId>,
+}
+
+/// The fan-out worker pool. All outbound client traffic goes through
+/// it, sharded by connection id, so each connection's frames are
+/// handled by exactly one worker in dispatch order (per-connection
+/// FIFO is preserved end to end).
+struct FanoutPool {
+    senders: Vec<Sender<WorkItem>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl FanoutPool {
+    fn start(
+        workers: usize,
+        cmd_tx: Sender<Command>,
+        qos: QosPolicy,
+        registry: &Arc<Registry>,
+    ) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::unbounded::<WorkItem>();
+            let cmd_tx = cmd_tx.clone();
+            let metrics = FanoutWorkerMetrics::new(registry);
+            let handle = std::thread::Builder::new()
+                .name(format!("corona-fanout-{i}"))
+                .spawn(move || fanout_worker_loop(rx, cmd_tx, metrics, qos))
+                .expect("spawn fanout worker");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        FanoutPool { senders, handles }
+    }
+
+    fn dispatch(&self, item: WorkItem) {
+        let shard = (item.conn_id % self.senders.len() as u64) as usize;
+        let _ = self.senders[shard].send(item);
+    }
+
+    fn shutdown(self) {
+        drop(self.senders);
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn fanout_worker_loop(
+    rx: Receiver<WorkItem>,
+    cmd_tx: Sender<Command>,
+    metrics: FanoutWorkerMetrics,
+    qos: QosPolicy,
+) {
+    while let Ok(item) = rx.recv() {
+        // QoS-adaptive delivery (§5.3) against the *true* transmit
+        // queue depth at enqueue time, not a stale dispatcher view.
+        let backlog = item.conn.backlog();
+        metrics.queue_depth.record(backlog as u64);
+        if !qos.should_deliver(item.class, backlog) {
+            metrics.note_shed(item.group);
+            continue;
+        }
+        match item.conn.send(item.frame) {
+            Ok(()) => metrics.enqueues.inc(),
+            Err(TransportError::Full) => {
+                // Shed-vs-block policy for a bounded queue that QoS
+                // did not relieve: awareness traffic is shed;
+                // data/control cannot be dropped (a gap desynchronises
+                // the client's mirror), so a client too slow to accept
+                // it is disconnected rather than allowed to buffer
+                // unboundedly or stall the pool.
+                if item.class == EventClass::Awareness {
+                    metrics.note_shed(item.group);
+                } else {
+                    item.conn.close();
+                    let _ = cmd_tx.send(Command::SendFailed {
+                        conn_id: item.conn_id,
+                    });
+                }
+            }
+            Err(_) => {
+                // Dead connection: tell the dispatcher to reap it now
+                // rather than keep encoding and "delivering" to it
+                // until its reader thread notices.
+                let _ = cmd_tx.send(Command::SendFailed {
+                    conn_id: item.conn_id,
+                });
+            }
         }
     }
 }
@@ -244,27 +400,34 @@ impl CoronaServer {
             (None, _) => (LogSink::Disabled, None),
         };
 
-        // Dispatcher thread.
+        // Dispatcher thread (it also owns the fan-out worker pool; the
+        // pool needs the command sender to report dead connections).
         let qos = config.qos;
+        let fanout_workers = config.fanout_workers;
         let dispatcher = {
             let cmd_rx = cmd_rx.clone();
+            let cmd_tx = cmd_tx.clone();
             std::thread::Builder::new()
                 .name("corona-dispatcher".into())
-                .spawn(move || dispatcher_loop(core, cmd_rx, log_tx, qos))
+                .spawn(move || dispatcher_loop(core, cmd_rx, cmd_tx, log_tx, qos, fanout_workers))
                 .expect("spawn dispatcher thread")
         };
 
         // Accept thread. Accepted connections are wrapped in
         // [`MeteredConnection`] so all client traffic is accounted in
-        // the shared registry.
+        // the shared registry, and their transmit queues are bounded
+        // per the configuration.
         let listener: Arc<Box<dyn Listener>> = Arc::new(listener);
+        let send_queue_capacity = config.send_queue_capacity;
         let accept = {
             let cmd_tx = cmd_tx.clone();
             let listener = Arc::clone(&listener);
             let transport_metrics = TransportMetrics::new(&registry);
             std::thread::Builder::new()
                 .name("corona-accept".into())
-                .spawn(move || accept_loop(listener, cmd_tx, transport_metrics))
+                .spawn(move || {
+                    accept_loop(listener, cmd_tx, transport_metrics, send_queue_capacity)
+                })
                 .expect("spawn accept thread")
         };
 
@@ -418,10 +581,12 @@ fn accept_loop(
     listener: Arc<Box<dyn Listener>>,
     cmd_tx: Sender<Command>,
     transport_metrics: TransportMetrics,
+    send_queue_capacity: usize,
 ) {
     let mut next_conn: u64 = 1;
     loop {
         let Ok(conn) = listener.accept() else { break };
+        conn.set_send_capacity(send_queue_capacity);
         let conn: Arc<Box<dyn Connection>> = Arc::new(Box::new(MeteredConnection::new(
             conn,
             transport_metrics.clone(),
@@ -455,12 +620,16 @@ fn accept_loop(
 fn dispatcher_loop(
     mut core: ServerCore,
     cmd_rx: Receiver<Command>,
+    cmd_tx: Sender<Command>,
     mut log: LogSink,
     qos: QosPolicy,
+    fanout_workers: usize,
 ) {
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut client_conn: HashMap<ClientId, u64> = HashMap::new();
-    let mut metrics = ServerMetrics::new(core.metrics_registry());
+    let registry = core.metrics_registry();
+    let mut metrics = ServerMetrics::new(Arc::clone(&registry));
+    let pool = FanoutPool::start(fanout_workers, cmd_tx, qos, &registry);
 
     while let Ok(cmd) = cmd_rx.recv() {
         metrics.queue_depth.set(cmd_rx.len() as i64);
@@ -545,7 +714,7 @@ fn dispatcher_loop(
                     &conns,
                     &client_conn,
                     &mut log,
-                    &qos,
+                    &pool,
                     &mut metrics,
                     trace,
                 );
@@ -561,7 +730,32 @@ fn dispatcher_loop(
                             &conns,
                             &client_conn,
                             &mut log,
-                            &qos,
+                            &pool,
+                            &mut metrics,
+                            None,
+                        );
+                    }
+                }
+            }
+            Command::SendFailed { conn_id } => {
+                // Idempotent with the reader thread's `Closed` — the
+                // first of the two to arrive reaps the connection.
+                if let Some(state) = conns.remove(&conn_id) {
+                    state.conn.close();
+                    metrics.conns_closed.inc();
+                    metrics.dead_conn.inc();
+                    if let Some(client) = state.client {
+                        client_conn.remove(&client);
+                        // Emit the session-leave actions (membership
+                        // notifications, lock handoffs) exactly as for
+                        // a reader-observed disconnect.
+                        let effects = core.client_disconnected(client);
+                        execute_effects(
+                            effects,
+                            &conns,
+                            &client_conn,
+                            &mut log,
+                            &pool,
                             &mut metrics,
                             None,
                         );
@@ -579,6 +773,8 @@ fn dispatcher_loop(
                     conns_accepted: metrics.conns_accepted.get(),
                     conns_closed: metrics.conns_closed.get(),
                     decode_errors: metrics.decode_errors.get(),
+                    dead_conns: metrics.dead_conn.get(),
+                    open_conns: conns.len(),
                     groups: core.group_count(),
                     clients: core.client_count(),
                 });
@@ -589,6 +785,9 @@ fn dispatcher_loop(
             Command::Shutdown => break,
         }
     }
+    // Drain and stop the fan-out workers before tearing down
+    // connections, so queued frames either flush or fail cleanly.
+    pool.shutdown();
     // Close every connection so reader threads exit.
     for state in conns.values() {
         state.conn.close();
@@ -602,62 +801,77 @@ fn execute_effects(
     conns: &HashMap<u64, ConnState>,
     client_conn: &HashMap<ClientId, u64>,
     log: &mut LogSink,
-    qos: &QosPolicy,
+    pool: &FanoutPool,
     metrics: &mut ServerMetrics,
     trace: Option<TraceToken>,
 ) {
     let fanout_started = Instant::now();
     let mut fanned = false;
-    // The fan-out span is stamped just before the first traced
-    // multicast hits a transmit queue — so a client's delivery
-    // timestamp can never precede it — carrying the total multicast
-    // count as its argument.
-    let multicasts = match trace {
-        Some(_) => effects
-            .iter()
-            .filter(|e| {
-                matches!(
-                    e,
-                    Effect::Send {
-                        event: ServerEvent::Multicast { .. },
-                        ..
-                    }
-                )
-            })
-            .count() as u64,
-        None => 0,
-    };
     let mut fanout_recorded = false;
     for effect in effects {
         match effect {
             Effect::Send { to, event } => {
-                fanned = true;
-                if let Some(conn_id) = client_conn.get(&to) {
-                    if let Some(state) = conns.get(conn_id) {
-                        // QoS-adaptive delivery (§5.3): expendable
-                        // classes are shed for clients whose transmit
-                        // backlog shows they cannot keep up.
-                        if !qos.should_deliver(classify(&event), state.conn.backlog()) {
-                            metrics.note_shed(&event);
-                            continue;
+                if let Some(state) = client_conn.get(&to).and_then(|id| conns.get(id)) {
+                    fanned = true;
+                    pool.dispatch(WorkItem {
+                        conn_id: *client_conn.get(&to).expect("resolved above"),
+                        conn: Arc::clone(&state.conn),
+                        frame: encode_event(&event),
+                        class: classify(&event),
+                        group: None,
+                    });
+                }
+            }
+            Effect::Multicast {
+                group,
+                recipients,
+                event,
+            } => {
+                // Encode ONCE for all recipients; every work item
+                // clones the refcounted bytes, not the payload. The
+                // trace token (if any) is identical for every
+                // recipient, so the traced frame is shareable too.
+                let frame = match trace {
+                    Some(t) => {
+                        if !fanout_recorded {
+                            fanout_recorded = true;
+                            // Stamped before the first frame can hit a
+                            // transmit queue, so a client's delivery
+                            // timestamp never precedes it; the arg
+                            // carries the fan-out width.
+                            corona_trace::record(
+                                corona_trace::Hop::FanoutEnqueue,
+                                corona_trace::TraceId(t.id),
+                                0,
+                                recipients.len() as u64,
+                            );
                         }
-                        let frame = match (trace, &event) {
-                            (Some(t), ServerEvent::Multicast { .. }) => {
-                                if !fanout_recorded {
-                                    fanout_recorded = true;
-                                    corona_trace::record(
-                                        corona_trace::Hop::FanoutEnqueue,
-                                        corona_trace::TraceId(t.id),
-                                        0,
-                                        multicasts,
-                                    );
-                                }
-                                encode_traced(&event, Some(t))
-                            }
-                            _ => encode_event(&event),
-                        };
-                        let _ = state.conn.send(frame);
+                        encode_traced(&event, Some(t))
                     }
+                    None => encode_event(&event),
+                };
+                metrics.fanout_encodes.inc();
+                let mut dispatched = 0u64;
+                let class = classify(&event);
+                for to in recipients {
+                    if let Some(conn_id) = client_conn.get(&to) {
+                        if let Some(state) = conns.get(conn_id) {
+                            fanned = true;
+                            dispatched += 1;
+                            pool.dispatch(WorkItem {
+                                conn_id: *conn_id,
+                                conn: Arc::clone(&state.conn),
+                                frame: frame.clone(),
+                                class,
+                                group: Some(group),
+                            });
+                        }
+                    }
+                }
+                if dispatched > 1 {
+                    metrics
+                        .fanout_bytes_saved
+                        .add((dispatched - 1) * frame.len() as u64);
                 }
             }
             Effect::Log(log_effect) => {

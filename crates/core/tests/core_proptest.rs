@@ -3,7 +3,7 @@
 //! and convergence of a client mirror fed by the emitted effects.
 
 use corona_core::{config::ServerConfig, core::Effect, mirror::GroupMirror, ServerCore};
-use corona_types::id::{GroupId, ObjectId, SeqNo, ServerId};
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, ServerEvent, StateTransfer};
 use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
 use corona_types::state::{SharedState, StateUpdate, Timestamp, UpdateKind};
@@ -274,8 +274,8 @@ proptest! {
                 scope: DeliveryScope::SenderInclusive,
             }, Timestamp::ZERO);
             for effect in &effects {
-                if let Effect::Send { to, event } = effect {
-                    if *to == observer {
+                if let Effect::Multicast { recipients, event, .. } = effect {
+                    if recipients.contains(&observer) {
                         if let ServerEvent::Multicast { .. } = event {
                             mirror.apply_event(event);
                         }
@@ -322,8 +322,22 @@ proptest! {
                 }
             };
             let mut seen_this_broadcast: std::collections::HashMap<GroupId, SeqNo> = Default::default();
+            // Flatten both addressed-send shapes into (recipient, event)
+            // pairs so the invariants below cover batched multicasts too.
+            let mut addressed: Vec<(&ClientId, &ServerEvent)> = Vec::new();
             for effect in &effects {
-                if let Effect::Send { to, event } = effect {
+                match effect {
+                    Effect::Send { to, event } => addressed.push((to, event)),
+                    Effect::Multicast { recipients, event, .. } => {
+                        for to in recipients {
+                            addressed.push((to, event));
+                        }
+                    }
+                    Effect::Log(_) => {}
+                }
+            }
+            {
+                for (to, event) in addressed {
                     prop_assert!(ids.contains(to), "effect addressed to unknown client {to:?}");
                     if let ServerEvent::GroupCreated { group } = event {
                         // A deleted-and-recreated group is a NEW group:

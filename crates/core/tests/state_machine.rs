@@ -103,6 +103,9 @@ fn sends_to(effects: &[Effect], client: ClientId) -> Vec<&ServerEvent> {
         .iter()
         .filter_map(|e| match e {
             Effect::Send { to, event } if *to == client => Some(event),
+            Effect::Multicast {
+                recipients, event, ..
+            } if recipients.contains(&client) => Some(event),
             _ => None,
         })
         .collect()

@@ -279,9 +279,13 @@ impl HistogramSnapshot {
 
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the buckets.
     ///
-    /// The estimate is the upper bound of the bucket containing the
-    /// rank, clamped into `[min, max]`, so it never falls outside the
-    /// recorded range. Returns 0 when empty.
+    /// The rank's bucket is located by cumulative count, then the
+    /// estimate interpolates linearly between the bucket's bounds by
+    /// the rank's position within it, clamped into `[min, max]` so it
+    /// never falls outside the recorded range. Interpolation keeps
+    /// quantiles monotone in `q` and avoids collapsing every quantile
+    /// that lands in one wide log₂ bucket onto the same `2^k - 1`
+    /// upper bound. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -290,10 +294,19 @@ impl HistogramSnapshot {
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut cumulative = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            cumulative += n;
-            if cumulative >= rank {
-                return bucket_upper(i).clamp(self.min, self.max);
+            if n == 0 {
+                continue;
             }
+            if cumulative + n >= rank {
+                let lower = bucket_lower(i);
+                let upper = bucket_upper(i);
+                // Fraction of this bucket's samples at or below the
+                // rank; rank > cumulative here so frac is in (0, 1].
+                let frac = (rank - cumulative) as f64 / n as f64;
+                let est = lower as f64 + frac * (upper - lower) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            cumulative += n;
         }
         self.max
     }
@@ -654,6 +667,69 @@ mod tests {
             assert!(est >= s.min && est <= s.max, "q{q}: {est}");
         }
         assert!(s.quantile(0.99) >= s.quantile(0.5));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // All of 40_000..=59_999 lands in bucket [32768, 65535]; the
+        // old upper-bound estimate pinned p50 == p90 == p99 == 65535
+        // (clamped to max). Interpolation must spread them out and
+        // keep them ordered.
+        let h = Histogram::new();
+        for v in 40_000u64..60_000 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 < p90 && p90 <= p99, "p50={p50} p90={p90} p99={p99}");
+        assert!(p50 >= s.min && p50 <= s.max);
+        assert_ne!(p50, 65_535, "p50 must not sit on the bucket bound");
+        // The median of a uniform sample over one bucket should land
+        // near the middle of the occupied range, not at either edge.
+        assert!((40_000..60_000).contains(&p50), "p50={p50}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_buckets() {
+        // Uniform 1..=1000 spans ten log₂ buckets; the quantile
+        // estimates must be strictly ordered and track the true
+        // order statistics closely.
+        let h = Histogram::new();
+        for v in 1u64..=1000 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let ests: Vec<u64> = qs.iter().map(|&q| s.quantile(q)).collect();
+        for pair in ests.windows(2) {
+            assert!(pair[0] <= pair[1], "non-monotone quantiles: {ests:?}");
+        }
+        assert!(ests.iter().all(|&e| e >= s.min && e <= s.max));
+        let (p50, p90, p99) = (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99));
+        assert!(p50 < p90 && p90 < p99, "p50={p50} p90={p90} p99={p99}");
+        // Within-bucket interpolation keeps the estimates near the
+        // true quantiles (500 / 900 / 990) rather than at 511/1023.
+        assert!((450..=550).contains(&p50), "p50={p50}");
+        assert!((850..=950).contains(&p90), "p90={p90}");
+        assert!(p99 >= 950, "p99={p99}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram.
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+        // Single sample: every quantile is that sample.
+        let h = Histogram::new();
+        h.record(37);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 37);
+        }
+        // All zeros stay zero.
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().quantile(0.9), 0);
     }
 
     #[test]

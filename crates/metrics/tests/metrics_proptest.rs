@@ -84,20 +84,41 @@ proptest! {
         prop_assert!(d.max >= expect.max, "delta max {} must bound true max {}", d.max, expect.max);
     }
 
-    /// Quantile rank semantics: at least ceil(q * count) samples are
-    /// <= the estimate (the log2 bucket bound can only round up).
+    /// Quantile rank semantics at bucket granularity: the
+    /// interpolated estimate lands inside the log2 bucket that
+    /// contains the rank-th sample, so at least ceil(q * count)
+    /// samples are <= the estimate's bucket upper bound and fewer
+    /// than that many lie strictly below its lower bound.
     #[test]
     fn quantile_covers_rank(samples in vec(0u64..1_000_000, 1..150), q in 0.0f64..=1.0) {
         let s = recorded(&samples);
         let est = s.quantile(q);
         let rank = ((q * samples.len() as f64).ceil() as usize).max(1);
-        let at_or_below = samples.iter().filter(|&&v| v <= est).count();
+        let (lower, upper) = bucket_bounds(est);
+        let at_or_below_upper = samples.iter().filter(|&&v| v <= upper).count();
         prop_assert!(
-            at_or_below >= rank,
-            "q{}: only {} of {} samples <= {}",
-            q, at_or_below, samples.len(), est
+            at_or_below_upper >= rank,
+            "q{}: only {} of {} samples <= bucket upper {} (est {})",
+            q, at_or_below_upper, samples.len(), upper, est
+        );
+        let below_lower = samples.iter().filter(|&&v| v < lower).count();
+        prop_assert!(
+            below_lower < rank,
+            "q{}: {} of {} samples below bucket lower {} (est {})",
+            q, below_lower, samples.len(), lower, est
         );
     }
+}
+
+/// Inclusive bounds of the log2 bucket containing `v` (bucket 0 is
+/// exactly zero, bucket i covers [2^(i-1), 2^i - 1]).
+fn bucket_bounds(v: u64) -> (u64, u64) {
+    if v == 0 {
+        return (0, 0);
+    }
+    let i = (64 - v.leading_zeros()) as usize;
+    let upper = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+    (1u64 << (i - 1), upper)
 }
 
 /// Four threads hammer one histogram while the main thread snapshots;

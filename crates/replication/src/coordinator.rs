@@ -349,6 +349,28 @@ impl CoordinatorCore {
                         });
                     }
                 }
+                // The batched fan-out effect expands per recipient here:
+                // the coordinator routes by home server, so each replica
+                // re-encodes locally (and applies its own encode-once
+                // fan-out to the clients it hosts).
+                Effect::Multicast {
+                    recipients, event, ..
+                } => {
+                    for to in recipients {
+                        if Some(to) == skip {
+                            continue;
+                        }
+                        if let Some(home) = self.client_home.get(&to) {
+                            out.push(CoordEffect::ToServer {
+                                to: *home,
+                                msg: PeerMessage::Deliver {
+                                    client: to,
+                                    event: event.clone(),
+                                },
+                            });
+                        }
+                    }
+                }
                 Effect::Log(l) => out.push(CoordEffect::Log(l)),
             }
         }
@@ -368,6 +390,23 @@ impl CoordinatorCore {
         for effect in effects {
             match effect {
                 Effect::Send { to, event } if to == requester => replies.push(event),
+                Effect::Multicast {
+                    group,
+                    mut recipients,
+                    event,
+                } => {
+                    if recipients.contains(&requester) {
+                        recipients.retain(|c| *c != requester);
+                        replies.push(event.clone());
+                    }
+                    if !recipients.is_empty() {
+                        rest.push(Effect::Multicast {
+                            group,
+                            recipients,
+                            event,
+                        });
+                    }
+                }
                 other => rest.push(other),
             }
         }

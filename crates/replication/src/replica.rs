@@ -30,6 +30,15 @@ pub enum ReplicaEffect {
         /// The event.
         event: ServerEvent,
     },
+    /// Deliver one event to several locally connected clients (the
+    /// sequenced-multicast fan-out). Batching lets the runtime encode
+    /// the wire frame once and share it across all recipients.
+    ToClients {
+        /// Destination clients.
+        recipients: Vec<ClientId>,
+        /// The event.
+        event: ServerEvent,
+    },
     /// Send a peer message to the coordinator.
     ToCoordinator(PeerMessage),
 }
@@ -448,17 +457,20 @@ impl ReplicaCore {
                 }
                 None => {}
             }
-            // Local fan-out.
-            for (member, _) in local.members.iter() {
-                if scope == DeliveryScope::SenderExclusive && *member == logged.sender {
-                    continue;
-                }
-                effects.push(ReplicaEffect::ToClient {
-                    to: *member,
-                    event: ServerEvent::Multicast {
-                        group,
-                        logged: logged.clone(),
-                    },
+            // Local fan-out: one batched effect so the runtime encodes
+            // the frame once for all local recipients.
+            let recipients: Vec<ClientId> = local
+                .members
+                .keys()
+                .filter(|member| {
+                    !(scope == DeliveryScope::SenderExclusive && **member == logged.sender)
+                })
+                .copied()
+                .collect();
+            if !recipients.is_empty() {
+                effects.push(ReplicaEffect::ToClients {
+                    recipients,
+                    event: ServerEvent::Multicast { group, logged },
                 });
             }
         }

@@ -798,6 +798,18 @@ impl Dispatcher {
     fn exec_replica(&mut self, eff: ReplicaEffect, queue: &mut VecDeque<Work>) {
         match eff {
             ReplicaEffect::ToClient { to, event } => self.send_client(to, &event),
+            ReplicaEffect::ToClients { recipients, event } => {
+                // Encode once; all local recipients share the
+                // refcounted frame.
+                let frame = event.encode_to_bytes();
+                for to in recipients {
+                    if let Some(conn_id) = self.client_conn_of.get(&to) {
+                        if let Some((conn, _)) = self.client_conns.get(conn_id) {
+                            let _ = conn.send(frame.clone());
+                        }
+                    }
+                }
+            }
             ReplicaEffect::ToCoordinator(msg) => {
                 if self.election.is_coordinator() {
                     queue.push_back(Work::Local(msg));

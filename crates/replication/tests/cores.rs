@@ -479,9 +479,10 @@ fn replica_fans_out_sequenced_to_local_members_with_sender_exclusion() {
         local_tag: 1,
     });
     assert!(
-        !effects
-            .iter()
-            .any(|e| matches!(e, ReplicaEffect::ToClient { .. })),
+        !effects.iter().any(|e| matches!(
+            e,
+            ReplicaEffect::ToClient { .. } | ReplicaEffect::ToClients { .. }
+        )),
         "sender must be excluded: {effects:?}"
     );
     // Standby log still applied it.
@@ -502,10 +503,10 @@ fn replica_fans_out_sequenced_to_local_members_with_sender_exclusion() {
     });
     assert!(effects.iter().any(|e| matches!(
         e,
-        ReplicaEffect::ToClient {
-            to,
+        ReplicaEffect::ToClients {
+            recipients,
             event: ServerEvent::Multicast { .. }
-        } if *to == c
+        } if recipients.contains(&c)
     )));
 }
 

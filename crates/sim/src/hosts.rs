@@ -46,9 +46,23 @@ pub struct HostProfile {
 }
 
 impl HostProfile {
-    /// CPU time to send a message of `bytes`.
+    /// CPU time to send a message of `bytes` (encode + enqueue; use
+    /// for unicast paths that serialise per send).
     pub fn send_cost(&self, bytes: usize) -> SimTime {
-        self.send_per_msg_us + self.send_per_kb_us * (bytes as SimTime) / 1024 + self.jitter_us
+        self.encode_cost(bytes) + self.enqueue_cost()
+    }
+
+    /// CPU time to serialise a message of `bytes` into a wire frame.
+    /// Under the encode-once fan-out a multicast pays this once per
+    /// message, not once per recipient.
+    pub fn encode_cost(&self, bytes: usize) -> SimTime {
+        self.send_per_kb_us * (bytes as SimTime) / 1024
+    }
+
+    /// CPU time to hand one already-encoded frame to one recipient's
+    /// transmit queue (syscalls, framing, scheduling).
+    pub fn enqueue_cost(&self) -> SimTime {
+        self.send_per_msg_us + self.jitter_us
     }
 
     /// CPU time to receive a message of `bytes`.

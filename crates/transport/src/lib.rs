@@ -38,4 +38,4 @@ pub mod traits;
 pub use mem::{MemConnection, MemDialer, MemListener, MemNetwork};
 pub use metered::{ConnTraffic, MeteredConnection, TransportMetrics};
 pub use tcp::{TcpAcceptor, TcpConnection, TcpDialer};
-pub use traits::{Connection, Dialer, Listener, TransportError};
+pub use traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};

@@ -14,12 +14,12 @@
 //! `corona-sim` crate models latency separately for the performance
 //! experiments.
 
-use crate::traits::{Connection, Dialer, Listener, TransportError};
+use crate::traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -148,11 +148,13 @@ impl MemNetwork {
             shared: Arc::clone(&shared),
             side: Side::Dialer,
             rx: rx_ad,
+            send_capacity: AtomicUsize::new(DEFAULT_SEND_CAPACITY),
         };
         let accept_side = MemConnection {
             shared,
             side: Side::Acceptor,
             rx: rx_da,
+            send_capacity: AtomicUsize::new(DEFAULT_SEND_CAPACITY),
         };
         accept_tx
             .send(accept_side)
@@ -247,6 +249,7 @@ pub struct MemConnection {
     shared: Arc<ConnShared>,
     side: Side,
     rx: Receiver<Bytes>,
+    send_capacity: AtomicUsize,
 }
 
 impl MemConnection {
@@ -285,7 +288,12 @@ impl Connection for MemConnection {
             Side::Acceptor => self.shared.tx_ad.lock(),
         };
         match guard.as_ref() {
-            Some(tx) => tx.send(frame).map_err(|_| TransportError::Closed),
+            Some(tx) => {
+                if tx.len() >= self.send_capacity.load(Ordering::Relaxed) {
+                    return Err(TransportError::Full);
+                }
+                tx.send(frame).map_err(|_| TransportError::Closed)
+            }
             None => Err(TransportError::Closed),
         }
     }
@@ -313,6 +321,10 @@ impl Connection for MemConnection {
             }
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
+    }
+
+    fn set_send_capacity(&self, cap: usize) {
+        self.send_capacity.store(cap.max(1), Ordering::Relaxed);
     }
 
     fn backlog(&self) -> usize {
@@ -559,6 +571,29 @@ mod tests {
         assert_eq!(server_conn.backlog(), 3);
         server_conn.close();
         assert_eq!(server_conn.backlog(), 0, "closed connection has no backlog");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_full() {
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let _client = net.dial_from("c", "s").unwrap();
+        let server_conn = listener.accept().unwrap();
+        server_conn.set_send_capacity(3);
+        for _ in 0..3 {
+            server_conn.send(Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(
+            server_conn.send(Bytes::from_static(b"over")).unwrap_err(),
+            TransportError::Full
+        );
+        assert_eq!(server_conn.backlog(), 3, "rejected frame not enqueued");
+        // A closed connection reports Closed, not Full.
+        server_conn.close();
+        assert_eq!(
+            server_conn.send(Bytes::from_static(b"x")).unwrap_err(),
+            TransportError::Closed
+        );
     }
 
     #[test]

@@ -133,6 +133,10 @@ impl Connection for MeteredConnection {
         Ok(frame)
     }
 
+    fn set_send_capacity(&self, cap: usize) {
+        self.inner.set_send_capacity(cap);
+    }
+
     fn backlog(&self) -> usize {
         self.inner.backlog()
     }
@@ -197,6 +201,27 @@ mod tests {
 
         assert_eq!(metered.traffic(), ConnTraffic::default());
         assert_eq!(registry.snapshot().counter("transport.frames_out"), 0);
+    }
+
+    #[test]
+    fn full_send_is_not_counted_and_capacity_forwards() {
+        let registry = Registry::new();
+        let metrics = TransportMetrics::new(&registry);
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let _client = net.dial_from("c", "s").unwrap();
+        let metered = MeteredConnection::new(listener.accept().unwrap(), metrics);
+
+        metered.set_send_capacity(2);
+        metered.send(Bytes::from_static(b"a")).unwrap();
+        metered.send(Bytes::from_static(b"b")).unwrap();
+        assert_eq!(
+            metered.send(Bytes::from_static(b"c")).unwrap_err(),
+            TransportError::Full
+        );
+        assert_eq!(metered.traffic().frames_out, 2);
+        assert_eq!(registry.snapshot().counter("transport.frames_out"), 2);
+        assert_eq!(metered.backlog(), 2);
     }
 
     #[test]

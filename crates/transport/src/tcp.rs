@@ -7,13 +7,13 @@
 //! single flush, so a burst of multicast fan-out messages to one
 //! client costs one syscall, not N.
 
-use crate::traits::{Connection, Dialer, Listener, TransportError};
+use crate::traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};
 use bytes::Bytes;
 use corona_types::frame::{read_frame, write_frame};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
 use std::io::{BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -30,6 +30,7 @@ pub struct TcpConnection {
     outbound: Sender<Bytes>,
     inbound: Receiver<Bytes>,
     closed: Arc<AtomicBool>,
+    send_capacity: AtomicUsize,
     stream: TcpStream,
     peer: String,
 }
@@ -154,6 +155,7 @@ impl TcpConnection {
             outbound: out_tx,
             inbound: in_rx,
             closed,
+            send_capacity: AtomicUsize::new(DEFAULT_SEND_CAPACITY),
             stream,
             peer,
         })
@@ -164,6 +166,12 @@ impl Connection for TcpConnection {
     fn send(&self, frame: Bytes) -> Result<(), TransportError> {
         if self.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
+        }
+        // The writer thread drains the queue; if the peer stalls, the
+        // queue grows toward the cap and we push back rather than
+        // buffer unboundedly.
+        if self.outbound.len() >= self.send_capacity.load(Ordering::Relaxed) {
+            return Err(TransportError::Full);
         }
         self.outbound
             .send(frame)
@@ -187,6 +195,10 @@ impl Connection for TcpConnection {
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
+    }
+
+    fn set_send_capacity(&self, cap: usize) {
+        self.send_capacity.store(cap.max(1), Ordering::Relaxed);
     }
 
     fn backlog(&self) -> usize {
@@ -488,6 +500,38 @@ mod tests {
 
         corona_trace::set_enabled(false);
         corona_trace::clear();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_writer_stalls() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        // The server accepts but never reads, so the client's writer
+        // thread eventually blocks on a full socket buffer and the
+        // transmit queue backs up to its cap.
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(conn);
+        });
+        let client = TcpDialer.dial(&addr).unwrap();
+        client.set_send_capacity(4);
+        let frame = Bytes::from(vec![0u8; 256 * 1024]);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match client.send(frame.clone()) {
+                Ok(()) => assert!(
+                    std::time::Instant::now() < deadline,
+                    "queue never reported Full"
+                ),
+                Err(TransportError::Full) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        // The rejected frame was not enqueued; the queue stays bounded.
+        assert!(client.backlog() <= 4, "backlog {} > cap", client.backlog());
+        client.close();
+        server.join().unwrap();
     }
 
     #[test]

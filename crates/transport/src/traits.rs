@@ -14,6 +14,12 @@ use bytes::Bytes;
 use std::fmt;
 use std::time::Duration;
 
+/// Default transmit-queue bound (in frames) applied by the in-tree
+/// transports until [`Connection::set_send_capacity`] overrides it.
+/// Roomy enough for bursty multicast fan-out; small enough that one
+/// stalled peer cannot buffer unbounded memory on the sender.
+pub const DEFAULT_SEND_CAPACITY: usize = 4096;
+
 /// Transport-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
@@ -21,6 +27,10 @@ pub enum TransportError {
     Closed,
     /// A receive wait timed out.
     Timeout,
+    /// The transmit queue is at capacity; the frame was not enqueued.
+    /// Explicit backpressure: the caller decides whether to retry,
+    /// shed, or treat the peer as too slow and disconnect it.
+    Full,
     /// An underlying I/O failure (message carries the rendered cause;
     /// `std::io::Error` is not `Clone`, and callers only branch on the
     /// variant).
@@ -32,6 +42,7 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Closed => f.write_str("connection closed"),
             TransportError::Timeout => f.write_str("receive timed out"),
+            TransportError::Full => f.write_str("transmit queue full"),
             TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
         }
     }
@@ -56,8 +67,22 @@ pub trait Connection: Send + Sync + fmt::Debug {
     ///
     /// # Errors
     ///
-    /// [`TransportError::Closed`] if the connection is closed.
+    /// [`TransportError::Closed`] if the connection is closed;
+    /// [`TransportError::Full`] if the transmit queue is at capacity
+    /// (the frame is *not* enqueued — explicit backpressure, never an
+    /// unbounded buffer).
     fn send(&self, frame: Bytes) -> Result<(), TransportError>;
+
+    /// Caps the transmit queue at `cap` frames. Sends that would
+    /// exceed the cap return [`TransportError::Full`]. Implementations
+    /// start with a generous default bound; a server typically lowers
+    /// it per its configuration right after accepting.
+    ///
+    /// The bound is checked against [`Connection::backlog`] at enqueue
+    /// time; concurrent senders may overshoot by at most the number of
+    /// racing calls, which keeps the queue bounded without a lock on
+    /// the hot path.
+    fn set_send_capacity(&self, cap: usize);
 
     /// Blocks until a frame arrives.
     ///

@@ -31,6 +31,11 @@ traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
 printf '{"bench":"fig3","metrics":%s,"trace":[%s]}\n' \
     "$metrics" "$traces" >BENCH_fig3.json
 echo "==> wrote BENCH_fig3.json"
+# Record the encode-once counter: one frame encode per multicast, flat
+# in the number of recipients.
+encodes=$(printf '%s' "$metrics" | sed -n 's/.*"sim\.stage\.encodes":\([0-9]*\).*/\1/p')
+echo "==> encode-once: sim.stage.encodes=${encodes:-MISSING}"
+test -n "$encodes"
 
 echo "==> table2_replicated"
 out=$(./target/release/table2_replicated)

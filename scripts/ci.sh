@@ -19,6 +19,31 @@ cargo build --offline --examples
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline
 
+echo "==> bench sanity: exported histogram percentiles must be monotone"
+./scripts/bench.sh >/dev/null
+for f in BENCH_fig3.json BENCH_table2.json; do
+    awk -v file="$f" '
+    {
+        line = $0
+        while (match(line, /"max":[0-9]+,"mean":[0-9.]+,"p50":[0-9]+,"p90":[0-9]+,"p99":[0-9]+/)) {
+            seg = substr(line, RSTART, RLENGTH)
+            split(seg, parts, /[:,]/)
+            max = parts[2] + 0; p50 = parts[6] + 0; p90 = parts[8] + 0; p99 = parts[10] + 0
+            n++
+            if (p50 > p90 || p90 > p99 || p99 > max) {
+                printf "%s: non-monotone histogram: p50=%d p90=%d p99=%d max=%d\n", file, p50, p90, p99, max
+                bad = 1
+            }
+            line = substr(line, RSTART + RLENGTH)
+        }
+    }
+    END {
+        if (n == 0) { printf "%s: no histograms found\n", file; exit 1 }
+        if (bad) exit 1
+        printf "%s: %d histograms monotone\n", file, n
+    }' "$f"
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
