@@ -10,11 +10,25 @@
 //! matches each reply by shape. Asynchronous events that interleave
 //! with a reply (a multicast arriving between `Join` and `Joined`) are
 //! routed to the event stream without disturbing the call.
+//!
+//! # Failover
+//!
+//! [`CoronaClient::connect_failover`] builds a *supervised* client: a
+//! driver thread owns the connection and, when it drops (server crash,
+//! partition, coordinator failover), reconnects on its own — backing
+//! off exponentially with deterministic jitter, walking the replica
+//! roster the servers advertise via [`ServerEvent::Roster`], resuming
+//! the session id with `Hello { resume }`, re-joining every group
+//! registered through [`CoronaClient::join_supervised`], and repairing
+//! each [`GroupMirror`] with a `StateTransferPolicy::UpdatesSince`
+//! catch-up so the observed update stream stays gap-free and
+//! duplicate-free across the failover.
 
-use crate::mirror::GroupMirror;
-use corona_transport::Connection;
+use crate::mirror::{ApplyOutcome, GroupMirror};
+use corona_metrics::{Counter, Histogram, Registry};
+use corona_transport::{Connection, Dialer};
 use corona_types::error::{CoronaError, ErrorCode, Result};
-use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo, ServerId};
+use corona_types::id::{ClientId, Epoch, GroupId, ObjectId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, ServerEvent, StateTransfer, PROTOCOL_VERSION};
 use corona_types::policy::{
     DeliveryScope, MemberInfo, MemberRole, Persistence, StateTransferPolicy,
@@ -23,8 +37,10 @@ use corona_types::state::{SharedState, StateUpdate};
 use corona_types::wire::{decode_traced, encode_traced, Decode, Encode, TraceToken};
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Result of a lock acquisition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,20 +54,167 @@ pub enum LockResult {
     },
 }
 
+/// A mirror shared between the application and the failover driver
+/// (which resyncs it after reconnecting).
+pub type SharedMirror = Arc<Mutex<GroupMirror>>;
+
+/// The latest replica roster a client has seen (pushed by servers on
+/// join and after every election). Candidate endpoints for failover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RosterView {
+    /// Configuration epoch; the client keeps the highest seen.
+    pub epoch: Epoch,
+    /// The acting coordinator.
+    pub coordinator: ServerId,
+    /// Live servers and their client-dialable addresses.
+    pub servers: Vec<(ServerId, String)>,
+}
+
+/// Reconnect policy for a supervised client
+/// ([`CoronaClient::connect_failover`]).
+#[derive(Debug, Clone)]
+pub struct FailoverConfig {
+    /// First-round backoff; later rounds double it.
+    pub base_backoff: Duration,
+    /// Cap on the exponential component of the backoff.
+    pub max_backoff: Duration,
+    /// Consecutive reconnect rounds (each walks every candidate
+    /// address) before the driver gives up and the client reports
+    /// [`CoronaError::Disconnected`].
+    pub max_rounds: u32,
+    /// Per-address dial (and handshake-step) timeout.
+    pub connect_timeout: Duration,
+    /// Seed for the deterministic backoff jitter, so tests (and
+    /// coordinated fleets) can fix or spread their retry phase.
+    pub jitter_seed: u64,
+    /// Metrics sink for `client.reconnects` / `client.backoff_ms`; a
+    /// private registry is used when absent.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            max_rounds: 10,
+            connect_timeout: Duration::from_secs(2),
+            jitter_seed: 0x5EED,
+            registry: None,
+        }
+    }
+}
+
 struct Pending {
     matcher: fn(&ServerEvent) -> bool,
     tx: Sender<ServerEvent>,
 }
 
+/// State shared between the client handle, its reader/driver thread,
+/// and callers on other threads.
+struct Shared {
+    /// The current connection. The failover driver swaps a fresh one
+    /// in after a successful resume; plain clients never change it.
+    conn: Mutex<Arc<Box<dyn Connection>>>,
+    pending: Mutex<Option<Pending>>,
+    server_id: Mutex<ServerId>,
+    roster: Mutex<Option<RosterView>>,
+    /// Set by `close()`/`Drop`: tells the driver the disconnect is
+    /// intentional, so it must not reconnect.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn conn(&self) -> Arc<Box<dyn Connection>> {
+        self.conn.lock().clone()
+    }
+
+    fn note_roster(&self, epoch: Epoch, coordinator: ServerId, servers: Vec<(ServerId, String)>) {
+        let mut slot = self.roster.lock();
+        if slot.as_ref().is_none_or(|r| epoch >= r.epoch) {
+            *slot = Some(RosterView {
+                epoch,
+                coordinator,
+                servers,
+            });
+        }
+    }
+}
+
+struct SupervisedGroup {
+    group: GroupId,
+    role: MemberRole,
+    notify_membership: bool,
+    mirror: SharedMirror,
+}
+
+/// The failover driver's state: what to redial, what to re-join, and
+/// the in-flight gap repairs.
+struct Supervisor {
+    dialer: Arc<dyn Dialer>,
+    seeds: Vec<String>,
+    display_name: String,
+    config: FailoverConfig,
+    client_id: ClientId,
+    groups: Mutex<Vec<SupervisedGroup>>,
+    /// Groups with a `GetState` catch-up in flight (gap repair); the
+    /// matching `State` reply is consumed by the driver, not the app.
+    repairing: Mutex<HashSet<GroupId>>,
+    reconnects: Arc<Counter>,
+    backoff_ms: Arc<Histogram>,
+}
+
+impl Supervisor {
+    /// Applies a multicast to the supervised mirror of its group (if
+    /// any). A detected gap triggers an asynchronous
+    /// `UpdatesSince(last_seq)` catch-up request on the live
+    /// connection.
+    fn apply_multicast(&self, shared: &Shared, event: &ServerEvent) {
+        let ServerEvent::Multicast { group, .. } = event else {
+            return;
+        };
+        let groups = self.groups.lock();
+        let Some(sg) = groups.iter().find(|sg| sg.group == *group) else {
+            return;
+        };
+        let outcome = sg.mirror.lock().apply_event(event);
+        if let ApplyOutcome::Gap { .. } = outcome {
+            if self.repairing.lock().insert(*group) {
+                let policy = sg.mirror.lock().catch_up_policy();
+                let _ = shared.conn().send(
+                    ClientRequest::GetState {
+                        group: *group,
+                        policy,
+                    }
+                    .encode_to_bytes(),
+                );
+            }
+        }
+    }
+
+    /// Consumes a `State` reply belonging to an in-flight gap repair.
+    /// Returns `false` when the transfer is not ours to handle (no
+    /// repair pending for that group).
+    fn finish_repair(&self, transfer: &StateTransfer) -> bool {
+        if !self.repairing.lock().remove(&transfer.group) {
+            return false;
+        }
+        let groups = self.groups.lock();
+        if let Some(sg) = groups.iter().find(|sg| sg.group == transfer.group) {
+            sg.mirror.lock().resync(transfer);
+        }
+        true
+    }
+}
+
 /// A connected Corona client.
 pub struct CoronaClient {
-    conn: Arc<Box<dyn Connection>>,
+    shared: Arc<Shared>,
     client_id: ClientId,
-    server_id: ServerId,
     events_rx: Receiver<ServerEvent>,
-    pending: Arc<Mutex<Option<Pending>>>,
     call_guard: Mutex<()>,
     call_timeout: Duration,
+    supervisor: Option<Arc<Supervisor>>,
 }
 
 impl CoronaClient {
@@ -59,7 +222,10 @@ impl CoronaClient {
     /// `Hello` and waits for `Welcome`.
     ///
     /// Pass the id from a previous session as `resume` to keep a
-    /// stable identity across reconnects.
+    /// stable identity across reconnects. The connection is fixed: if
+    /// it drops, calls fail with [`CoronaError::Disconnected`] and the
+    /// application reconnects itself (or uses
+    /// [`CoronaClient::connect_failover`] to automate that).
     ///
     /// # Errors
     ///
@@ -70,96 +236,96 @@ impl CoronaClient {
         display_name: impl Into<String>,
         resume: Option<ClientId>,
     ) -> Result<CoronaClient> {
-        let conn: Arc<Box<dyn Connection>> = Arc::new(conn);
-        let hello = ClientRequest::Hello {
-            version: PROTOCOL_VERSION,
-            display_name: display_name.into(),
-            resume,
-        };
-        conn.send(hello.encode_to_bytes())
-            .map_err(transport_to_corona)?;
-        let frame = conn.recv().map_err(transport_to_corona)?;
-        let (server_id, client_id) = match ServerEvent::decode_exact(&frame)? {
-            ServerEvent::Welcome { server, client, .. } => (server, client),
-            ServerEvent::Error { code, detail } => {
-                return Err(CoronaError::protocol(ErrorCode::from_wire(code), detail))
-            }
-            other => {
-                return Err(CoronaError::InvalidState(format!(
-                    "expected Welcome, got {other:?}"
-                )))
-            }
-        };
-
+        let (shared, client_id) = handshake(conn, &display_name.into(), resume)?;
         let (events_tx, events_rx) = channel::unbounded::<ServerEvent>();
-        let pending: Arc<Mutex<Option<Pending>>> = Arc::new(Mutex::new(None));
 
-        // Reader thread: decode and route.
+        // Reader thread: decode and route until the connection closes.
         {
-            let conn = Arc::clone(&conn);
-            let pending = Arc::clone(&pending);
+            let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name(format!("corona-client-{client_id}"))
                 .spawn(move || {
-                    while let Ok(frame) = conn.recv() {
-                        let Ok((event, token)) = decode_traced::<ServerEvent>(&frame) else {
-                            break;
-                        };
-                        if let Some(t) = token {
-                            let now = corona_trace::now_us();
-                            corona_trace::record_at(corona_trace::SpanEvent {
-                                trace: corona_trace::TraceId(t.id),
-                                hop: corona_trace::Hop::ClientDeliver,
-                                ts_us: now,
-                                dur_us: now.saturating_sub(t.origin_us),
-                                arg: 0,
-                            });
-                        }
-                        match event {
-                            // Pure notifications: always the event stream.
-                            ServerEvent::Multicast { .. }
-                            | ServerEvent::MembershipChanged { .. } => {
-                                if events_tx.send(event).is_err() {
-                                    break;
-                                }
-                            }
-                            event => {
-                                let mut slot = pending.lock();
-                                let matched = match slot.as_ref() {
-                                    Some(p) => {
-                                        (p.matcher)(&event)
-                                            || matches!(event, ServerEvent::Error { .. })
-                                    }
-                                    None => false,
-                                };
-                                if matched {
-                                    let p = slot.take().expect("matched implies Some");
-                                    drop(slot);
-                                    let _ = p.tx.send(event);
-                                } else {
-                                    drop(slot);
-                                    if events_tx.send(event).is_err() {
-                                        break;
-                                    }
-                                }
-                            }
-                        }
-                    }
+                    read_stream(&shared, &events_tx, None);
                     // Connection gone: wake any pending caller.
-                    pending.lock().take();
+                    shared.pending.lock().take();
                 })
                 .expect("spawn client reader");
         }
 
         Ok(CoronaClient {
-            conn,
+            shared,
             client_id,
-            server_id,
             events_rx,
-            pending,
             call_guard: Mutex::new(()),
             call_timeout: Duration::from_secs(10),
+            supervisor: None,
         })
+    }
+
+    /// Connects with automatic failover: dials the first reachable of
+    /// `seeds`, then hands the connection to a supervisor thread that
+    /// transparently reconnects (per `config`) whenever it drops,
+    /// resuming the session id and re-joining every group registered
+    /// via [`CoronaClient::join_supervised`].
+    ///
+    /// Candidate endpoints are the latest advertised roster
+    /// (coordinator first) followed by `seeds`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or handshake errors once every seed has been tried.
+    pub fn connect_failover(
+        dialer: Arc<dyn Dialer>,
+        seeds: Vec<String>,
+        display_name: impl Into<String>,
+        config: FailoverConfig,
+    ) -> Result<CoronaClient> {
+        let display_name = display_name.into();
+        let mut last_err = CoronaError::Disconnected;
+        for addr in &seeds {
+            let conn = match dialer.dial_timeout(addr, config.connect_timeout) {
+                Ok(conn) => conn,
+                Err(e) => {
+                    last_err = transport_to_corona(e);
+                    continue;
+                }
+            };
+            match handshake(conn, &display_name, None) {
+                Ok((shared, client_id)) => {
+                    let registry = config.registry.clone().unwrap_or_default();
+                    let supervisor = Arc::new(Supervisor {
+                        dialer,
+                        seeds,
+                        display_name,
+                        config,
+                        client_id,
+                        groups: Mutex::new(Vec::new()),
+                        repairing: Mutex::new(HashSet::new()),
+                        reconnects: registry.counter("client.reconnects"),
+                        backoff_ms: registry.histogram("client.backoff_ms"),
+                    });
+                    let (events_tx, events_rx) = channel::unbounded::<ServerEvent>();
+                    {
+                        let shared = Arc::clone(&shared);
+                        let supervisor = Arc::clone(&supervisor);
+                        std::thread::Builder::new()
+                            .name(format!("corona-failover-{client_id}"))
+                            .spawn(move || supervise(&shared, &supervisor, &events_tx))
+                            .expect("spawn failover driver");
+                    }
+                    return Ok(CoronaClient {
+                        shared,
+                        client_id,
+                        events_rx,
+                        call_guard: Mutex::new(()),
+                        call_timeout: Duration::from_secs(10),
+                        supervisor: Some(supervisor),
+                    });
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// The id the server assigned (or resumed) for this client.
@@ -167,9 +333,14 @@ impl CoronaClient {
         self.client_id
     }
 
-    /// The id of the serving replica.
+    /// The id of the serving replica (updated after a failover).
     pub fn server_id(&self) -> ServerId {
-        self.server_id
+        *self.shared.server_id.lock()
+    }
+
+    /// The latest replica roster advertised by the service, if any.
+    pub fn roster(&self) -> Option<RosterView> {
+        self.shared.roster.lock().clone()
     }
 
     /// Sets the timeout applied to request/reply calls.
@@ -261,7 +432,52 @@ impl CoronaClient {
             StateTransferPolicy::FullState,
             notify_membership,
         )?;
-        Ok((members, GroupMirror::from_transfer(&transfer)))
+        let mut mirror = GroupMirror::from_transfer(&transfer);
+        mirror.set_local_client(self.client_id);
+        Ok((members, mirror))
+    }
+
+    /// Like [`CoronaClient::join_mirrored`], but the mirror is owned by
+    /// the failover driver: the driver applies the multicast stream to
+    /// it, repairs gaps with `UpdatesSince` catch-ups, and resyncs it
+    /// after every reconnect, so the mirrored state stays gap-free and
+    /// duplicate-free across server failures. The application reads the
+    /// mirror through the returned handle and consumes
+    /// [`CoronaClient::next_event`] purely as a change notification —
+    /// it must not apply events to the mirror itself.
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::InvalidState`] on a client not built by
+    /// [`CoronaClient::connect_failover`]; otherwise as
+    /// [`CoronaClient::join`].
+    pub fn join_supervised(
+        &self,
+        group: GroupId,
+        role: MemberRole,
+        notify_membership: bool,
+    ) -> Result<(Vec<MemberInfo>, SharedMirror)> {
+        let Some(sup) = &self.supervisor else {
+            return Err(CoronaError::InvalidState(
+                "join_supervised requires a client built by connect_failover".into(),
+            ));
+        };
+        let (members, transfer) = self.join(
+            group,
+            role,
+            StateTransferPolicy::FullState,
+            notify_membership,
+        )?;
+        let mut mirror = GroupMirror::from_transfer(&transfer);
+        mirror.set_local_client(self.client_id);
+        let mirror: SharedMirror = Arc::new(Mutex::new(mirror));
+        sup.groups.lock().push(SupervisedGroup {
+            group,
+            role,
+            notify_membership,
+            mirror: Arc::clone(&mirror),
+        });
+        Ok((members, mirror))
     }
 
     /// Leaves a group.
@@ -273,7 +489,12 @@ impl CoronaClient {
         self.call(ClientRequest::Leave { group }, |e| {
             matches!(e, ServerEvent::Left { .. })
         })
-        .map(|_| ())
+        .map(|_| ())?;
+        if let Some(sup) = &self.supervisor {
+            sup.groups.lock().retain(|sg| sg.group != group);
+            sup.repairing.lock().remove(&group);
+        }
+        Ok(())
     }
 
     /// Broadcasts a full object state (`bcastState`): the payload
@@ -427,7 +648,9 @@ impl CoronaClient {
     ///
     /// # Errors
     ///
-    /// [`CoronaError::Disconnected`] when the connection closes.
+    /// [`CoronaError::Disconnected`] when the connection closes (for a
+    /// supervised client: once the driver has exhausted its reconnect
+    /// budget).
     pub fn next_event(&self) -> Result<ServerEvent> {
         self.events_rx.recv().map_err(|_| CoronaError::Disconnected)
     }
@@ -453,15 +676,18 @@ impl CoronaClient {
     }
 
     /// Closes the session: best-effort `Goodbye`, then transport close.
+    /// A supervised client's driver stops instead of reconnecting.
     pub fn close(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
         let _ = self.send_raw(ClientRequest::Goodbye);
-        self.conn.close();
+        self.shared.conn().close();
     }
 
     // ----- internals --------------------------------------------------------
 
     fn send_raw(&self, request: ClientRequest) -> Result<()> {
-        self.conn
+        self.shared
+            .conn()
             .send(request.encode_to_bytes())
             .map_err(transport_to_corona)
     }
@@ -487,7 +713,8 @@ impl CoronaClient {
         } else {
             None
         };
-        self.conn
+        self.shared
+            .conn()
             .send(encode_traced(&request, token))
             .map_err(transport_to_corona)
     }
@@ -499,9 +726,9 @@ impl CoronaClient {
     ) -> Result<ServerEvent> {
         let _guard = self.call_guard.lock();
         let (tx, rx) = channel::bounded(1);
-        *self.pending.lock() = Some(Pending { matcher, tx });
+        *self.shared.pending.lock() = Some(Pending { matcher, tx });
         if let Err(e) = self.send_raw(request) {
-            self.pending.lock().take();
+            self.shared.pending.lock().take();
             return Err(e);
         }
         match rx.recv_timeout(self.call_timeout) {
@@ -510,7 +737,7 @@ impl CoronaClient {
             }
             Ok(event) => Ok(event),
             Err(channel::RecvTimeoutError::Timeout) => {
-                self.pending.lock().take();
+                self.shared.pending.lock().take();
                 Err(CoronaError::Timeout {
                     operation: "server reply",
                 })
@@ -522,7 +749,8 @@ impl CoronaClient {
 
 impl Drop for CoronaClient {
     fn drop(&mut self) {
-        self.conn.close();
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.conn().close();
     }
 }
 
@@ -530,8 +758,329 @@ impl std::fmt::Debug for CoronaClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CoronaClient")
             .field("client_id", &self.client_id)
-            .field("server_id", &self.server_id)
+            .field("server_id", &self.server_id())
+            .field("supervised", &self.supervisor.is_some())
             .finish_non_exhaustive()
+    }
+}
+
+// ----- connection driver ----------------------------------------------------
+
+/// Performs the Hello/Welcome handshake on a fresh connection and
+/// wraps it in the client's shared state.
+fn handshake(
+    conn: Box<dyn Connection>,
+    display_name: &str,
+    resume: Option<ClientId>,
+) -> Result<(Arc<Shared>, ClientId)> {
+    let hello = ClientRequest::Hello {
+        version: PROTOCOL_VERSION,
+        display_name: display_name.to_string(),
+        resume,
+    };
+    conn.send(hello.encode_to_bytes())
+        .map_err(transport_to_corona)?;
+    let frame = conn.recv().map_err(transport_to_corona)?;
+    let (server_id, client_id) = match ServerEvent::decode_exact(&frame)? {
+        ServerEvent::Welcome { server, client, .. } => (server, client),
+        ServerEvent::Error { code, detail } => {
+            return Err(CoronaError::protocol(ErrorCode::from_wire(code), detail))
+        }
+        other => {
+            return Err(CoronaError::InvalidState(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+    Ok((
+        Arc::new(Shared {
+            conn: Mutex::new(Arc::new(conn)),
+            pending: Mutex::new(None),
+            server_id: Mutex::new(server_id),
+            roster: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+        }),
+        client_id,
+    ))
+}
+
+/// Reads and routes events from the *current* connection until it
+/// closes (or the event stream's receiver is dropped).
+fn read_stream(shared: &Shared, events_tx: &Sender<ServerEvent>, supervisor: Option<&Supervisor>) {
+    let conn = shared.conn();
+    while let Ok(frame) = conn.recv() {
+        let Ok((event, token)) = decode_traced::<ServerEvent>(&frame) else {
+            break;
+        };
+        if let Some(t) = token {
+            let now = corona_trace::now_us();
+            corona_trace::record_at(corona_trace::SpanEvent {
+                trace: corona_trace::TraceId(t.id),
+                hop: corona_trace::Hop::ClientDeliver,
+                ts_us: now,
+                dur_us: now.saturating_sub(t.origin_us),
+                arg: 0,
+            });
+        }
+        if !route_event(shared, events_tx, supervisor, event) {
+            // Receiver dropped: the client handle is gone.
+            shared.shutdown.store(true, Ordering::Release);
+            break;
+        }
+    }
+}
+
+/// Routes one decoded event: rosters are absorbed, multicasts feed the
+/// supervised mirrors and the event stream, replies wake the pending
+/// caller, repair transfers are consumed by the driver, everything
+/// else goes to the event stream. Returns `false` when the event
+/// stream's receiver is gone.
+fn route_event(
+    shared: &Shared,
+    events_tx: &Sender<ServerEvent>,
+    supervisor: Option<&Supervisor>,
+    event: ServerEvent,
+) -> bool {
+    match event {
+        ServerEvent::Roster {
+            epoch,
+            coordinator,
+            servers,
+        } => {
+            shared.note_roster(epoch, coordinator, servers);
+            true
+        }
+        // Pure notifications: always the event stream (after feeding
+        // any supervised mirror).
+        ServerEvent::Multicast { .. } | ServerEvent::MembershipChanged { .. } => {
+            if let Some(sup) = supervisor {
+                sup.apply_multicast(shared, &event);
+            }
+            events_tx.send(event).is_ok()
+        }
+        event => {
+            let mut slot = shared.pending.lock();
+            let matched = match slot.as_ref() {
+                Some(p) => (p.matcher)(&event) || matches!(event, ServerEvent::Error { .. }),
+                None => false,
+            };
+            if matched {
+                let p = slot.take().expect("matched implies Some");
+                drop(slot);
+                let _ = p.tx.send(event);
+                true
+            } else {
+                drop(slot);
+                if let (Some(sup), ServerEvent::State { transfer }) = (supervisor, &event) {
+                    if sup.finish_repair(transfer) {
+                        return true;
+                    }
+                }
+                events_tx.send(event).is_ok()
+            }
+        }
+    }
+}
+
+/// The supervised client's driver loop: read until the connection
+/// drops, then reconnect-and-resume; repeat until closed or out of
+/// budget.
+fn supervise(shared: &Arc<Shared>, sup: &Arc<Supervisor>, events_tx: &Sender<ServerEvent>) {
+    loop {
+        read_stream(shared, events_tx, Some(sup));
+        // The connection is gone: fail the pending call fast (the
+        // caller sees Disconnected and can retry after the resume).
+        shared.pending.lock().take();
+        sup.repairing.lock().clear();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if reconnect(shared, sup).is_err() {
+            // Budget exhausted (or closed mid-backoff): dropping
+            // events_tx ends the event stream with Disconnected.
+            return;
+        }
+        sup.reconnects.inc();
+    }
+}
+
+/// SplitMix64: a tiny, well-mixed PRNG step for deterministic jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Backoff before reconnect round `round`: capped exponential plus
+/// deterministic jitter in `[0, base)` so a fleet of clients with
+/// distinct seeds does not stampede the surviving replicas in phase.
+fn backoff_delay(config: &FailoverConfig, round: u32) -> Duration {
+    let base_ms = config.base_backoff.as_millis() as u64;
+    let exp_ms = base_ms
+        .saturating_mul(1u64 << round.min(20))
+        .min(config.max_backoff.as_millis() as u64);
+    let jitter_ms = match base_ms {
+        0 => 0,
+        b => splitmix64(config.jitter_seed ^ u64::from(round)) % b,
+    };
+    Duration::from_millis(exp_ms + jitter_ms)
+}
+
+/// Candidate endpoints for a reconnect attempt: the advertised roster
+/// (coordinator first), then the seed addresses, deduplicated.
+fn candidate_addrs(shared: &Shared, sup: &Supervisor) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    if let Some(roster) = shared.roster.lock().clone() {
+        for (server, addr) in roster
+            .servers
+            .iter()
+            .filter(|(s, _)| *s == roster.coordinator)
+            .chain(
+                roster
+                    .servers
+                    .iter()
+                    .filter(|(s, _)| *s != roster.coordinator),
+            )
+        {
+            let _ = server;
+            if !out.contains(addr) {
+                out.push(addr.clone());
+            }
+        }
+    }
+    for addr in &sup.seeds {
+        if !out.contains(addr) {
+            out.push(addr.clone());
+        }
+    }
+    out
+}
+
+/// Reconnects with backoff: each round sleeps, then walks every
+/// candidate address; the first endpoint that completes a full resume
+/// (Hello + re-joins + mirror catch-up) becomes the new connection.
+fn reconnect(shared: &Arc<Shared>, sup: &Supervisor) -> Result<()> {
+    for round in 0..sup.config.max_rounds {
+        let delay = backoff_delay(&sup.config, round);
+        sup.backoff_ms.record(delay.as_millis() as u64);
+        std::thread::sleep(delay);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(CoronaError::Disconnected);
+        }
+        for addr in candidate_addrs(shared, sup) {
+            let Ok(conn) = sup.dialer.dial_timeout(&addr, sup.config.connect_timeout) else {
+                continue;
+            };
+            if resume_session(shared, sup, conn).is_ok() {
+                return Ok(());
+            }
+        }
+    }
+    Err(CoronaError::Disconnected)
+}
+
+/// Runs the resume protocol on a candidate connection: `Hello` with
+/// the original session id, then one re-`Join` per supervised group
+/// with that mirror's `UpdatesSince` catch-up policy, resyncing the
+/// mirror from each transfer. Only a fully resumed connection is
+/// installed as current.
+fn resume_session(shared: &Arc<Shared>, sup: &Supervisor, conn: Box<dyn Connection>) -> Result<()> {
+    conn.send(
+        ClientRequest::Hello {
+            version: PROTOCOL_VERSION,
+            display_name: sup.display_name.clone(),
+            resume: Some(sup.client_id),
+        }
+        .encode_to_bytes(),
+    )
+    .map_err(transport_to_corona)?;
+    let welcome = wait_reply(shared, conn.as_ref(), sup.config.connect_timeout, |e| {
+        matches!(e, ServerEvent::Welcome { .. })
+    })?;
+    let ServerEvent::Welcome { server, .. } = welcome else {
+        unreachable!("matcher guarantees Welcome");
+    };
+
+    // Re-join every supervised group; each Joined carries a transfer
+    // under the mirror's catch-up policy which resyncs it (gap repair
+    // across the failover). Group params are snapshotted so the mirror
+    // locks are never held across a blocking receive.
+    let plans: Vec<(GroupId, MemberRole, bool, SharedMirror, StateTransferPolicy)> = sup
+        .groups
+        .lock()
+        .iter()
+        .map(|sg| {
+            (
+                sg.group,
+                sg.role,
+                sg.notify_membership,
+                Arc::clone(&sg.mirror),
+                sg.mirror.lock().catch_up_policy(),
+            )
+        })
+        .collect();
+    for (group, role, notify_membership, mirror, policy) in plans {
+        conn.send(
+            ClientRequest::Join {
+                group,
+                role,
+                policy,
+                notify_membership,
+            }
+            .encode_to_bytes(),
+        )
+        .map_err(transport_to_corona)?;
+        let joined = wait_reply(shared, conn.as_ref(), sup.config.connect_timeout, |e| {
+            matches!(e, ServerEvent::Joined { .. })
+        })?;
+        let ServerEvent::Joined { transfer, .. } = joined else {
+            unreachable!("matcher guarantees Joined");
+        };
+        mirror.lock().resync(&transfer);
+    }
+
+    *shared.server_id.lock() = server;
+    *shared.conn.lock() = Arc::new(conn);
+    Ok(())
+}
+
+/// Waits (bounded) for a handshake reply on a not-yet-installed
+/// connection, absorbing rosters that interleave. Errors fail the
+/// resume attempt.
+fn wait_reply(
+    shared: &Shared,
+    conn: &dyn Connection,
+    timeout: Duration,
+    matcher: fn(&ServerEvent) -> bool,
+) -> Result<ServerEvent> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let remaining =
+            deadline
+                .checked_duration_since(Instant::now())
+                .ok_or(CoronaError::Timeout {
+                    operation: "failover resume",
+                })?;
+        let frame = conn.recv_timeout(remaining).map_err(transport_to_corona)?;
+        let (event, _) = decode_traced::<ServerEvent>(&frame)?;
+        if matcher(&event) {
+            return Ok(event);
+        }
+        match event {
+            ServerEvent::Error { code, detail } => {
+                return Err(CoronaError::protocol(ErrorCode::from_wire(code), detail))
+            }
+            ServerEvent::Roster {
+                epoch,
+                coordinator,
+                servers,
+            } => shared.note_roster(epoch, coordinator, servers),
+            // Anything else that interleaves with the handshake
+            // (stale deliveries from the previous incarnation) is
+            // dropped: the mirror catch-up covers the data.
+            _ => {}
+        }
     }
 }
 
@@ -547,5 +1096,41 @@ fn transport_to_corona(e: corona_transport::TransportError) -> CoronaError {
             "transmit queue full",
         )),
         TransportError::Io(msg) => CoronaError::Io(std::io::Error::other(msg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_is_capped_and_jitter_is_deterministic() {
+        let config = FailoverConfig {
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter_seed: 42,
+            ..FailoverConfig::default()
+        };
+        let delays: Vec<Duration> = (0..12).map(|r| backoff_delay(&config, r)).collect();
+        // Exponential component: strictly non-decreasing until the cap.
+        for w in delays.windows(2) {
+            assert!(
+                w[1] + config.base_backoff >= w[0],
+                "backoff collapsed: {delays:?}"
+            );
+        }
+        // Capped: exponential part never exceeds max, jitter < base.
+        for d in &delays {
+            assert!(*d < config.max_backoff + config.base_backoff, "{delays:?}");
+        }
+        // Deterministic: same seed, same schedule.
+        let again: Vec<Duration> = (0..12).map(|r| backoff_delay(&config, r)).collect();
+        assert_eq!(delays, again);
+        // A different seed shifts the phase of at least one round.
+        let other = FailoverConfig {
+            jitter_seed: 43,
+            ..config
+        };
+        assert!((0..12).any(|r| backoff_delay(&other, r) != delays[r as usize]));
     }
 }

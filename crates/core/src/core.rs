@@ -676,6 +676,22 @@ impl ServerCore {
         let info = MemberInfo::new(client, role, display_name);
         let joined = match self.registry.join(group, info.clone(), notify_membership) {
             Ok(g) => g,
+            Err(RegistryError::Membership(MembershipError::AlreadyMember)) => {
+                // A resumed session re-joining after failover: not a
+                // protocol violation. Membership is unchanged (so no
+                // notifications), but the client needs the membership
+                // view and a transfer under its catch-up policy.
+                let members = self
+                    .registry
+                    .get(group)
+                    .map(|g| g.member_infos())
+                    .unwrap_or_default();
+                let transfer = self.make_transfer(group, &policy);
+                return vec![Effect::send(
+                    client,
+                    ServerEvent::Joined { members, transfer },
+                )];
+            }
             Err(e) => return vec![registry_error(client, group, e)],
         };
         let members = joined.member_infos();

@@ -66,7 +66,7 @@ pub mod mirror;
 pub mod qos;
 pub mod server;
 
-pub use client::{CoronaClient, LockResult};
+pub use client::{CoronaClient, FailoverConfig, LockResult, RosterView, SharedMirror};
 pub use config::{ServerConfig, Statefulness};
 pub use core::{CoreCounters, Effect, LogEffect, ServerCore};
 pub use mirror::{ApplyOutcome, GroupMirror};

@@ -24,9 +24,9 @@ pub enum EventClass {
     /// Request replies, lock grants, errors. Never shed: a client is
     /// blocked waiting on these.
     Control,
-    /// Awareness notifications (membership changes). Sheddable: they
-    /// are advisory, and a client that cares can always issue
-    /// `getMembership` (§3.2).
+    /// Awareness notifications (membership changes, replica rosters).
+    /// Sheddable: they are advisory, and a client that cares can
+    /// always issue `getMembership` (§3.2) or wait for the next push.
     Awareness,
 }
 
@@ -34,7 +34,7 @@ pub enum EventClass {
 pub fn classify(event: &ServerEvent) -> EventClass {
     match event {
         ServerEvent::Multicast { .. } | ServerEvent::LogReduced { .. } => EventClass::Data,
-        ServerEvent::MembershipChanged { .. } => EventClass::Awareness,
+        ServerEvent::MembershipChanged { .. } | ServerEvent::Roster { .. } => EventClass::Awareness,
         _ => EventClass::Control,
     }
 }

@@ -259,7 +259,10 @@ fn fanout_worker_loop(
                 if item.class == EventClass::Awareness {
                     metrics.note_shed(item.group);
                 } else {
-                    item.conn.close();
+                    // The dispatcher closes the connection when it
+                    // processes the command; closing here first would
+                    // let the conn's reader thread race its `Closed`
+                    // in ahead and reap this as a clean disconnect.
                     let _ = cmd_tx.send(Command::SendFailed {
                         conn_id: item.conn_id,
                     });

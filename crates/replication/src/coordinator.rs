@@ -198,8 +198,13 @@ impl CoordinatorCore {
                 ..
             } => {
                 // Register the replica-assigned id; the replica already
-                // welcomed the client, so the Welcome stays local.
+                // welcomed the client, so the Welcome stays local. A
+                // resumed session keeps its ORIGINAL id (`resume`), not
+                // the forwarding connection's id — home it under the
+                // resolved id too, or every post-resume delivery (and
+                // crash cleanup) would look up the wrong key and drop.
                 let id = resume.unwrap_or(client);
+                self.client_home.insert(id, origin);
                 let (_, _) = self.core.client_hello(display_name, Some(id));
                 (Vec::new(), Vec::new())
             }
@@ -260,18 +265,20 @@ impl CoordinatorCore {
                 }
                 effects
             }
-            Err((code, detail)) => vec![CoordEffect::ToServer {
-                to: origin,
-                msg: PeerMessage::RequestOutcome {
-                    origin,
-                    local_tag,
-                    client: sender,
-                    events: vec![ServerEvent::Error {
-                        code: code.to_wire(),
-                        detail,
-                    }],
-                },
-            }],
+            Err((code, detail)) => {
+                vec![CoordEffect::ToServer {
+                    to: origin,
+                    msg: PeerMessage::RequestOutcome {
+                        origin,
+                        local_tag,
+                        client: sender,
+                        events: vec![ServerEvent::Error {
+                            code: code.to_wire(),
+                            detail,
+                        }],
+                    },
+                }]
+            }
         }
     }
 

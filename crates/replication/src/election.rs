@@ -273,19 +273,26 @@ impl ElectionCore {
                 )],
                 _ => {
                     // Same epoch adopted without voting (e.g. via a
-                    // ServerList): we may vote now, unless we ARE the
-                    // established coordinator.
-                    if matches!(self.role, Role::Coordinator) {
-                        vec![ElectionEffect::SendTo(
+                    // ServerList or a higher-epoch heartbeat). If this
+                    // epoch already resolved to a coordinator we know
+                    // of, the claimant is stale — typically a healed
+                    // partition's minority replaying an old claim —
+                    // and voting for it would hand the settled epoch a
+                    // second coordinator. Nack, naming the incumbent;
+                    // vote only when we know of no coordinator at all.
+                    // (Liveness is unaffected: a genuine election for
+                    // a dead incumbent claims `epoch + 1`, which takes
+                    // the newer-epoch path below.)
+                    match self.coordinator() {
+                        Some(current) => vec![ElectionEffect::SendTo(
                             candidate,
                             PeerMessage::ElectionNack {
                                 voter: self.me,
                                 epoch,
-                                current_coordinator: self.me,
+                                current_coordinator: current,
                             },
-                        )]
-                    } else {
-                        self.vote_for(candidate, epoch, now_ms)
+                        )],
+                        None => self.vote_for(candidate, epoch, now_ms),
                     }
                 }
             };
@@ -671,6 +678,39 @@ mod tests {
         let mut c1 = ElectionCore::new(sid(1), servers, 100, 0);
         c1.remove_server(sid(4));
         assert_eq!(c1.servers().len(), 3);
+    }
+
+    #[test]
+    fn settled_epoch_rejects_stale_same_epoch_claim() {
+        // Regression: a follower that adopted the epoch via ServerList
+        // (so it never voted in it) used to vote for a same-epoch
+        // claimant — e.g. a healed minority replaying its old claim
+        // after the election had already resolved — handing a settled
+        // epoch a second potential coordinator.
+        let servers = cluster(3);
+        let mut c3 = ElectionCore::new(sid(3), servers, 100, 0);
+        let effects = c3.on_server_list(Epoch(5), sid(2), cluster(3), 1_000);
+        assert_eq!(effects, vec![ElectionEffect::FollowCoordinator(sid(2))]);
+        // Stale same-epoch claim, long after the last heartbeat (the
+        // guard must not depend on heartbeat freshness).
+        let effects = c3.on_claim(sid(1), Epoch(5), 50_000);
+        match &effects[..] {
+            [ElectionEffect::SendTo(
+                to,
+                PeerMessage::ElectionNack {
+                    epoch,
+                    current_coordinator,
+                    ..
+                },
+            )] => {
+                assert_eq!(*to, sid(1));
+                assert_eq!(*epoch, Epoch(5));
+                assert_eq!(*current_coordinator, sid(2));
+            }
+            other => panic!("expected a nack naming s2, got {other:?}"),
+        }
+        assert_eq!(c3.coordinator(), Some(sid(2)), "allegiance unchanged");
+        assert_eq!(c3.epoch(), Epoch(5));
     }
 
     #[test]

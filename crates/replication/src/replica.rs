@@ -258,23 +258,45 @@ impl ReplicaCore {
                 updates,
                 ..
             } => {
+                let mut effects = Vec::new();
                 if let Some(local) = self.groups.get_mut(&group) {
                     let mut log = GroupLog::restore(group, state, through, Vec::new());
                     for u in updates {
                         let _ = log.append_sequenced(u);
                     }
+                    let prev_tail = local.log.as_ref().map(|l| l.last_seq());
                     // Only adopt if fresher than what we have.
-                    let fresher = local
-                        .log
-                        .as_ref()
-                        .map(|l| log.last_seq() > l.last_seq())
-                        .unwrap_or(true);
+                    let fresher = prev_tail.map(|t| log.last_seq() > t).unwrap_or(true);
                     if fresher {
+                        if let Some(prev) = prev_tail {
+                            // This refresh closes a `Sequenced` gap
+                            // (e.g. a new coordinator fanned out a few
+                            // updates before learning we host the
+                            // group). Local fan-out was suppressed
+                            // while the copy was stale, so deliver the
+                            // whole missed window, in order, now. The
+                            // log does not record per-update delivery
+                            // scope, so a local sender may see its own
+                            // sender-exclusive update again; mirrors
+                            // deduplicate by sequence number.
+                            let recipients: Vec<ClientId> = local.members.keys().copied().collect();
+                            if !recipients.is_empty() {
+                                for logged in log.suffix_iter().filter(|u| u.seq > prev) {
+                                    effects.push(ReplicaEffect::ToClients {
+                                        recipients: recipients.clone(),
+                                        event: ServerEvent::Multicast {
+                                            group,
+                                            logged: logged.clone(),
+                                        },
+                                    });
+                                }
+                            }
+                        }
                         local.log = Some(log);
                     }
                     local.persistence = persistence;
                 }
-                Vec::new()
+                effects
             }
             PeerMessage::GroupStateQuery { from: _, group } => {
                 // Hot-standby duty: answer from the local copy.
@@ -458,20 +480,26 @@ impl ReplicaCore {
                 None => {}
             }
             // Local fan-out: one batched effect so the runtime encodes
-            // the frame once for all local recipients.
-            let recipients: Vec<ClientId> = local
-                .members
-                .keys()
-                .filter(|member| {
-                    !(scope == DeliveryScope::SenderExclusive && **member == logged.sender)
-                })
-                .copied()
-                .collect();
-            if !recipients.is_empty() {
-                effects.push(ReplicaEffect::ToClients {
-                    recipients,
-                    event: ServerEvent::Multicast { group, logged },
-                });
+            // the frame once for all local recipients. Suppressed while
+            // the copy is gapped: delivering post-gap updates live
+            // would hand members an out-of-order stream. The
+            // `GroupStateReply` repair below delivers the whole missed
+            // window (this update included) in sequence order instead.
+            if !needs_refresh {
+                let recipients: Vec<ClientId> = local
+                    .members
+                    .keys()
+                    .filter(|member| {
+                        !(scope == DeliveryScope::SenderExclusive && **member == logged.sender)
+                    })
+                    .copied()
+                    .collect();
+                if !recipients.is_empty() {
+                    effects.push(ReplicaEffect::ToClients {
+                        recipients,
+                        event: ServerEvent::Multicast { group, logged },
+                    });
+                }
             }
         }
         if needs_refresh {

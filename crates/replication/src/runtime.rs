@@ -33,6 +33,11 @@ use std::time::{Duration, Instant};
 pub struct ReplicatedConfig {
     /// This server's id (must appear in `servers`).
     pub servers: Vec<(ServerId, String)>,
+    /// The *client-dialable* address of every server, advertised to
+    /// clients via [`ServerEvent::Roster`] on join and after every
+    /// election (the peer addresses in `servers` are not reachable by
+    /// clients). Leave empty to disable roster advertisement.
+    pub client_addrs: Vec<(ServerId, String)>,
     /// Coordinator heartbeat period in milliseconds.
     pub heartbeat_ms: u64,
     /// Base failure-detection timeout `t`; the server at rank `r` in
@@ -49,10 +54,18 @@ impl ReplicatedConfig {
     pub fn new(me: ServerId, servers: Vec<(ServerId, String)>) -> Self {
         ReplicatedConfig {
             servers,
+            client_addrs: Vec::new(),
             heartbeat_ms: 50,
             base_timeout_ms: 250,
             server_config: ServerConfig::stateful(me),
         }
+    }
+
+    /// Sets the client-dialable address book advertised to clients.
+    #[must_use]
+    pub fn with_client_addrs(mut self, client_addrs: Vec<(ServerId, String)>) -> Self {
+        self.client_addrs = client_addrs;
+        self
     }
 }
 
@@ -518,6 +531,7 @@ impl Dispatcher {
         }
         let now = Timestamp::now();
         let known_client = self.client_conns.get(&conn_id).and_then(|(_, c)| *c);
+        let mut greeted = false;
         let effects: Vec<ReplicaEffect> = match known_client {
             None => match request {
                 ClientRequest::Hello {
@@ -530,6 +544,7 @@ impl Dispatcher {
                         entry.1 = Some(client);
                     }
                     self.client_conn_of.insert(client, conn_id);
+                    greeted = true;
                     effects
                 }
                 _ => {
@@ -553,6 +568,11 @@ impl Dispatcher {
             }
         };
         self.drain(effects.into_iter().map(Work::Replica).collect());
+        if greeted {
+            // After the Welcome (which must be the session's first
+            // frame) tell the new client where every replica lives.
+            self.push_roster_to(conn_id);
+        }
     }
 
     fn peer_frame(&mut self, conn_id: u64, frame: bytes::Bytes) {
@@ -778,6 +798,7 @@ impl Dispatcher {
                 while let Some(msg) = self.coord_backlog.pop_front() {
                     queue.push_back(Work::Local(msg));
                 }
+                self.push_roster_all();
             }
             ElectionEffect::FollowCoordinator(coordinator) => {
                 self.note_failover_resolved();
@@ -791,6 +812,7 @@ impl Dispatcher {
                 while let Some(msg) = self.coord_backlog.pop_front() {
                     self.send_peer(coordinator, msg, queue);
                 }
+                self.push_roster_all();
             }
         }
     }
@@ -845,6 +867,47 @@ impl Dispatcher {
         if let Some(conn_id) = self.client_conn_of.get(&to) {
             if let Some((conn, _)) = self.client_conns.get(conn_id) {
                 let _ = conn.send(event.encode_to_bytes());
+            }
+        }
+    }
+
+    /// The roster advertisement for the current election state, or
+    /// `None` when no client address book is configured or no
+    /// coordinator is known yet.
+    fn roster_event(&self) -> Option<ServerEvent> {
+        if self.config.client_addrs.is_empty() {
+            return None;
+        }
+        Some(ServerEvent::Roster {
+            epoch: self.election.epoch(),
+            coordinator: self.election.coordinator()?,
+            servers: self.config.client_addrs.clone(),
+        })
+    }
+
+    /// Pushes the current roster to one authenticated client
+    /// connection (used right after the `Welcome`, which must stay the
+    /// first frame of the session).
+    fn push_roster_to(&mut self, conn_id: u64) {
+        let Some(event) = self.roster_event() else {
+            return;
+        };
+        if let Some((conn, Some(_))) = self.client_conns.get(&conn_id) {
+            let _ = conn.send(event.encode_to_bytes());
+        }
+    }
+
+    /// Broadcasts the roster to every authenticated local client —
+    /// called when an election resolves so clients learn the new
+    /// coordinator before their next reconnect.
+    fn push_roster_all(&mut self) {
+        let Some(event) = self.roster_event() else {
+            return;
+        };
+        let frame = event.encode_to_bytes();
+        for (conn, client) in self.client_conns.values() {
+            if client.is_some() {
+                let _ = conn.send(frame.clone());
             }
         }
     }

@@ -333,6 +333,51 @@ fn coordinator_cleans_up_after_server_crash() {
     );
 }
 
+#[test]
+fn coordinator_homes_resumed_clients_under_their_resolved_id() {
+    let mut coord = coordinator();
+    let (s2, s3) = (ServerId::new(2), ServerId::new(3));
+    let (watcher, joiner) = (ClientId::new(21), ClientId::new(31));
+    create_via(&mut coord, s2, watcher);
+    join_via(&mut coord, s2, watcher, 1);
+
+    // s2 dies and the watcher fails over to s3. The new home forwards
+    // the resume Hello under a fresh connection-local id; the session
+    // id being resumed is the original one.
+    let conn_id = ClientId::new(3_000_001);
+    coord.handle_peer(
+        PeerMessage::ForwardRequest {
+            origin: s3,
+            client: conn_id,
+            local_tag: 7,
+            request: ClientRequest::Hello {
+                version: 1,
+                display_name: "c21".into(),
+                resume: Some(watcher),
+            },
+        },
+        now(),
+    );
+
+    // A join elsewhere must notify the watcher at its NEW home, under
+    // its ORIGINAL id — not be dropped, and not be sent to the dead
+    // server the stale home entry names.
+    let effects = join_via(&mut coord, s2, joiner, 10);
+    assert!(
+        effects.iter().any(|e| matches!(
+            e,
+            CoordEffect::ToServer {
+                to,
+                msg: PeerMessage::Deliver {
+                    client,
+                    event: ServerEvent::MembershipChanged { .. }
+                }
+            } if *to == s3 && *client == watcher
+        )),
+        "resumed watcher must be reachable at its new home: {effects:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Replica core
 // ---------------------------------------------------------------------------

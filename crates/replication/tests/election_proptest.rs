@@ -138,6 +138,75 @@ proptest! {
         }
     }
 
+    /// STALE-CLAIM SAFETY: a candidate that was cut off during an
+    /// election cannot capture the settled epoch after it heals, even
+    /// when every other follower learned the outcome via `ServerList`
+    /// only (e.g. restarted servers that never voted in the epoch).
+    /// Pins the `on_claim` guard: a same-epoch claim from a
+    /// non-incumbent is nacked with the known coordinator, never voted
+    /// for.
+    #[test]
+    fn stale_claimant_cannot_capture_settled_epoch(
+        total in 6u64..9,
+        schedule in proptest::collection::vec((any::<u8>(), any::<bool>()), 0..100),
+    ) {
+        let all: Vec<ServerId> = (1..=total).map(ServerId::new).collect();
+        // s1 (initial coordinator) crashes; s2 is partitioned away and
+        // misses the election entirely.
+        let mut net = Net::new(total, &HashSet::from([1, 2]), 100);
+        for step in 1..=(total + 1) {
+            let now = 100 * step;
+            net.tick_all(now);
+            net.deliver_with_schedule(&[], now);
+        }
+        let winners: HashSet<ServerId> =
+            net.winners_by_epoch.values().flatten().copied().collect();
+        prop_assert_eq!(winners.len(), 1, "main election must settle: {:?}", net.winners_by_epoch);
+        let winner = *winners.iter().next().expect("one winner");
+        let settled_epoch = net.cores[&winner].epoch();
+
+        // Every non-winner follower "restarts": fresh core, outcome
+        // learned from the coordinator's ServerList — so none of them
+        // holds a vote in the settled epoch.
+        let now = 100 * (total + 2);
+        let live: Vec<ServerId> = net.cores.keys().copied().collect();
+        for id in live {
+            if id == winner {
+                continue;
+            }
+            let mut fresh = ElectionCore::new(id, all.clone(), 100, 0);
+            let _ = fresh.on_server_list(settled_epoch, winner, all.clone(), now);
+            net.cores.insert(id, fresh);
+        }
+
+        // s2 heals and replays its (stale, same-epoch) claim.
+        let mut s2 = ElectionCore::new(ServerId::new(2), all.clone(), 100, 0);
+        let claim = s2.on_tick(now);
+        prop_assert!(
+            claim.iter().any(|e| matches!(
+                e,
+                ElectionEffect::SendTo(_, PeerMessage::ElectionClaim { epoch, .. })
+                    if *epoch == settled_epoch
+            )),
+            "healed candidate must claim the settled epoch for this scenario"
+        );
+        net.cores.insert(ServerId::new(2), s2);
+        net.absorb(ServerId::new(2), claim);
+        net.deliver_with_schedule(&schedule, now);
+
+        for (epoch, epoch_winners) in &net.winners_by_epoch {
+            prop_assert!(
+                epoch_winners.len() <= 1,
+                "epoch {epoch} has multiple coordinators: {epoch_winners:?}"
+            );
+        }
+        prop_assert_eq!(
+            net.winners_by_epoch.get(&settled_epoch).cloned().unwrap_or_default(),
+            HashSet::from([winner]),
+            "the settled epoch must keep its original coordinator"
+        );
+    }
+
     /// LIVENESS: with reliable delivery and a live majority, the
     /// coordinator's crash leads to a new coordinator every live
     /// server agrees on.

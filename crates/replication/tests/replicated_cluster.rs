@@ -30,6 +30,9 @@ impl Cluster {
         let peers: Vec<(ServerId, String)> = (1..=n)
             .map(|i| (ServerId::new(i), format!("s{i}-peer")))
             .collect();
+        let client_addrs: Vec<(ServerId, String)> = (1..=n)
+            .map(|i| (ServerId::new(i), format!("s{i}-client")))
+            .collect();
         let mut servers = Vec::new();
         for i in 1..=n {
             let client_listener = net.listen(&format!("s{i}-client")).unwrap();
@@ -37,6 +40,7 @@ impl Cluster {
             let dialer = Arc::new(net.dialer(&format!("s{i}-node")));
             let config = ReplicatedConfig {
                 servers: peers.clone(),
+                client_addrs: client_addrs.clone(),
                 heartbeat_ms: 30,
                 base_timeout_ms: 150,
                 server_config: ServerConfig::stateful(ServerId::new(i)),
@@ -378,8 +382,9 @@ fn member_server_crash_cleans_up_its_clients() {
     cluster.crash(2);
 
     // The watcher eventually observes the membership shrink and hears
-    // the awareness notification.
-    let deadline = Instant::now() + Duration::from_secs(10);
+    // the awareness notification. Generous deadline: under a loaded
+    // single-core CI box the crash-detection read can starve a while.
+    let deadline = Instant::now() + Duration::from_secs(30);
     loop {
         if watcher.membership(G).unwrap().len() == 1 {
             break;

@@ -1,0 +1,321 @@
+//! Deterministic crash-and-reconnect scenario.
+//!
+//! Models the client failover runtime under virtual time: a writer
+//! streams sequenced updates through a coordinator, the coordinator
+//! crashes mid-stream, a hot standby takes over after an election
+//! delay, and a mirroring client reconnects with the same exponential
+//! backoff + seeded jitter schedule the real `CoronaClient` failover
+//! driver uses, resumes its session, and repairs the missed window
+//! with `UpdatesSince(last_seq)`.
+//!
+//! Because the whole run is a pure function of [`FailoverScenario`],
+//! the qualitative claims of the failover design — every update is
+//! applied exactly once, in order, across the crash — can be asserted
+//! for thousands of virtual seconds in microseconds of real time.
+
+use crate::engine::{Scheduler, SimModel, SimTime, Simulation};
+
+/// Parameters of the crash-and-reconnect run (all times virtual
+/// microseconds unless noted).
+#[derive(Debug, Clone, Copy)]
+pub struct FailoverScenario {
+    /// Total sequenced updates the writer produces.
+    pub messages: u64,
+    /// Gap between writer sends.
+    pub send_interval: SimTime,
+    /// One-way network delay server → client.
+    pub net_delay: SimTime,
+    /// Virtual time at which the coordinator fail-stops.
+    pub crash_at: SimTime,
+    /// How long after the crash the standby is ready to serve
+    /// (election + state rebuild from the hot replicas).
+    pub standby_after: SimTime,
+    /// How long the client's reader takes to notice the dead link.
+    pub detect_delay: SimTime,
+    /// Base reconnect backoff in milliseconds (mirrors
+    /// `FailoverConfig::base_backoff`).
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Jitter seed (mirrors `FailoverConfig::jitter_seed`).
+    pub jitter_seed: u64,
+}
+
+impl Default for FailoverScenario {
+    fn default() -> Self {
+        FailoverScenario {
+            messages: 60,
+            send_interval: 10_000,
+            net_delay: 1_500,
+            crash_at: 200_000,
+            standby_after: 150_000,
+            detect_delay: 5_000,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// What the mirroring client observed across the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverRun {
+    /// Every sequence number applied by the mirror, in apply order.
+    pub applied: Vec<u64>,
+    /// Successful reconnects (the `client.reconnects` counter).
+    pub reconnects: u64,
+    /// Backoff delay before each dial attempt, in milliseconds (the
+    /// `client.backoff_ms` histogram samples).
+    pub backoff_ms: Vec<u64>,
+    /// Updates recovered through the resume-time `UpdatesSince`
+    /// repair rather than live delivery.
+    pub repaired: u64,
+    /// Duplicate deliveries the mirror suppressed.
+    pub duplicates: u64,
+    /// Virtual time at which the last update was applied.
+    pub completed_at: SimTime,
+}
+
+impl FailoverRun {
+    /// True when the applied sequence is exactly `1..=messages` with
+    /// no gap, no duplicate, no reordering.
+    pub fn is_gap_free(&self, messages: u64) -> bool {
+        self.applied.len() as u64 == messages && self.applied.iter().copied().eq(1..=messages)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The writer tries to emit its next update.
+    WriterSend,
+    /// A sequenced update reaches the mirroring client.
+    Deliver(u64),
+    /// The coordinator fail-stops.
+    Crash,
+    /// The hot standby finishes the election + rebuild and serves.
+    StandbyUp,
+    /// The mirror's reader notices the dead link.
+    Detect,
+    /// Reconnect attempt `round` fires after its backoff.
+    Dial(u64),
+    /// Handshake + re-join done; the repair transfer arrives.
+    Resumed,
+}
+
+struct Model {
+    scenario: FailoverScenario,
+    /// Sequenced history at the service (survives the crash — the
+    /// standby is a hot replica).
+    history: u64,
+    server_up: bool,
+    standby_at: SimTime,
+    client_connected: bool,
+    sent: u64,
+    run: FailoverRun,
+    last_applied: u64,
+}
+
+impl Model {
+    fn apply(&mut self, seq: u64, now: SimTime) {
+        if seq <= self.last_applied {
+            self.run.duplicates += 1;
+            return;
+        }
+        self.last_applied = seq;
+        self.run.applied.push(seq);
+        self.run.completed_at = now;
+    }
+
+    fn backoff_us(&self, round: u64) -> SimTime {
+        let base = self.scenario.base_backoff_ms.max(1);
+        let exp = base
+            .saturating_mul(1u64 << round.min(20))
+            .min(self.scenario.max_backoff_ms);
+        let jitter = splitmix64(self.scenario.jitter_seed ^ round) % base;
+        (exp + jitter) * 1_000
+    }
+}
+
+impl SimModel for Model {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match event {
+            Ev::WriterSend => {
+                if self.sent == self.scenario.messages {
+                    return;
+                }
+                if self.server_up {
+                    self.sent += 1;
+                    self.history = self.sent;
+                    if self.client_connected {
+                        sched.after(self.scenario.net_delay, Ev::Deliver(self.sent));
+                    }
+                }
+                // While the service is down the writer's own failover
+                // driver holds the update and retries next interval.
+                sched.after(self.scenario.send_interval, Ev::WriterSend);
+            }
+            Ev::Deliver(seq) => {
+                // Frames in flight when the link died are lost with it.
+                if self.client_connected {
+                    self.apply(seq, now);
+                }
+            }
+            Ev::Crash => {
+                self.server_up = false;
+                self.client_connected = false;
+                self.standby_at = now + self.scenario.standby_after;
+                sched.at(self.standby_at, Ev::StandbyUp);
+                sched.after(self.scenario.detect_delay, Ev::Detect);
+            }
+            Ev::StandbyUp => {
+                self.server_up = true;
+            }
+            Ev::Detect => {
+                let delay = self.backoff_us(0);
+                self.run.backoff_ms.push(delay / 1_000);
+                sched.after(delay, Ev::Dial(0));
+            }
+            Ev::Dial(round) => {
+                if now >= self.standby_at {
+                    // Dial succeeds: Hello{resume} + per-group re-join
+                    // round-trips before the repair transfer lands.
+                    sched.after(2 * self.scenario.net_delay, Ev::Resumed);
+                } else {
+                    let delay = self.backoff_us(round + 1);
+                    self.run.backoff_ms.push(delay / 1_000);
+                    sched.after(delay, Ev::Dial(round + 1));
+                }
+            }
+            Ev::Resumed => {
+                self.run.reconnects += 1;
+                self.client_connected = true;
+                // The Joined transfer carries UpdatesSince(last_seq):
+                // the whole missed window applies at once.
+                for seq in (self.last_applied + 1)..=self.history {
+                    self.apply(seq, now);
+                    self.run.repaired += 1;
+                }
+            }
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Runs the crash-and-reconnect scenario to completion.
+pub fn failover_run(scenario: FailoverScenario) -> FailoverRun {
+    let mut sim = Simulation::new(Model {
+        scenario,
+        history: 0,
+        server_up: true,
+        standby_at: SimTime::MAX,
+        client_connected: true,
+        sent: 0,
+        run: FailoverRun {
+            applied: Vec::new(),
+            reconnects: 0,
+            backoff_ms: Vec::new(),
+            repaired: 0,
+            duplicates: 0,
+            completed_at: 0,
+        },
+        last_applied: 0,
+    });
+    sim.seed(scenario.send_interval, Ev::WriterSend);
+    sim.seed(scenario.crash_at, Ev::Crash);
+    sim.run_to_completion();
+    sim.into_model().run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_and_reconnect_is_gap_free_and_duplicate_free() {
+        let scenario = FailoverScenario::default();
+        let run = failover_run(scenario);
+        assert!(
+            run.is_gap_free(scenario.messages),
+            "applied: {:?}",
+            run.applied
+        );
+        assert_eq!(run.duplicates, 0);
+        assert_eq!(run.reconnects, 1, "exactly one successful resume");
+        assert!(run.repaired > 0, "the missed window must come via repair");
+        assert!(
+            !run.backoff_ms.is_empty(),
+            "at least one backoff round before the standby is up"
+        );
+    }
+
+    #[test]
+    fn run_is_a_pure_function_of_the_scenario() {
+        let scenario = FailoverScenario {
+            messages: 200,
+            crash_at: 500_000,
+            standby_after: 400_000,
+            ..FailoverScenario::default()
+        };
+        let a = failover_run(scenario);
+        let b = failover_run(scenario);
+        assert_eq!(a, b, "identical scenarios must replay identically");
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_respects_the_cap() {
+        // A long outage forces many dial rounds.
+        let scenario = FailoverScenario {
+            crash_at: 100_000,
+            standby_after: 30_000_000,
+            ..FailoverScenario::default()
+        };
+        let run = failover_run(scenario);
+        assert!(
+            run.backoff_ms.len() >= 6,
+            "want many rounds: {:?}",
+            run.backoff_ms
+        );
+        // Exponential growth up to the cap (jitter < base can never
+        // reorder consecutive doublings below the ceiling).
+        let capped = scenario.max_backoff_ms;
+        for pair in run.backoff_ms.windows(2) {
+            assert!(
+                pair[1] >= pair[0].min(capped) || pair[0] >= capped,
+                "backoff shrank before the cap: {:?}",
+                run.backoff_ms
+            );
+        }
+        assert!(
+            run.backoff_ms
+                .iter()
+                .all(|&ms| ms < capped + scenario.base_backoff_ms),
+            "cap violated: {:?}",
+            run.backoff_ms
+        );
+        assert!(run.is_gap_free(scenario.messages));
+    }
+
+    #[test]
+    fn jitter_seed_changes_the_schedule_but_not_the_outcome() {
+        let a = failover_run(FailoverScenario::default());
+        let b = failover_run(FailoverScenario {
+            jitter_seed: 0xDEAD_BEEF,
+            ..FailoverScenario::default()
+        });
+        assert_ne!(
+            a.backoff_ms, b.backoff_ms,
+            "different seeds, different jitter"
+        );
+        let messages = FailoverScenario::default().messages;
+        assert!(a.is_gap_free(messages) && b.is_gap_free(messages));
+    }
+}

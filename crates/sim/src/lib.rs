@@ -34,6 +34,7 @@
 
 pub mod corona;
 pub mod engine;
+pub mod failover;
 pub mod hosts;
 
 pub use corona::{
@@ -41,6 +42,7 @@ pub use corona::{
     RoundTripResults, ThroughputResults,
 };
 pub use engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
+pub use failover::{failover_run, FailoverRun, FailoverScenario};
 pub use hosts::{
     HostProfile, NetworkProfile, CAMPUS_BACKBONE, ETHERNET_10MBPS, PENTIUM_II_200, SPARC_20_CLIENT,
     ULTRASPARC_1,

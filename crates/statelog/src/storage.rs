@@ -552,8 +552,14 @@ impl GroupStore {
 
 impl Drop for GroupStore {
     fn drop(&mut self) {
-        // Best effort: never fail in a destructor.
+        // Best effort: never fail in a destructor. Records appended
+        // since the last fsync (up to n−1 under `SyncPolicy::EveryN`)
+        // were already acknowledged to clients, so a clean shutdown
+        // must not leave them in the page cache only.
         let _ = self.writer.flush();
+        if self.unsynced > 0 {
+            let _ = self.timed_sync_data();
+        }
     }
 }
 
@@ -659,6 +665,56 @@ mod tests {
         );
         assert!(!store.group_exists(GroupId::new(2)));
         store.delete_group(GroupId::new(2)).unwrap(); // idempotent
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn drop_syncs_acknowledged_records() {
+        // Regression: `GroupStore::drop` only flushed, so with
+        // `SyncPolicy::EveryN(n)` up to n−1 acknowledged records sat in
+        // the page cache after a clean shutdown. Drop must fsync when
+        // unsynced records remain — observable via the fsync metric —
+        // and a reopen must replay every record.
+        let root = tmpdir("dropsync");
+        let registry = corona_metrics::Registry::new();
+        let store = StableStore::open(&root, SyncPolicy::EveryN(10))
+            .expect("open store")
+            .with_metrics(&registry);
+        let mut gs = store
+            .create_group(
+                GroupId::new(1),
+                Persistence::Persistent,
+                &SharedState::new(),
+            )
+            .unwrap();
+        let fsyncs_before = registry
+            .snapshot()
+            .histogram("statelog.fsync_us")
+            .map_or(0, |h| h.count);
+        gs.append_update(&logged(1, "a")).unwrap();
+        gs.append_update(&logged(2, "b")).unwrap();
+        gs.append_update(&logged(3, "c")).unwrap();
+        // Below the EveryN threshold: nothing synced yet.
+        assert_eq!(
+            registry
+                .snapshot()
+                .histogram("statelog.fsync_us")
+                .map_or(0, |h| h.count),
+            fsyncs_before,
+            "EveryN(10) must not sync after 3 records"
+        );
+        drop(gs);
+        assert!(
+            registry
+                .snapshot()
+                .histogram("statelog.fsync_us")
+                .map_or(0, |h| h.count)
+                > fsyncs_before,
+            "drop must fsync the unsynced tail"
+        );
+        let (rec, _handle) = store.recover_group(GroupId::new(1)).unwrap().unwrap();
+        assert_eq!(rec.replayed, 3);
+        assert_eq!(rec.log.last_seq(), SeqNo::new(3));
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -294,6 +294,26 @@ impl Dialer for TcpDialer {
         let stream = TcpStream::connect(addr)?;
         Ok(Box::new(TcpConnection::from_stream(stream)?))
     }
+
+    fn dial_timeout(
+        &self,
+        addr: &str,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, TransportError> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| TransportError::Io(format!("{addr}: no addresses resolved")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::TimedOut {
+                TransportError::Timeout
+            } else {
+                TransportError::Io(e.to_string())
+            }
+        })?;
+        Ok(Box::new(TcpConnection::from_stream(stream)?))
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +443,31 @@ mod tests {
         // Port 1 on localhost is essentially never listening.
         let err = TcpDialer.dial("127.0.0.1:1").unwrap_err();
         assert!(matches!(err, TransportError::Io(_)));
+    }
+
+    #[test]
+    fn dial_timeout_connects_and_classifies_failures() {
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            let _ = conn.recv();
+        });
+        let client = TcpDialer
+            .dial_timeout(&addr, Duration::from_secs(5))
+            .unwrap();
+        client.close();
+        server.join().unwrap();
+
+        // A refused connect is terminal (try the next roster address);
+        // only Timeout/Full are worth retrying in place.
+        let err = TcpDialer
+            .dial_timeout("127.0.0.1:1", Duration::from_secs(2))
+            .unwrap_err();
+        assert!(!err.is_transient(), "refused connect is terminal: {err}");
+        assert!(TransportError::Timeout.is_transient());
+        assert!(TransportError::Full.is_transient());
+        assert!(!TransportError::Closed.is_transient());
     }
 
     #[test]

@@ -37,6 +37,22 @@ pub enum TransportError {
     Io(String),
 }
 
+impl TransportError {
+    /// Whether a later retry of the failed operation could plausibly
+    /// succeed without any intervention on this endpoint.
+    ///
+    /// The failover runtime uses this to pick a reconnect strategy:
+    /// transient failures ([`TransportError::Timeout`],
+    /// [`TransportError::Full`]) are worth retrying against the *same*
+    /// address after a backoff, while terminal ones
+    /// ([`TransportError::Closed`], [`TransportError::Io`] — refused,
+    /// unreachable, reset) mean the endpoint is gone and the next
+    /// roster address should be tried first.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TransportError::Timeout | TransportError::Full)
+    }
+}
+
 impl fmt::Display for TransportError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -152,4 +168,26 @@ pub trait Dialer: Send + Sync {
     ///
     /// [`TransportError::Io`] if the endpoint is unreachable.
     fn dial(&self, addr: &str) -> Result<Box<dyn Connection>, TransportError>;
+
+    /// Connects to `addr`, giving up after `timeout`.
+    ///
+    /// The default implementation dials synchronously and ignores the
+    /// timeout — correct for transports whose dial cannot block
+    /// indefinitely (the in-memory network). Transports that can hang
+    /// on an unresponsive endpoint (TCP dialing a partitioned host)
+    /// override this with a native bounded connect.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::Timeout`] on expiry (a *transient* failure —
+    /// see [`TransportError::is_transient`]); otherwise as
+    /// [`Dialer::dial`].
+    fn dial_timeout(
+        &self,
+        addr: &str,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, TransportError> {
+        let _ = timeout;
+        self.dial(addr)
+    }
 }

@@ -469,6 +469,17 @@ pub enum ServerEvent {
         /// Server receive timestamp, for client RTT estimation.
         at: Timestamp,
     },
+    /// The current replica roster, pushed on join and whenever an
+    /// election resolves. Clients keep the latest copy so that on
+    /// disconnect they know every address they can fail over to (§4).
+    Roster {
+        /// Epoch of this configuration; clients keep the highest seen.
+        epoch: Epoch,
+        /// The acting coordinator (sequencer).
+        coordinator: ServerId,
+        /// Live servers and their client-dialable addresses.
+        servers: Vec<(ServerId, String)>,
+    },
 }
 
 impl Encode for ServerEvent {
@@ -560,6 +571,16 @@ impl Encode for ServerEvent {
                 buf.put_varint(*nonce);
                 at.encode(buf);
             }
+            ServerEvent::Roster {
+                epoch,
+                coordinator,
+                servers,
+            } => {
+                buf.put_u8(15);
+                epoch.encode(buf);
+                coordinator.encode(buf);
+                encode_seq(servers, buf);
+            }
         }
     }
 }
@@ -625,6 +646,11 @@ impl Decode for ServerEvent {
             14 => Ok(ServerEvent::Pong {
                 nonce: reader.read_varint()?,
                 at: Timestamp::decode(reader)?,
+            }),
+            15 => Ok(ServerEvent::Roster {
+                epoch: Epoch::decode(reader)?,
+                coordinator: ServerId::decode(reader)?,
+                servers: decode_seq(reader)?,
             }),
             tag => Err(CodecError::InvalidTag {
                 context: "ServerEvent",
@@ -1264,6 +1290,14 @@ mod tests {
             ServerEvent::Pong {
                 nonce: 1,
                 at: Timestamp::from_micros(5),
+            },
+            ServerEvent::Roster {
+                epoch: Epoch(4),
+                coordinator: ServerId::new(2),
+                servers: vec![
+                    (ServerId::new(2), "s2:7000".to_string()),
+                    (ServerId::new(3), "s3:7000".to_string()),
+                ],
             },
         ];
         for ev in events {

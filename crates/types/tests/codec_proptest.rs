@@ -204,6 +204,19 @@ fn arb_server_event() -> impl Strategy<Value = ServerEvent> {
             nonce,
             at: Timestamp::from_micros(at),
         }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), "[a-z0-9:.]{0,16}"), 0..5)
+        )
+            .prop_map(|(e, c, servers)| ServerEvent::Roster {
+                epoch: Epoch(e),
+                coordinator: ServerId::new(c),
+                servers: servers
+                    .into_iter()
+                    .map(|(id, addr)| (ServerId::new(id), addr))
+                    .collect(),
+            }),
     ]
 }
 

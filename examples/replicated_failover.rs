@@ -23,12 +23,16 @@ fn main() -> corona::types::Result<()> {
     let peers: Vec<(ServerId, String)> = (1..=3)
         .map(|i| (ServerId::new(i), format!("s{i}-peer")))
         .collect();
+    let client_addrs: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("s{i}-client")))
+        .collect();
 
     println!("starting 3 replicated servers (s1 = initial coordinator)...");
     let mut servers = Vec::new();
     for i in 1..=3u64 {
         let config = ReplicatedConfig {
             servers: peers.clone(),
+            client_addrs: client_addrs.clone(),
             heartbeat_ms: 30,
             base_timeout_ms: 150,
             server_config: ServerConfig::stateful(ServerId::new(i)),

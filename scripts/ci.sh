@@ -13,6 +13,15 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> fault matrix: supervised-client failover under fixed fault seeds"
+# 1 = kill coordinator mid-stream, 2 = kill the attached follower,
+# 3 = sever the client link then kill the coordinator mid-catch-up.
+for seed in 1 2 3; do
+    echo "    -- CORONA_FAULT_SEED=$seed"
+    CORONA_FAULT_SEED=$seed cargo test -q --offline --test failure_injection \
+        supervised_clients_survive_server_kill -- --exact
+done
+
 echo "==> cargo build --offline --examples"
 cargo build --offline --examples
 

@@ -91,7 +91,8 @@ pub use corona_sim as sim;
 pub mod prelude {
     pub use corona_core::{
         client::CoronaClient, config::ServerConfig, mirror::GroupMirror, server::CoronaServer,
-        ApplyOutcome, EventClass, LockResult, QosPolicy, Statefulness,
+        ApplyOutcome, EventClass, FailoverConfig, LockResult, QosPolicy, RosterView, SharedMirror,
+        Statefulness,
     };
     pub use corona_metrics::{MetricsSnapshot, Registry};
     pub use corona_replication::{ReplicatedConfig, ReplicatedServer};

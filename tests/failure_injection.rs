@@ -174,10 +174,14 @@ fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
     let peers: Vec<(ServerId, String)> = (1..=3)
         .map(|i| (ServerId::new(i), format!("s{i}-peer")))
         .collect();
+    let client_addrs: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("s{i}-client")))
+        .collect();
     let mut servers = Vec::new();
     for i in 1..=3u64 {
         let config = ReplicatedConfig {
             servers: peers.clone(),
+            client_addrs: client_addrs.clone(),
             heartbeat_ms: 30,
             base_timeout_ms: 150,
             server_config: ServerConfig::stateful(ServerId::new(i)),
@@ -217,7 +221,7 @@ fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
         while got < want {
             assert!(
                 Instant::now() < deadline,
-                "timed out waiting for multicasts"
+                "timed out waiting for multicasts; seqs so far {seqs:?}"
             );
             match carol.next_event_timeout(Duration::from_millis(500)) {
                 Ok(ServerEvent::Multicast { logged, .. }) => {
@@ -366,6 +370,240 @@ fn coordinator_partition_mid_stream_failover_is_gap_free_and_metered() {
     corona::trace::set_enabled(false);
     corona::trace::clear();
     let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+/// Polls a supervised mirror until it has applied `want` sequenced
+/// updates (or panics after a generous deadline).
+fn wait_mirror(mirror: &SharedMirror, want: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if mirror.lock().last_seq().0 >= want {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "mirror stuck at seq {}, want {want}",
+            mirror.lock().last_seq().0
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The client failover runtime end to end: a supervised client
+/// (auto-reconnect with backoff, session resume, mirror gap repair)
+/// rides out a server kill with a gap-free, duplicate-free mirror.
+///
+/// `CORONA_FAULT_SEED` selects the injected fault — the ci.sh fault
+/// matrix runs all three:
+///
+/// 1. kill the coordinator mid-stream (default);
+/// 2. kill the follower the client is attached to (no election);
+/// 3. sever the client's link first, stream through the outage, then
+///    kill the coordinator while the client is catching up.
+#[test]
+fn supervised_clients_survive_server_kill() {
+    let fault: u64 = std::env::var("CORONA_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    assert!(
+        (1..=3).contains(&fault),
+        "unknown CORONA_FAULT_SEED {fault}"
+    );
+
+    let net = MemNetwork::new();
+    let peers: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("f{i}-peer")))
+        .collect();
+    let client_addrs: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("f{i}-client")))
+        .collect();
+    let mut servers = Vec::new();
+    for i in 1..=3u64 {
+        let config = ReplicatedConfig {
+            servers: peers.clone(),
+            client_addrs: client_addrs.clone(),
+            heartbeat_ms: 30,
+            base_timeout_ms: 150,
+            server_config: ServerConfig::stateful(ServerId::new(i)),
+        };
+        servers.push(
+            ReplicatedServer::start(
+                Box::new(net.listen(&format!("f{i}-client")).unwrap()),
+                Box::new(net.listen(&format!("f{i}-peer")).unwrap()),
+                Arc::new(net.dialer(&format!("f{i}-node"))),
+                config,
+            )
+            .unwrap(),
+        );
+    }
+
+    // A plain writer on s2, which no fault touches.
+    let writer = {
+        let conn = net.dial_from("w", "f2-client").unwrap();
+        let mut c = CoronaClient::connect(Box::new(conn), "w", None).unwrap();
+        c.set_call_timeout(Duration::from_secs(15));
+        c
+    };
+    writer
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .unwrap();
+    writer
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .unwrap();
+
+    // The supervised client, attached to the server the fault targets.
+    let attach = if fault == 2 { 3 } else { 1 };
+    let registry = Registry::new();
+    let roam = CoronaClient::connect_failover(
+        Arc::new(net.dialer("roam-node")),
+        vec![format!("f{attach}-client")],
+        "roam",
+        FailoverConfig {
+            registry: Some(registry.clone()),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (_members, mirror) = roam
+        .join_supervised(G, MemberRole::Observer, false)
+        .unwrap();
+
+    // Broadcast forwards are fire-and-forget: one handed to a
+    // coordinator that dies before sequencing it is lost for good.
+    // `SenderInclusive` scope echoes every sequenced update back to
+    // the writer, so each send waits for its echo and re-sends if the
+    // fault swallowed it — duplicate-safe, because a forward lost at
+    // a dead coordinator can never be sequenced later.
+    let send = |i: u64| {
+        let payload = format!("{i};").into_bytes();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            writer
+                .bcast_update(G, O, payload.clone(), DeliveryScope::SenderInclusive)
+                .unwrap();
+            let confirm = Instant::now() + Duration::from_secs(5);
+            while Instant::now() < confirm {
+                if let Ok(ServerEvent::Multicast { logged, .. }) =
+                    writer.next_event_timeout(Duration::from_millis(200))
+                {
+                    if logged.update.payload.as_ref() == payload.as_slice() {
+                        return;
+                    }
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "broadcast {i} was never sequenced"
+            );
+        }
+    };
+    let kill = |servers: &mut Vec<ReplicatedServer>, id: u64| {
+        let pos = servers
+            .iter()
+            .position(|s| s.server_id().raw() == id)
+            .unwrap();
+        let s = servers.remove(pos);
+        s.shutdown();
+        net.crash_node(&format!("f{id}-client"));
+        net.crash_node(&format!("f{id}-peer"));
+        net.crash_node(&format!("f{id}-node"));
+    };
+
+    // Mid-stream: the mirror is live when the fault hits.
+    for i in 1..=3 {
+        send(i);
+    }
+    wait_mirror(&mirror, 3);
+
+    let mut next = 4;
+    match fault {
+        1 => kill(&mut servers, 1),
+        2 => kill(&mut servers, 3),
+        3 => {
+            // Lose the client's link only, stream a window it must
+            // later repair, then kill the coordinator while the
+            // client is mid-reconnect.
+            net.partition(&[&["roam-node"], &["f1-client"]]);
+            net.sever("roam-node", "f1-client");
+            for i in 4..=6 {
+                send(i);
+            }
+            next = 7;
+            kill(&mut servers, 1);
+            net.heal();
+        }
+        _ => unreachable!(),
+    }
+
+    // Traffic during the client's outage: the resume-time
+    // UpdatesSince repair must cover it.
+    for i in next..next + 3 {
+        send(i);
+    }
+    next += 3;
+
+    // The driver must land on a surviving server.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while registry.snapshot().counter("client.reconnects") < 1 {
+        assert!(Instant::now() < deadline, "client never reconnected");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // And live traffic flows again.
+    for i in next..next + 3 {
+        send(i);
+    }
+    let total = next + 2;
+    wait_mirror(&mirror, total);
+
+    // Gap-free and duplicate-free across the failover: the mirror's
+    // materialised object is exactly the concatenation in order (a
+    // duplicate would double-append; a gap would drop a token).
+    let body = mirror.lock().state().object(O).unwrap().materialize();
+    let want: String = (1..=total).map(|i| format!("{i};")).collect();
+    assert_eq!(
+        body.as_ref(),
+        want.as_bytes(),
+        "mirror diverged across failover (fault {fault})"
+    );
+    assert_eq!(mirror.lock().last_seq().0, total);
+
+    // The driver's work is metered.
+    let snap = registry.snapshot();
+    assert!(
+        snap.counter("client.reconnects") >= 1,
+        "no reconnect counted"
+    );
+    let backoff = snap
+        .histogram("client.backoff_ms")
+        .expect("backoff histogram missing");
+    assert!(backoff.count >= 1, "no backoff round recorded");
+
+    // The client learned the post-fault roster: after a coordinator
+    // kill the roster must name the new coordinator (s2).
+    if fault == 1 {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            if roam.roster().map(|r| r.coordinator) == Some(ServerId::new(2)) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "roster never named the new coordinator: {:?}",
+                roam.roster()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    } else {
+        assert!(roam.roster().is_some(), "no roster advertised");
+    }
+
+    writer.close();
+    roam.close();
+    for s in servers {
+        s.shutdown();
+    }
 }
 
 /// Builds a server on its own storage dir, runs `edits` against it,
