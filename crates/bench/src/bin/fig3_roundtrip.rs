@@ -9,8 +9,9 @@
 //! averages 600 messages sent one per 100 ms.
 
 use corona_bench::{arg_value, header, row};
+use corona_health::{CapacityModel, CapacityPoint};
 use corona_metrics::Registry;
-use corona_sim::{roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
+use corona_sim::{p99_us, roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
 use corona_trace::Breakdown;
 
 fn main() {
@@ -20,6 +21,11 @@ fn main() {
     let messages: u64 = arg_value("--messages")
         .and_then(|v| v.parse().ok())
         .unwrap_or(600);
+    // SLO latency budget for the capacity estimate (HEALTH line): the
+    // largest population whose p99 round trip stays under the budget.
+    let budget_us: u64 = arg_value("--slo-budget-us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000);
     // The paper sends a 1000-byte message every 100 ms. At 10 000
     // bytes that rate exceeds what 10 Mbps Ethernet can fan out to
     // 15+ clients (the paper's own arithmetic for large messages is
@@ -44,6 +50,7 @@ fn main() {
     let mut prev_stateful: Option<f64> = None;
     let mut first = None;
     let mut trace_lines = Vec::new();
+    let mut capacity = CapacityModel::new(budget_us);
     for n in (5..=60).step_by(5) {
         let base = ExperimentConfig {
             n_clients: n,
@@ -65,6 +72,10 @@ fn main() {
             "TRACE {{\"experiment\":\"fig3\",\"clients\":{n},\"payload\":{payload},\"breakdown\":{}}}",
             Breakdown::from_spans(&spans).render_json()
         ));
+        capacity.push(CapacityPoint {
+            clients: n as u64,
+            p99_us: p99_us(&stateful.rtts_us),
+        });
         let stateless = roundtrip_with_metrics(
             ExperimentConfig {
                 stateful: false,
@@ -108,6 +119,18 @@ fn main() {
     // Aggregate simulator metrics across the whole sweep (both
     // curves): per-stage event counters plus fan-out/RTT latency
     // histograms with p50/p90/p99.
+    // Capacity estimate for the health plane: the max population this
+    // (simulated) single server sustains with p99 round trip inside
+    // the SLO budget, interpolated between sweep points.
+    println!(
+        "\nHEALTH {{\"experiment\":\"fig3\",\"capacity\":{}}}",
+        capacity.render_json()
+    );
+    match capacity.max_sustainable() {
+        0 => println!("(no population met the {budget_us} us p99 budget)"),
+        max => println!("(max sustainable clients at p99 < {budget_us} us: {max})"),
+    }
+
     let snap = registry.snapshot();
     println!(
         "\nEncode-once: {} frame encodes across the sweep — {messages} per run \

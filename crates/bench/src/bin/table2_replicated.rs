@@ -7,12 +7,17 @@
 //! (some a few routers away — the backbone profile); 100, 200 and 300
 //! clients; compared against one server carrying the same population.
 
-use corona_bench::{header, row};
+use corona_bench::{arg_value, header, row};
+use corona_health::{CapacityModel, CapacityPoint};
 use corona_metrics::Registry;
-use corona_sim::{roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
+use corona_sim::{p99_us, roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
 use corona_trace::Breakdown;
 
 fn main() {
+    // SLO budget for the per-replica capacity estimate (HEALTH line).
+    let budget_us: u64 = arg_value("--slo-budget-us")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
     println!("TAB2: round-trip delay (ms), 1000-byte multicast, single vs 1+6 replicated servers");
     println!("(deterministic simulation; worst-positioned measuring client)\n");
     let widths = [10, 16, 20, 10];
@@ -27,6 +32,7 @@ fn main() {
     let single_registry = Registry::new();
     let replicated_registry = Registry::new();
     let mut trace_lines = Vec::new();
+    let mut capacity = CapacityModel::new(budget_us);
     for n in [100, 200, 300] {
         let base = ExperimentConfig {
             n_clients: n,
@@ -56,6 +62,13 @@ fn main() {
             "TRACE {{\"experiment\":\"table2\",\"clients\":{n},\"servers\":6,\"breakdown\":{}}}",
             Breakdown::from_spans(&spans).render_json()
         ));
+        // Per-replica load: the population is spread over the six
+        // member servers, so a point at N total clients measures a
+        // replica carrying N/6.
+        capacity.push(CapacityPoint {
+            clients: (n / 6) as u64,
+            p99_us: p99_us(&replicated.rtts_us),
+        });
         println!(
             "{}",
             row(
@@ -83,6 +96,18 @@ fn main() {
     println!();
     for line in &trace_lines {
         println!("{line}");
+    }
+
+    // Per-replica capacity estimate for the health plane: the largest
+    // per-member-server client load whose p99 round trip stays inside
+    // the SLO budget.
+    println!(
+        "\nHEALTH {{\"experiment\":\"table2\",\"capacity\":{}}}",
+        capacity.render_json()
+    );
+    match capacity.max_sustainable() {
+        0 => println!("(no per-replica load met the {budget_us} us p99 budget)"),
+        max => println!("(max sustainable clients per replica at p99 < {budget_us} us: {max})"),
     }
 
     // Per-topology simulator metrics across all three populations:

@@ -641,6 +641,22 @@ impl CoronaClient {
         Ok(started.elapsed())
     }
 
+    /// Admin: fetches the server's live health snapshot (schema
+    /// version and one JSON object).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, timeout, or `Unsupported` when the serving
+    /// runtime has no health plane.
+    pub fn health(&self) -> Result<(u16, String)> {
+        match self.call(ClientRequest::GetHealth, |e| {
+            matches!(e, ServerEvent::Health { .. })
+        })? {
+            ServerEvent::Health { schema, json } => Ok((schema, json)),
+            _ => unreachable!("matcher admits only Health"),
+        }
+    }
+
     // ----- event stream -----------------------------------------------------
 
     /// Blocks for the next asynchronous event (multicast, membership

@@ -57,6 +57,12 @@ pub struct ServerConfig {
     /// unboundedly; the fan-out workers shed or disconnect on `Full`
     /// per the QoS class.
     pub send_queue_capacity: usize,
+    /// SLO latency budget and burn-rate window for the health plane
+    /// (applied to per-request dispatcher handling latency).
+    pub slo: corona_health::SloConfig,
+    /// Thresholds for the health-plane watchdogs (sequencing stall,
+    /// transmit-queue high-watermark, election flap, reconnect storm).
+    pub watchdog: corona_health::WatchdogConfig,
 }
 
 impl ServerConfig {
@@ -74,6 +80,8 @@ impl ServerConfig {
             metrics_dump_interval: None,
             fanout_workers: 4,
             send_queue_capacity: corona_transport::DEFAULT_SEND_CAPACITY,
+            slo: corona_health::SloConfig::default(),
+            watchdog: corona_health::WatchdogConfig::default(),
         }
     }
 
@@ -148,6 +156,20 @@ impl ServerConfig {
     #[must_use]
     pub fn with_send_queue_capacity(mut self, frames: usize) -> Self {
         self.send_queue_capacity = frames.max(1);
+        self
+    }
+
+    /// Sets the health-plane SLO budget (builder-style).
+    #[must_use]
+    pub fn with_slo(mut self, slo: corona_health::SloConfig) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Sets the health-plane watchdog thresholds (builder-style).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: corona_health::WatchdogConfig) -> Self {
+        self.watchdog = watchdog;
         self
     }
 }

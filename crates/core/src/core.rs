@@ -393,6 +393,16 @@ impl ServerCore {
                 vec![Effect::send(client, ServerEvent::Pong { nonce, at: now })]
             }
             ClientRequest::Goodbye => self.client_disconnected(client),
+            ClientRequest::GetHealth => {
+                // Health snapshots are assembled by the runtime (which
+                // owns the registry and connections); a GetHealth that
+                // reaches the pure core means no health plane is wired.
+                vec![Effect::error(
+                    client,
+                    ErrorCode::Unsupported,
+                    "health plane not available on this server",
+                )]
+            }
         }
     }
 

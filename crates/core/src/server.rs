@@ -34,6 +34,7 @@
 use crate::config::ServerConfig;
 use crate::core::{Effect, LogEffect, ServerCore};
 use crate::qos::{classify, EventClass, QosPolicy};
+use corona_health::{ConnPressure, GroupHealth, HealthRegistry, WatchdogConfig, Watchdogs};
 use corona_metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use corona_statelog::{GroupStore, StableStore};
 use corona_transport::{Connection, Listener, MeteredConnection, TransportError, TransportMetrics};
@@ -76,6 +77,39 @@ pub struct ServerStats {
     pub groups: usize,
     /// Known clients (connected or resumable).
     pub clients: usize,
+    /// Milliseconds the server has been up. Together with
+    /// `snapshot_seq` this lets scrapers detect restarts.
+    pub uptime_ms: u64,
+    /// Monotonic snapshot sequence number (first snapshot is 1).
+    /// A scraper seeing a gap knows it dropped samples; seeing it
+    /// reset knows the server restarted.
+    pub snapshot_seq: u64,
+}
+
+impl ServerStats {
+    /// Renders the stats as one JSON object (the `Stats` admin JSON).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"uptime_ms\":{},\"snapshot_seq\":{},\"broadcasts\":{},\"deliveries\":{},\
+             \"joins\":{},\"reductions\":{},\"shed\":{},\"conns_accepted\":{},\
+             \"conns_closed\":{},\"decode_errors\":{},\"dead_conns\":{},\"open_conns\":{},\
+             \"groups\":{},\"clients\":{}}}",
+            self.uptime_ms,
+            self.snapshot_seq,
+            self.broadcasts,
+            self.deliveries,
+            self.joins,
+            self.reductions,
+            self.shed,
+            self.conns_accepted,
+            self.conns_closed,
+            self.decode_errors,
+            self.dead_conns,
+            self.open_conns,
+            self.groups,
+            self.clients
+        )
+    }
 }
 
 enum Command {
@@ -98,6 +132,9 @@ enum Command {
     },
     Stats(Sender<ServerStats>),
     Metrics(Sender<MetricsSnapshot>),
+    /// Admin request for the health-plane snapshot (also served on the
+    /// wire via `ClientRequest::GetHealth`).
+    Health(Sender<String>),
     Shutdown,
 }
 
@@ -150,15 +187,22 @@ struct FanoutWorkerMetrics {
     shed: Arc<Counter>,
     enqueues: Arc<Counter>,
     queue_depth: Arc<Histogram>,
+    /// High-watermark of observed transmit-queue depths — unlike the
+    /// instantaneous histogram, transient saturation between scrapes
+    /// stays visible here.
+    queue_hwm: Arc<Gauge>,
+    health: Arc<HealthRegistry>,
 }
 
 impl FanoutWorkerMetrics {
-    fn new(registry: &Arc<Registry>) -> Self {
+    fn new(registry: &Arc<Registry>, health: &Arc<HealthRegistry>) -> Self {
         FanoutWorkerMetrics {
             shed: registry.counter("server.shed"),
             enqueues: registry.counter("server.fanout.enqueues"),
             queue_depth: registry.histogram("server.fanout.queue_depth"),
+            queue_hwm: registry.gauge("server.fanout.queue_hwm"),
             registry: Arc::clone(registry),
+            health: Arc::clone(health),
         }
     }
 
@@ -184,6 +228,10 @@ struct WorkItem {
     /// Group for per-group shed accounting; `Some` only for multicast
     /// fan-out items.
     group: Option<GroupId>,
+    /// Health cell + sequence number to mark delivered once the frame
+    /// is accepted by the transmit queue; `Some` only for multicast
+    /// fan-out items.
+    delivered: Option<(Arc<GroupHealth>, u64)>,
 }
 
 /// The fan-out worker pool. All outbound client traffic goes through
@@ -201,6 +249,7 @@ impl FanoutPool {
         cmd_tx: Sender<Command>,
         qos: QosPolicy,
         registry: &Arc<Registry>,
+        health: &Arc<HealthRegistry>,
     ) -> Self {
         let workers = workers.max(1);
         let mut senders = Vec::with_capacity(workers);
@@ -208,7 +257,7 @@ impl FanoutPool {
         for i in 0..workers {
             let (tx, rx) = channel::unbounded::<WorkItem>();
             let cmd_tx = cmd_tx.clone();
-            let metrics = FanoutWorkerMetrics::new(registry);
+            let metrics = FanoutWorkerMetrics::new(registry, health);
             let handle = std::thread::Builder::new()
                 .name(format!("corona-fanout-{i}"))
                 .spawn(move || fanout_worker_loop(rx, cmd_tx, metrics, qos))
@@ -243,12 +292,19 @@ fn fanout_worker_loop(
         // queue depth at enqueue time, not a stale dispatcher view.
         let backlog = item.conn.backlog();
         metrics.queue_depth.record(backlog as u64);
+        metrics.queue_hwm.set_max(backlog as i64);
+        metrics.health.note_queue_depth(backlog as u64);
         if !qos.should_deliver(item.class, backlog) {
             metrics.note_shed(item.group);
             continue;
         }
         match item.conn.send(item.frame) {
-            Ok(()) => metrics.enqueues.inc(),
+            Ok(()) => {
+                metrics.enqueues.inc();
+                if let Some((cell, seq)) = &item.delivered {
+                    cell.note_delivered(*seq);
+                }
+            }
             Err(TransportError::Full) => {
                 // Shed-vs-block policy for a bounded queue that QoS
                 // did not relieve: awareness traffic is shed;
@@ -351,6 +407,7 @@ pub struct CoronaServer {
     logger: Option<JoinHandle<()>>,
     listener: Arc<Box<dyn Listener>>,
     registry: Arc<Registry>,
+    health: Arc<HealthRegistry>,
     dump_stop: Option<Sender<()>>,
     dump: Option<JoinHandle<()>>,
 }
@@ -369,6 +426,8 @@ impl CoronaServer {
     pub fn start(listener: Box<dyn Listener>, config: ServerConfig) -> Result<CoronaServer> {
         let addr = listener.local_addr();
         let registry = Registry::new();
+        let health = HealthRegistry::new(config.slo);
+        health.set_queue_capacity(config.send_queue_capacity as u64);
         let mut core = ServerCore::with_registry(&config, Arc::clone(&registry));
 
         // Recover persistent groups before serving.
@@ -407,12 +466,27 @@ impl CoronaServer {
         // pool needs the command sender to report dead connections).
         let qos = config.qos;
         let fanout_workers = config.fanout_workers;
+        let watchdog = config.watchdog;
+        let send_queue_capacity = config.send_queue_capacity;
         let dispatcher = {
             let cmd_rx = cmd_rx.clone();
             let cmd_tx = cmd_tx.clone();
+            let health = Arc::clone(&health);
             std::thread::Builder::new()
                 .name("corona-dispatcher".into())
-                .spawn(move || dispatcher_loop(core, cmd_rx, cmd_tx, log_tx, qos, fanout_workers))
+                .spawn(move || {
+                    dispatcher_loop(DispatcherArgs {
+                        core,
+                        cmd_rx,
+                        cmd_tx,
+                        log: log_tx,
+                        qos,
+                        fanout_workers,
+                        health,
+                        watchdog,
+                        send_queue_capacity,
+                    })
+                })
                 .expect("spawn dispatcher thread")
         };
 
@@ -464,6 +538,7 @@ impl CoronaServer {
             logger: logger_handle,
             listener,
             registry,
+            health,
             dump_stop,
             dump,
         })
@@ -508,6 +583,27 @@ impl CoronaServer {
     /// use [`Self::metrics`] for a consistent cut.
     pub fn metrics_registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The health-plane snapshot as one versioned JSON object
+    /// (answered by the dispatcher, like [`Self::stats`]; also served
+    /// on the wire via the `GetHealth` admin request).
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Closed`] if the server has shut down.
+    pub fn health_json(&self) -> Result<String> {
+        let (tx, rx) = channel::bounded(1);
+        self.cmd_tx
+            .send(Command::Health(tx))
+            .map_err(|_| CoronaError::Closed)?;
+        rx.recv().map_err(|_| CoronaError::Closed)
+    }
+
+    /// The live health registry (watchdog trips, per-group cells).
+    /// Live handle — use [`Self::health_json`] for a consistent cut.
+    pub fn health_registry(&self) -> Arc<HealthRegistry> {
+        Arc::clone(&self.health)
     }
 
     /// Orderly shutdown: stop accepting, close every connection, drain
@@ -620,21 +716,100 @@ fn accept_loop(
     }
 }
 
-fn dispatcher_loop(
-    mut core: ServerCore,
+/// Everything the dispatcher thread needs, bundled to keep the spawn
+/// site readable.
+struct DispatcherArgs {
+    core: ServerCore,
     cmd_rx: Receiver<Command>,
     cmd_tx: Sender<Command>,
-    mut log: LogSink,
+    log: LogSink,
     qos: QosPolicy,
     fanout_workers: usize,
-) {
+    health: Arc<HealthRegistry>,
+    watchdog: WatchdogConfig,
+    send_queue_capacity: usize,
+}
+
+/// How often the dispatcher polls the watchdogs (both on idle timeout
+/// and opportunistically between commands under load).
+const WATCHDOG_POLL_MS: u64 = 50;
+
+/// Builds the health snapshot: refreshes snapshot-time facts the hot
+/// path does not track (membership sizes, per-connection backpressure)
+/// and renders the registry.
+fn build_health_snapshot(
+    core: &ServerCore,
+    conns: &HashMap<u64, ConnState>,
+    health: &HealthRegistry,
+    watchdogs: &Watchdogs,
+    send_queue_capacity: usize,
+) -> String {
+    for group in core.registry().group_ids() {
+        let members = core
+            .registry()
+            .get(group)
+            .map_or(0, |g| g.member_count() as u64);
+        health.group(group).set_members(members);
+    }
+    let pressure: Vec<ConnPressure> = conns
+        .iter()
+        .map(|(id, state)| {
+            let backlog = state.conn.backlog() as u64;
+            ConnPressure {
+                conn_id: *id,
+                backlog,
+                // Half the bounded queue is the pressure threshold:
+                // past it, QoS shedding is already in play.
+                backpressured: backlog * 2 >= send_queue_capacity as u64,
+            }
+        })
+        .collect();
+    health.snapshot_json(&pressure, &watchdogs.stalled_groups())
+}
+
+fn dispatcher_loop(args: DispatcherArgs) {
+    let DispatcherArgs {
+        mut core,
+        cmd_rx,
+        cmd_tx,
+        mut log,
+        qos,
+        fanout_workers,
+        health,
+        watchdog,
+        send_queue_capacity,
+    } = args;
     let mut conns: HashMap<u64, ConnState> = HashMap::new();
     let mut client_conn: HashMap<ClientId, u64> = HashMap::new();
     let registry = core.metrics_registry();
     let mut metrics = ServerMetrics::new(Arc::clone(&registry));
-    let pool = FanoutPool::start(fanout_workers, cmd_tx, qos, &registry);
+    let pool = FanoutPool::start(fanout_workers, cmd_tx, qos, &registry, &health);
+    let started = Instant::now();
+    let mut snapshot_seq: u64 = 0;
+    let mut watchdogs = Watchdogs::new(watchdog);
+    let mut last_poll = Instant::now();
+    let poll_interval = std::time::Duration::from_millis(WATCHDOG_POLL_MS);
 
-    while let Ok(cmd) = cmd_rx.recv() {
+    loop {
+        let cmd = match cmd_rx.recv_timeout(poll_interval) {
+            Ok(cmd) => cmd,
+            Err(RecvTimeoutError::Timeout) => {
+                for event in watchdogs.poll(&health, health.uptime_ms()) {
+                    health.emit(event);
+                }
+                last_poll = Instant::now();
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if last_poll.elapsed() >= poll_interval {
+            // Under sustained load the recv timeout never fires, so
+            // the watchdogs are also polled between commands.
+            for event in watchdogs.poll(&health, health.uptime_ms()) {
+                health.emit(event);
+            }
+            last_poll = Instant::now();
+        }
         metrics.queue_depth.set(cmd_rx.len() as i64);
         match cmd {
             Command::Accepted { conn_id, conn } => {
@@ -661,6 +836,42 @@ fn dispatcher_loop(
                         0,
                         0,
                     );
+                    health.note_trace(t.id);
+                }
+                if matches!(request, ClientRequest::GetHealth) {
+                    // Served by the runtime, not the core: the snapshot
+                    // needs the connection table and watchdog state.
+                    // Answered even before Hello so bare admin probes
+                    // work.
+                    if let Some(state) = conns.get(&conn_id) {
+                        let event = ServerEvent::Health {
+                            schema: corona_health::SCHEMA_VERSION,
+                            json: build_health_snapshot(
+                                &core,
+                                &conns,
+                                &health,
+                                &watchdogs,
+                                send_queue_capacity,
+                            ),
+                        };
+                        pool.dispatch(WorkItem {
+                            conn_id,
+                            conn: Arc::clone(&state.conn),
+                            frame: encode_event(&event),
+                            class: classify(&event),
+                            group: None,
+                            delivered: None,
+                        });
+                    }
+                    continue;
+                }
+                match &request {
+                    ClientRequest::Broadcast { group, .. } => {
+                        health.group(*group).note_submitted();
+                    }
+                    ClientRequest::Join { group, .. } => health.group(*group).note_join(),
+                    ClientRequest::Leave { group } => health.group(*group).note_leave(),
+                    _ => {}
                 }
                 let now = Timestamp::now();
                 let handle_started = Instant::now();
@@ -704,6 +915,10 @@ fn dispatcher_loop(
                 metrics
                     .stage_handle_us
                     .record_duration(handle_started.elapsed());
+                health.slo().record(
+                    handle_started.elapsed().as_micros() as u64,
+                    health.uptime_ms(),
+                );
                 if let Some(t) = trace {
                     corona_trace::record(
                         corona_trace::Hop::Sequence,
@@ -719,6 +934,7 @@ fn dispatcher_loop(
                     &mut log,
                     &pool,
                     &mut metrics,
+                    &health,
                     trace,
                 );
             }
@@ -735,6 +951,7 @@ fn dispatcher_loop(
                             &mut log,
                             &pool,
                             &mut metrics,
+                            &health,
                             None,
                         );
                     }
@@ -760,6 +977,7 @@ fn dispatcher_loop(
                             &mut log,
                             &pool,
                             &mut metrics,
+                            &health,
                             None,
                         );
                     }
@@ -767,6 +985,7 @@ fn dispatcher_loop(
             }
             Command::Stats(reply) => {
                 let c = core.counters();
+                snapshot_seq += 1;
                 let _ = reply.send(ServerStats {
                     broadcasts: c.broadcasts,
                     deliveries: c.deliveries,
@@ -780,10 +999,21 @@ fn dispatcher_loop(
                     open_conns: conns.len(),
                     groups: core.group_count(),
                     clients: core.client_count(),
+                    uptime_ms: started.elapsed().as_millis() as u64,
+                    snapshot_seq,
                 });
             }
             Command::Metrics(reply) => {
                 let _ = reply.send(metrics.registry.snapshot());
+            }
+            Command::Health(reply) => {
+                let _ = reply.send(build_health_snapshot(
+                    &core,
+                    &conns,
+                    &health,
+                    &watchdogs,
+                    send_queue_capacity,
+                ));
             }
             Command::Shutdown => break,
         }
@@ -799,6 +1029,7 @@ fn dispatcher_loop(
     // logger thread then syncs and exits.
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_effects(
     effects: Vec<Effect>,
     conns: &HashMap<u64, ConnState>,
@@ -806,6 +1037,7 @@ fn execute_effects(
     log: &mut LogSink,
     pool: &FanoutPool,
     metrics: &mut ServerMetrics,
+    health: &Arc<HealthRegistry>,
     trace: Option<TraceToken>,
 ) {
     let fanout_started = Instant::now();
@@ -822,6 +1054,7 @@ fn execute_effects(
                         frame: encode_event(&event),
                         class: classify(&event),
                         group: None,
+                        delivered: None,
                     });
                 }
             }
@@ -856,6 +1089,16 @@ fn execute_effects(
                 metrics.fanout_encodes.inc();
                 let mut dispatched = 0u64;
                 let class = classify(&event);
+                // The group's health cell is resolved once per
+                // broadcast (one registry lock), then shared lock-free
+                // by every recipient's work item.
+                let health_note = if let ServerEvent::Multicast { logged, .. } = &event {
+                    let cell = health.group(group);
+                    cell.note_sequenced(logged.seq.raw());
+                    Some((cell, logged.seq.raw()))
+                } else {
+                    None
+                };
                 for to in recipients {
                     if let Some(conn_id) = client_conn.get(&to) {
                         if let Some(state) = conns.get(conn_id) {
@@ -867,6 +1110,7 @@ fn execute_effects(
                                 frame: frame.clone(),
                                 class,
                                 group: Some(group),
+                                delivered: health_note.clone(),
                             });
                         }
                     }

@@ -1,0 +1,416 @@
+//! Watchdog detector cores.
+//!
+//! Each detector is a pure state machine over an injectable clock
+//! (`now_ms`), so the discrete-event simulator can drive them under
+//! virtual time and the tests are deterministic. Detection and
+//! emission are separate: a detector returns [`OpsEvent`]s, and the
+//! caller routes them through [`HealthRegistry::emit`] which stamps
+//! the trace id, dumps the flight recorder, and writes the JSONL line.
+//!
+//! [`HealthRegistry::emit`]: crate::HealthRegistry::emit
+
+use crate::registry::HealthRegistry;
+use corona_types::id::GroupId;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write;
+
+/// Thresholds for the four watchdogs. The defaults suit the test
+/// deployments in this repo; production deployments tune them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// A group is stalled when broadcasts have been submitted but the
+    /// sequencer has made no progress for this long.
+    pub stall_after_ms: u64,
+    /// Trip the transmit-queue alarm when the fan-out queue
+    /// high-watermark reaches this depth.
+    pub queue_hwm_alarm: u64,
+    /// Window for the election-flap detector.
+    pub flap_window_ms: u64,
+    /// Elections within [`flap_window_ms`] that constitute a flap.
+    ///
+    /// [`flap_window_ms`]: WatchdogConfig::flap_window_ms
+    pub flap_elections: u64,
+    /// Window for the reconnect-storm detector.
+    pub storm_window_ms: u64,
+    /// Session resumes within [`storm_window_ms`] that constitute a
+    /// storm.
+    ///
+    /// [`storm_window_ms`]: WatchdogConfig::storm_window_ms
+    pub storm_reconnects: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            stall_after_ms: 500,
+            queue_hwm_alarm: 3072,
+            flap_window_ms: 10_000,
+            flap_elections: 3,
+            storm_window_ms: 5_000,
+            storm_reconnects: 32,
+        }
+    }
+}
+
+/// A structured operations event produced by a watchdog trip (or
+/// recovery). Serialised as one JSONL line via [`OpsEvent::to_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpsEvent {
+    /// Detection time, in the driving clock's milliseconds.
+    pub at_ms: u64,
+    /// Event kind, e.g. `sequencing_stall` or `election_flap`.
+    pub kind: &'static str,
+    /// The affected group, when the condition is per-group.
+    pub group: Option<GroupId>,
+    /// Condition magnitude (stalled submissions, queue depth,
+    /// election count, reconnect count — per `kind`).
+    pub value: u64,
+    /// Human-oriented one-line description.
+    pub detail: String,
+    /// Trace id of the traffic in flight when the condition arose
+    /// (0 when tracing is off).
+    pub trace: u64,
+    /// Path of the flight-recorder dump taken at emission, if any.
+    pub flight_dump: Option<String>,
+}
+
+impl OpsEvent {
+    /// Builds an event with no detail text, trace, or dump; the
+    /// registry fills the latter two at emission.
+    pub fn new(at_ms: u64, kind: &'static str, group: Option<GroupId>, value: u64) -> OpsEvent {
+        OpsEvent {
+            at_ms,
+            kind,
+            group,
+            value,
+            detail: String::new(),
+            trace: 0,
+            flight_dump: None,
+        }
+    }
+
+    /// Attaches a detail line.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> OpsEvent {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Renders the event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        let _ = write!(out, "{{\"at_ms\":{},\"kind\":\"", self.at_ms);
+        crate::json_escape_into(&mut out, self.kind);
+        out.push('"');
+        if let Some(group) = self.group {
+            let _ = write!(out, ",\"group\":\"{group}\"");
+        }
+        let _ = write!(out, ",\"value\":{}", self.value);
+        if !self.detail.is_empty() {
+            out.push_str(",\"detail\":\"");
+            crate::json_escape_into(&mut out, &self.detail);
+            out.push('"');
+        }
+        let _ = write!(out, ",\"trace\":{}", self.trace);
+        if let Some(dump) = &self.flight_dump {
+            out.push_str(",\"flight_dump\":\"");
+            crate::json_escape_into(&mut out, dump);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Per-group sequencing-stall bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct StallState {
+    /// Sequenced-update count at the last observed progress.
+    last_progress_count: u64,
+    /// Submitted count at the last observed progress.
+    last_progress_submitted: u64,
+    /// When progress was last observed.
+    since_ms: u64,
+    /// Whether the stall alarm is currently tripped.
+    tripped: bool,
+}
+
+/// The four watchdogs of the coordinator star topology, as pure
+/// detectors over an injectable clock.
+#[derive(Debug, Default)]
+pub struct Watchdogs {
+    config: WatchdogConfig,
+    stalls: BTreeMap<GroupId, StallState>,
+    queue_tripped: bool,
+    elections: VecDeque<u64>,
+    flap_tripped: bool,
+    reconnects: VecDeque<u64>,
+    storm_tripped: bool,
+}
+
+impl Watchdogs {
+    /// Creates the watchdog set with the given thresholds.
+    pub fn new(config: WatchdogConfig) -> Watchdogs {
+        Watchdogs {
+            config,
+            stalls: BTreeMap::new(),
+            queue_tripped: false,
+            elections: VecDeque::new(),
+            flap_tripped: false,
+            reconnects: VecDeque::new(),
+            storm_tripped: false,
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    /// Groups whose sequencing-stall alarm is currently tripped.
+    pub fn stalled_groups(&self) -> Vec<GroupId> {
+        self.stalls
+            .iter()
+            .filter(|(_, s)| s.tripped)
+            .map(|(g, _)| *g)
+            .collect()
+    }
+
+    /// Records a resolved election at `now_ms`; returns a flap event
+    /// when this makes `flap_elections` within `flap_window_ms`.
+    pub fn note_election(&mut self, now_ms: u64) -> Option<OpsEvent> {
+        self.elections.push_back(now_ms);
+        Self::expire(&mut self.elections, now_ms, self.config.flap_window_ms);
+        let n = self.elections.len() as u64;
+        if n >= self.config.flap_elections {
+            if !self.flap_tripped {
+                self.flap_tripped = true;
+                return Some(
+                    OpsEvent::new(now_ms, "election_flap", None, n).with_detail(format!(
+                        "{n} elections within {}ms (threshold {})",
+                        self.config.flap_window_ms, self.config.flap_elections
+                    )),
+                );
+            }
+        } else {
+            self.flap_tripped = false;
+        }
+        None
+    }
+
+    /// Records a client session resume at `now_ms`; returns a storm
+    /// event when this makes `storm_reconnects` within
+    /// `storm_window_ms`.
+    pub fn note_reconnect(&mut self, now_ms: u64) -> Option<OpsEvent> {
+        self.reconnects.push_back(now_ms);
+        Self::expire(&mut self.reconnects, now_ms, self.config.storm_window_ms);
+        let n = self.reconnects.len() as u64;
+        if n >= self.config.storm_reconnects {
+            if !self.storm_tripped {
+                self.storm_tripped = true;
+                return Some(
+                    OpsEvent::new(now_ms, "reconnect_storm", None, n).with_detail(format!(
+                        "{n} session resumes within {}ms (threshold {})",
+                        self.config.storm_window_ms, self.config.storm_reconnects
+                    )),
+                );
+            }
+        } else {
+            self.storm_tripped = false;
+        }
+        None
+    }
+
+    /// Polls the registry-backed conditions (sequencing stall per
+    /// group, transmit-queue high-watermark) at `now_ms`. Returns any
+    /// newly tripped or recovered conditions; each alarm fires once
+    /// per episode.
+    pub fn poll(&mut self, registry: &HealthRegistry, now_ms: u64) -> Vec<OpsEvent> {
+        let mut events = Vec::new();
+        for (group, cell) in registry.groups() {
+            let count = cell.sequenced_count();
+            let submitted = cell.submitted();
+            let state = self.stalls.entry(group).or_insert(StallState {
+                last_progress_count: count,
+                last_progress_submitted: submitted,
+                since_ms: now_ms,
+                tripped: false,
+            });
+            if count > state.last_progress_count {
+                // Sequencer made progress: reset, and recover if tripped.
+                if state.tripped {
+                    events.push(
+                        OpsEvent::new(
+                            now_ms,
+                            "sequencing_stall_recovered",
+                            Some(group),
+                            count - state.last_progress_count,
+                        )
+                        .with_detail("sequencer resumed after stall"),
+                    );
+                }
+                *state = StallState {
+                    last_progress_count: count,
+                    last_progress_submitted: submitted,
+                    since_ms: now_ms,
+                    tripped: false,
+                };
+            } else if submitted > state.last_progress_submitted
+                && now_ms.saturating_sub(state.since_ms) >= self.config.stall_after_ms
+                && !state.tripped
+            {
+                state.tripped = true;
+                let pending = submitted - state.last_progress_submitted;
+                events.push(
+                    OpsEvent::new(now_ms, "sequencing_stall", Some(group), pending).with_detail(
+                        format!(
+                            "{pending} broadcasts submitted with no sequenced progress \
+                             for {}ms",
+                            now_ms.saturating_sub(state.since_ms)
+                        ),
+                    ),
+                );
+            }
+        }
+        let hwm = registry.queue_hwm();
+        if hwm >= self.config.queue_hwm_alarm && !self.queue_tripped {
+            self.queue_tripped = true;
+            events.push(
+                OpsEvent::new(now_ms, "queue_hwm", None, hwm).with_detail(format!(
+                    "fan-out transmit-queue high-watermark {hwm} \u{2265} alarm {}",
+                    self.config.queue_hwm_alarm
+                )),
+            );
+        }
+        events
+    }
+
+    fn expire(window: &mut VecDeque<u64>, now_ms: u64, span_ms: u64) {
+        while let Some(&t) = window.front() {
+            if now_ms.saturating_sub(t) > span_ms {
+                window.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloConfig;
+    use crate::HealthRegistry;
+
+    fn wd(config: WatchdogConfig) -> Watchdogs {
+        Watchdogs::new(config)
+    }
+
+    #[test]
+    fn stall_trips_after_quiet_period_and_recovers() {
+        let reg = HealthRegistry::new(SloConfig::default());
+        let g = reg.group(GroupId::new(1));
+        let mut dogs = wd(WatchdogConfig {
+            stall_after_ms: 100,
+            ..WatchdogConfig::default()
+        });
+        g.note_submitted();
+        g.note_sequenced(1);
+        assert!(dogs.poll(&reg, 0).is_empty(), "baseline poll");
+        // Submissions continue but nothing gets sequenced.
+        g.note_submitted();
+        g.note_submitted();
+        assert!(dogs.poll(&reg, 50).is_empty(), "not stalled yet");
+        let tripped = dogs.poll(&reg, 150);
+        assert_eq!(tripped.len(), 1, "{tripped:?}");
+        assert_eq!(tripped[0].kind, "sequencing_stall");
+        assert_eq!(tripped[0].value, 2, "two pending submissions");
+        assert_eq!(dogs.stalled_groups(), vec![GroupId::new(1)]);
+        assert!(dogs.poll(&reg, 300).is_empty(), "fires once per episode");
+        // Sequencer resumes.
+        g.note_sequenced(2);
+        let recovered = dogs.poll(&reg, 400);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].kind, "sequencing_stall_recovered");
+        assert!(dogs.stalled_groups().is_empty());
+    }
+
+    #[test]
+    fn idle_group_never_trips() {
+        let reg = HealthRegistry::new(SloConfig::default());
+        let g = reg.group(GroupId::new(1));
+        g.note_sequenced(5);
+        let mut dogs = wd(WatchdogConfig {
+            stall_after_ms: 100,
+            ..WatchdogConfig::default()
+        });
+        assert!(dogs.poll(&reg, 0).is_empty());
+        assert!(
+            dogs.poll(&reg, 10_000).is_empty(),
+            "quiet group with no submissions is idle, not stalled"
+        );
+    }
+
+    #[test]
+    fn queue_hwm_alarm_fires_once() {
+        let reg = HealthRegistry::new(SloConfig::default());
+        let mut dogs = wd(WatchdogConfig {
+            queue_hwm_alarm: 10,
+            ..WatchdogConfig::default()
+        });
+        reg.note_queue_depth(9);
+        assert!(dogs.poll(&reg, 0).is_empty());
+        reg.note_queue_depth(11);
+        let tripped = dogs.poll(&reg, 1);
+        assert_eq!(tripped.len(), 1);
+        assert_eq!(tripped[0].kind, "queue_hwm");
+        assert_eq!(tripped[0].value, 11);
+        assert!(dogs.poll(&reg, 2).is_empty(), "fires once");
+    }
+
+    #[test]
+    fn election_flap_needs_three_in_window() {
+        let mut dogs = wd(WatchdogConfig {
+            flap_window_ms: 1000,
+            flap_elections: 3,
+            ..WatchdogConfig::default()
+        });
+        assert!(dogs.note_election(0).is_none());
+        assert!(
+            dogs.note_election(2000).is_none(),
+            "first fell out of window"
+        );
+        assert!(dogs.note_election(2500).is_none(), "only two in window");
+        let e = dogs.note_election(2900).expect("third within window trips");
+        assert_eq!(e.kind, "election_flap");
+        assert_eq!(e.value, 3);
+        assert!(dogs.note_election(2950).is_none(), "fires once per episode");
+    }
+
+    #[test]
+    fn reconnect_storm_trips_at_threshold() {
+        let mut dogs = wd(WatchdogConfig {
+            storm_window_ms: 1000,
+            storm_reconnects: 4,
+            ..WatchdogConfig::default()
+        });
+        for t in [0, 10, 20] {
+            assert!(dogs.note_reconnect(t).is_none());
+        }
+        let e = dogs.note_reconnect(30).expect("fourth trips");
+        assert_eq!(e.kind, "reconnect_storm");
+        assert_eq!(e.value, 4);
+    }
+
+    #[test]
+    fn ops_event_json_is_escaped_and_complete() {
+        let mut e = OpsEvent::new(7, "queue_hwm", Some(GroupId::new(3)), 42)
+            .with_detail("depth \"q\" \u{2265} alarm");
+        e.trace = 99;
+        e.flight_dump = Some("/tmp/dump.jsonl".to_string());
+        let json = e.to_json();
+        assert!(json.contains("\"at_ms\":7"), "{json}");
+        assert!(json.contains("\\\"q\\\""), "{json}");
+        assert!(json.contains("\"trace\":99"), "{json}");
+        assert!(json.contains("/tmp/dump.jsonl"), "{json}");
+    }
+}

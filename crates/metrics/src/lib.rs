@@ -99,6 +99,13 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Raises the value to `v` if it is above the current value — for
+    /// high-watermark gauges that must not lose transient peaks
+    /// between scrapes.
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Adds `n` (may be negative).
     pub fn add(&self, n: i64) {
         self.0.fetch_add(n, Ordering::Relaxed);

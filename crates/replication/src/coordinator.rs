@@ -444,6 +444,9 @@ fn request_group(request: &ClientRequest) -> Option<GroupId> {
         | ClientRequest::AcquireLock { group, .. }
         | ClientRequest::ReleaseLock { group, .. }
         | ClientRequest::ReduceLog { group, .. } => Some(*group),
-        ClientRequest::Hello { .. } | ClientRequest::Ping { .. } | ClientRequest::Goodbye => None,
+        ClientRequest::Hello { .. }
+        | ClientRequest::Ping { .. }
+        | ClientRequest::Goodbye
+        | ClientRequest::GetHealth => None,
     }
 }

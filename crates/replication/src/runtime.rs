@@ -15,6 +15,7 @@ use crate::coordinator::{CoordEffect, CoordinatorCore};
 use crate::election::{ElectionCore, ElectionEffect};
 use crate::replica::{ReplicaCore, ReplicaEffect};
 use corona_core::ServerConfig;
+use corona_health::{ConnPressure, HealthRegistry, Watchdogs};
 use corona_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
 use corona_transport::{Connection, Dialer, Listener};
 use corona_types::error::{CoronaError, Result};
@@ -111,6 +112,7 @@ enum Command {
     },
     Tick,
     Status(Sender<ReplicaStatus>),
+    Health(Sender<String>),
     Shutdown,
 }
 
@@ -123,6 +125,7 @@ pub struct ReplicatedServer {
     peer_listener: Arc<Box<dyn Listener>>,
     threads: Vec<JoinHandle<()>>,
     registry: Arc<Registry>,
+    health: Arc<HealthRegistry>,
 }
 
 /// Replication-layer metric handles. Names:
@@ -184,6 +187,8 @@ impl ReplicatedServer {
         }
         let client_addr = client_listener.local_addr();
         let registry = Registry::new();
+        let health = HealthRegistry::new(config.server_config.slo);
+        health.set_queue_capacity(config.server_config.send_queue_capacity as u64);
         let (cmd_tx, cmd_rx) = channel::unbounded::<Command>();
         let mut threads = Vec::new();
 
@@ -250,11 +255,12 @@ impl ReplicatedServer {
         {
             let tx = cmd_tx.clone();
             let registry = Arc::clone(&registry);
+            let health = Arc::clone(&health);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("repl-{me}-dispatch"))
                     .spawn(move || {
-                        Dispatcher::new(config, dialer, tx, registry).run(cmd_rx);
+                        Dispatcher::new(config, dialer, tx, registry, health).run(cmd_rx);
                     })
                     .expect("spawn dispatcher"),
             );
@@ -268,6 +274,7 @@ impl ReplicatedServer {
             peer_listener,
             threads,
             registry,
+            health,
         })
     }
 
@@ -307,6 +314,27 @@ impl ReplicatedServer {
     /// The metric registry shared by this server's roles.
     pub fn metrics_registry(&self) -> Arc<Registry> {
         Arc::clone(&self.registry)
+    }
+
+    /// A versioned JSON health snapshot assembled by the dispatcher
+    /// (same payload clients receive for `ClientRequest::GetHealth`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoronaError::Closed`] after shutdown.
+    pub fn health_json(&self) -> Result<String> {
+        let (tx, rx) = channel::bounded(1);
+        self.cmd_tx
+            .send(Command::Health(tx))
+            .map_err(|_| CoronaError::Closed)?;
+        rx.recv_timeout(Duration::from_secs(5))
+            .map_err(|_| CoronaError::Closed)
+    }
+
+    /// The live health registry (lock-free cells; readable without
+    /// round-tripping through the dispatcher).
+    pub fn health_registry(&self) -> Arc<HealthRegistry> {
+        Arc::clone(&self.health)
     }
 
     /// Orderly shutdown.
@@ -417,6 +445,13 @@ struct Dispatcher {
     failover_started: Option<Instant>,
     /// Highest epoch this server has claimed (one round per epoch).
     claimed_epoch: Option<Epoch>,
+    /// Live health cells shared with the owning `ReplicatedServer`.
+    health: Arc<HealthRegistry>,
+    /// Health-plane watchdogs, polled from `tick()`.
+    watchdogs: Watchdogs,
+    /// Last epoch counted as a resolved election by the health plane
+    /// (startup epoch pre-counted so boot is not an "election").
+    counted_epoch: Option<Epoch>,
 }
 
 impl Dispatcher {
@@ -425,6 +460,7 @@ impl Dispatcher {
         dialer: Arc<dyn Dialer>,
         cmd_tx: Sender<Command>,
         registry: Arc<Registry>,
+        health: Arc<HealthRegistry>,
     ) -> Self {
         let me = config.server_config.server_id;
         let order: Vec<ServerId> = config.servers.iter().map(|(id, _)| *id).collect();
@@ -439,6 +475,7 @@ impl Dispatcher {
             ));
         }
         let metrics = ReplMetrics::new(&registry);
+        let watchdogs = Watchdogs::new(config.server_config.watchdog);
         Dispatcher {
             me,
             dialer,
@@ -460,6 +497,9 @@ impl Dispatcher {
             last_heartbeat: None,
             failover_started: None,
             claimed_epoch: None,
+            health,
+            watchdogs,
+            counted_epoch: Some(Epoch::ZERO),
             config,
         }
     }
@@ -498,6 +538,10 @@ impl Dispatcher {
                         hosted_groups: self.replica.hosted_groups().len(),
                     });
                 }
+                Command::Health(reply) => {
+                    let snapshot = self.build_health_snapshot();
+                    let _ = reply.send(snapshot);
+                }
                 Command::Shutdown => break,
             }
         }
@@ -528,6 +572,29 @@ impl Dispatcher {
                 0,
                 0,
             );
+            self.health.note_trace(t.id);
+        }
+        let handle_started = Instant::now();
+        // Health snapshots are assembled here at the runtime (the pure
+        // cores never see the request), and are served even before the
+        // session's `Hello` so bare admin probes work.
+        if matches!(request, ClientRequest::GetHealth) {
+            let event = ServerEvent::Health {
+                schema: corona_health::SCHEMA_VERSION,
+                json: self.build_health_snapshot(),
+            };
+            if let Some((conn, _)) = self.client_conns.get(&conn_id) {
+                let _ = conn.send(event.encode_to_bytes());
+            }
+            return;
+        }
+        match &request {
+            ClientRequest::Broadcast { group, .. } => {
+                self.health.group(*group).note_submitted();
+            }
+            ClientRequest::Join { group, .. } => self.health.group(*group).note_join(),
+            ClientRequest::Leave { group } => self.health.group(*group).note_leave(),
+            _ => {}
         }
         let now = Timestamp::now();
         let known_client = self.client_conns.get(&conn_id).and_then(|(_, c)| *c);
@@ -539,6 +606,13 @@ impl Dispatcher {
                     resume,
                     ..
                 } => {
+                    if resume.is_some() {
+                        self.health.note_reconnect();
+                        let now_ms = self.now_ms();
+                        if let Some(event) = self.watchdogs.note_reconnect(now_ms) {
+                            self.health.emit(event);
+                        }
+                    }
                     let (client, effects) = self.replica.client_hello(display_name, resume);
                     if let Some(entry) = self.client_conns.get_mut(&conn_id) {
                         entry.1 = Some(client);
@@ -568,6 +642,10 @@ impl Dispatcher {
             }
         };
         self.drain(effects.into_iter().map(Work::Replica).collect());
+        self.health.slo().record(
+            handle_started.elapsed().as_micros() as u64,
+            self.health.uptime_ms(),
+        );
         if greeted {
             // After the Welcome (which must be the session's first
             // frame) tell the new client where every replica lives.
@@ -612,6 +690,9 @@ impl Dispatcher {
 
     fn tick(&mut self) {
         let now = self.now_ms();
+        for event in self.watchdogs.poll(&self.health, now) {
+            self.health.emit(event);
+        }
         let mut work: VecDeque<Work> = self
             .election
             .on_tick(now)
@@ -742,6 +823,9 @@ impl Dispatcher {
                         0,
                     );
                 }
+                if let PeerMessage::Sequenced { group, logged, .. } = &msg {
+                    self.health.group(*group).note_sequenced(logged.seq.raw());
+                }
                 let effects = self.replica.handle_peer(msg);
                 queue.extend(effects.into_iter().map(Work::Replica));
             }
@@ -783,6 +867,7 @@ impl Dispatcher {
             ElectionEffect::BecomeCoordinator => {
                 self.metrics.elections_won.inc();
                 self.note_failover_resolved();
+                self.note_election_resolved();
                 self.coordinator = Some(CoordinatorCore::with_registry(
                     &self.config.server_config,
                     self.election.epoch(),
@@ -802,6 +887,7 @@ impl Dispatcher {
             }
             ElectionEffect::FollowCoordinator(coordinator) => {
                 self.note_failover_resolved();
+                self.note_election_resolved();
                 self.coordinator = None;
                 if self.resynced_epoch != Some(self.election.epoch()) {
                     self.resynced_epoch = Some(self.election.epoch());
@@ -823,11 +909,22 @@ impl Dispatcher {
             ReplicaEffect::ToClients { recipients, event } => {
                 // Encode once; all local recipients share the
                 // refcounted frame.
+                let delivered = match &event {
+                    ServerEvent::Multicast { group, logged } => {
+                        Some((self.health.group(*group), logged.seq.raw()))
+                    }
+                    _ => None,
+                };
                 let frame = event.encode_to_bytes();
                 for to in recipients {
                     if let Some(conn_id) = self.client_conn_of.get(&to) {
                         if let Some((conn, _)) = self.client_conns.get(conn_id) {
-                            let _ = conn.send(frame.clone());
+                            if conn.send(frame.clone()).is_ok() {
+                                if let Some((cell, seq)) = &delivered {
+                                    cell.note_delivered(*seq);
+                                }
+                            }
+                            self.health.note_queue_depth(conn.backlog() as u64);
                         }
                     }
                 }
@@ -848,7 +945,11 @@ impl Dispatcher {
         match eff {
             CoordEffect::ToServer { to, msg } => {
                 if to == self.me {
-                    // Our own replica half.
+                    // Our own replica half (bypasses `handle_local_peer`,
+                    // so the sequencing-progress note happens here too).
+                    if let PeerMessage::Sequenced { group, logged, .. } = &msg {
+                        self.health.group(*group).note_sequenced(logged.seq.raw());
+                    }
                     let effects = self.replica.handle_peer(msg);
                     queue.extend(effects.into_iter().map(Work::Replica));
                 } else {
@@ -866,7 +967,12 @@ impl Dispatcher {
     fn send_client(&mut self, to: ClientId, event: &ServerEvent) {
         if let Some(conn_id) = self.client_conn_of.get(&to) {
             if let Some((conn, _)) = self.client_conns.get(conn_id) {
-                let _ = conn.send(event.encode_to_bytes());
+                if conn.send(event.encode_to_bytes()).is_ok() {
+                    if let ServerEvent::Multicast { group, logged } = event {
+                        self.health.group(*group).note_delivered(logged.seq.raw());
+                    }
+                }
+                self.health.note_queue_depth(conn.backlog() as u64);
             }
         }
     }
@@ -935,6 +1041,50 @@ impl Dispatcher {
                 );
             }
         }
+    }
+
+    /// Counts a resolved election (once per epoch) for the health
+    /// plane and feeds the flap detector.
+    fn note_election_resolved(&mut self) {
+        let epoch = self.election.epoch();
+        if self.counted_epoch == Some(epoch) {
+            return;
+        }
+        self.counted_epoch = Some(epoch);
+        self.health.note_election();
+        let now_ms = self.now_ms();
+        if let Some(event) = self.watchdogs.note_election(now_ms) {
+            self.health.emit(event);
+        }
+    }
+
+    /// Assembles the versioned health snapshot: exact membership sizes
+    /// and standby tails are published here (snapshot time), while the
+    /// monotonic counters accumulate lock-free on the hot path.
+    fn build_health_snapshot(&mut self) -> String {
+        for group in self.replica.hosted_groups() {
+            let cell = self.health.group(group);
+            cell.set_members(self.replica.local_members(group).len() as u64);
+            if let Some(log) = self.replica.standby_log(group) {
+                cell.note_standby_tail(log.last_seq().raw());
+            }
+        }
+        let capacity = self.config.server_config.send_queue_capacity as u64;
+        let pressure: Vec<ConnPressure> = self
+            .client_conns
+            .iter()
+            .filter(|(_, (_, client))| client.is_some())
+            .map(|(conn_id, (conn, _))| {
+                let backlog = conn.backlog() as u64;
+                ConnPressure {
+                    conn_id: *conn_id,
+                    backlog,
+                    backpressured: backlog * 2 >= capacity,
+                }
+            })
+            .collect();
+        let stalled = self.watchdogs.stalled_groups();
+        self.health.snapshot_json(&pressure, &stalled)
     }
 
     fn send_peer(&mut self, to: ServerId, msg: PeerMessage, _queue: &mut VecDeque<Work>) {

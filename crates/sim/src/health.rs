@@ -1,0 +1,290 @@
+//! Health-plane models for the deterministic simulator.
+//!
+//! Two things live here:
+//!
+//! * [`WatchdogSim`] — a discrete-event harness that drives the
+//!   *production* watchdog detectors ([`corona_health::Watchdogs`])
+//!   from the simulator's virtual clock. The detectors take an
+//!   explicit `now_ms`, so the same code that guards the threaded
+//!   runtimes can be tripped deterministically: pause the simulated
+//!   coordinator and the sequencing-stall alarm fires at an exact
+//!   virtual millisecond, every run.
+//! * [`capacity_sweep`] — sweeps the round-trip experiment over client
+//!   populations and fits a [`CapacityModel`]: the largest population
+//!   whose p99 round trip stays inside a latency budget. This is what
+//!   the bench binaries print as `HEALTH {json}` lines.
+
+use crate::corona::{roundtrip, ExperimentConfig};
+use crate::engine::{Scheduler, SimModel, SimTime, Simulation};
+use corona_health::{
+    CapacityModel, CapacityPoint, HealthRegistry, OpsEvent, SloConfig, WatchdogConfig, Watchdogs,
+};
+use corona_types::id::GroupId;
+use std::sync::Arc;
+
+/// Events of the watchdog simulation. Virtual time is in
+/// **milliseconds** (unlike the round-trip models, which tick in µs —
+/// the watchdog thresholds are all millisecond-scale).
+#[derive(Debug, Clone, Copy)]
+pub enum HealthEvent {
+    /// A client submits a broadcast to `group`.
+    Submit(GroupId),
+    /// The (simulated) coordinator sequences the next update for
+    /// `group` — suppressed while the coordinator is paused.
+    Sequence(GroupId),
+    /// The runtime's periodic watchdog poll.
+    Poll,
+    /// An election resolves (feeds the flap detector).
+    Election,
+    /// A client reconnects with a resume token (feeds the storm
+    /// detector).
+    Reconnect,
+}
+
+/// A deterministic model wiring the production health registry and
+/// watchdogs to simulated traffic.
+pub struct WatchdogSim {
+    /// The registry under test (the same type the servers use).
+    pub registry: Arc<HealthRegistry>,
+    watchdogs: Watchdogs,
+    /// Virtual time between watchdog polls, ms.
+    pub poll_interval_ms: SimTime,
+    /// Horizon after which polls stop rescheduling, ms.
+    pub horizon_ms: SimTime,
+    /// Virtual interval `[pause_from, pause_until)` during which the
+    /// coordinator sequences nothing (Sequence events are dropped).
+    pub coordinator_paused: Option<(SimTime, SimTime)>,
+    /// Next sequence number per run (monotonic).
+    next_seq: u64,
+    /// Ops events the watchdogs emitted, with their virtual times.
+    pub ops: Vec<(SimTime, OpsEvent)>,
+}
+
+impl WatchdogSim {
+    /// Creates a model with the given watchdog thresholds.
+    pub fn new(config: WatchdogConfig) -> Self {
+        WatchdogSim {
+            registry: HealthRegistry::new(SloConfig::default()),
+            watchdogs: Watchdogs::new(config),
+            poll_interval_ms: 50,
+            horizon_ms: 5_000,
+            coordinator_paused: None,
+            next_seq: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Kinds of the emitted ops events, in virtual-time order.
+    pub fn ops_kinds(&self) -> Vec<&'static str> {
+        self.ops.iter().map(|(_, e)| e.kind).collect()
+    }
+
+    /// Virtual time of the first event with `kind`, if any fired.
+    pub fn first_at(&self, kind: &str) -> Option<SimTime> {
+        self.ops
+            .iter()
+            .find(|(_, e)| e.kind == kind)
+            .map(|(at, _)| *at)
+    }
+
+    fn paused_at(&self, now: SimTime) -> bool {
+        self.coordinator_paused
+            .is_some_and(|(from, until)| now >= from && now < until)
+    }
+}
+
+impl SimModel for WatchdogSim {
+    type Event = HealthEvent;
+
+    fn handle(&mut self, event: HealthEvent, sched: &mut Scheduler<HealthEvent>) {
+        let now = sched.now();
+        match event {
+            HealthEvent::Submit(group) => {
+                self.registry.group(group).note_submitted();
+                // In the real runtimes the coordinator sequences the
+                // update one hop later; model that as a 1 ms delay.
+                sched.after(1, HealthEvent::Sequence(group));
+            }
+            HealthEvent::Sequence(group) => {
+                if self.paused_at(now) {
+                    return; // coordinator is down: nothing sequences
+                }
+                self.next_seq += 1;
+                let cell = self.registry.group(group);
+                cell.note_sequenced(self.next_seq);
+                cell.note_delivered(self.next_seq);
+            }
+            HealthEvent::Poll => {
+                for e in self.watchdogs.poll(&self.registry, now) {
+                    self.ops.push((now, e));
+                }
+                if now < self.horizon_ms {
+                    sched.after(self.poll_interval_ms, HealthEvent::Poll);
+                }
+            }
+            HealthEvent::Election => {
+                self.registry.note_election();
+                if let Some(e) = self.watchdogs.note_election(now) {
+                    self.ops.push((now, e));
+                }
+            }
+            HealthEvent::Reconnect => {
+                self.registry.note_reconnect();
+                if let Some(e) = self.watchdogs.note_reconnect(now) {
+                    self.ops.push((now, e));
+                }
+            }
+        }
+    }
+}
+
+/// Runs a paused-coordinator scenario: a steady submitter, a
+/// coordinator that goes silent during `[pause_from, pause_until)`,
+/// and the watchdog poll. Returns the completed model for assertions.
+pub fn stall_scenario(
+    config: WatchdogConfig,
+    pause_from: SimTime,
+    pause_until: SimTime,
+    horizon_ms: SimTime,
+) -> WatchdogSim {
+    let group = GroupId::new(1);
+    let mut model = WatchdogSim::new(config);
+    model.horizon_ms = horizon_ms;
+    model.coordinator_paused = Some((pause_from, pause_until));
+    let mut sim = Simulation::new(model);
+    // A broadcast every 20 virtual ms for the whole horizon.
+    let mut at = 0;
+    while at < horizon_ms {
+        sim.seed(at, HealthEvent::Submit(group));
+        at += 20;
+    }
+    sim.seed(0, HealthEvent::Poll);
+    sim.run_until(horizon_ms);
+    sim.into_model()
+}
+
+/// The 99th-percentile of a sample set (nearest-rank), 0 when empty.
+pub fn p99_us(samples: &[SimTime]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() as f64) * 0.99).ceil() as usize;
+    sorted[idx.clamp(1, sorted.len()) - 1]
+}
+
+/// Sweeps the round-trip experiment over `populations` and fits a
+/// capacity model against `budget_us`: the estimated largest client
+/// population a server sustains with p99 round trip inside the budget.
+pub fn capacity_sweep(
+    base: ExperimentConfig,
+    budget_us: u64,
+    populations: &[usize],
+) -> CapacityModel {
+    let mut model = CapacityModel::new(budget_us);
+    for &n in populations {
+        let results = roundtrip(ExperimentConfig {
+            n_clients: n,
+            ..base
+        });
+        model.push(CapacityPoint {
+            clients: n as u64,
+            p99_us: p99_us(&results.rtts_us),
+        });
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> WatchdogConfig {
+        WatchdogConfig {
+            stall_after_ms: 200,
+            flap_window_ms: 1_000,
+            flap_elections: 3,
+            storm_window_ms: 500,
+            storm_reconnects: 4,
+            ..WatchdogConfig::default()
+        }
+    }
+
+    #[test]
+    fn paused_coordinator_trips_sequencing_stall_deterministically() {
+        // Coordinator silent from t=1000 to t=2000; stall threshold
+        // 200 ms; polls every 50 ms. The alarm must fire while the
+        // pause is in effect, and at the same virtual time every run.
+        let a = stall_scenario(fast_config(), 1_000, 2_000, 3_000);
+        let b = stall_scenario(fast_config(), 1_000, 2_000, 3_000);
+        let at_a = a.first_at("sequencing_stall").expect("stall fired");
+        let at_b = b.first_at("sequencing_stall").expect("stall fired");
+        assert_eq!(at_a, at_b, "virtual-clock detection is deterministic");
+        assert!(
+            (1_200..2_000).contains(&at_a),
+            "fired inside the pause after the threshold, got {at_a}"
+        );
+        // Once the coordinator resumes, the recovery event follows.
+        let rec = a
+            .first_at("sequencing_stall_recovered")
+            .expect("recovery fired");
+        assert!(rec >= 2_000, "recovered after the pause, got {rec}");
+    }
+
+    #[test]
+    fn healthy_coordinator_never_trips() {
+        let m = stall_scenario(fast_config(), 0, 0, 3_000);
+        assert_eq!(m.first_at("sequencing_stall"), None);
+    }
+
+    #[test]
+    fn election_flap_trips_on_third_election_in_window() {
+        let mut sim = Simulation::new(WatchdogSim::new(fast_config()));
+        for at in [100, 400, 700] {
+            sim.seed(at, HealthEvent::Election);
+        }
+        sim.run_to_completion();
+        let m = sim.into_model();
+        assert_eq!(m.first_at("election_flap"), Some(700));
+        assert_eq!(m.registry.elections(), 3);
+    }
+
+    #[test]
+    fn spread_out_elections_do_not_flap() {
+        let mut sim = Simulation::new(WatchdogSim::new(fast_config()));
+        for at in [100, 2_000, 4_000] {
+            sim.seed(at, HealthEvent::Election);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.into_model().first_at("election_flap"), None);
+    }
+
+    #[test]
+    fn reconnect_storm_trips_deterministically() {
+        let mut sim = Simulation::new(WatchdogSim::new(fast_config()));
+        for i in 0..4u64 {
+            sim.seed(100 + i * 50, HealthEvent::Reconnect);
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.into_model().first_at("reconnect_storm"), Some(250));
+    }
+
+    #[test]
+    fn capacity_sweep_produces_monotone_points() {
+        let model = capacity_sweep(
+            ExperimentConfig {
+                messages: 30,
+                ..ExperimentConfig::default()
+            },
+            50_000,
+            &[5, 15, 30],
+        );
+        assert_eq!(model.points().len(), 3);
+        let clients: Vec<u64> = model.points().iter().map(|p| p.clients).collect();
+        assert_eq!(clients, vec![5, 15, 30]);
+        // Round-trip p99 grows with population in the Figure 3 model.
+        let p99s: Vec<u64> = model.points().iter().map(|p| p.p99_us).collect();
+        assert!(p99s.windows(2).all(|w| w[0] <= w[1]), "p99s {p99s:?}");
+    }
+}

@@ -35,6 +35,7 @@
 pub mod corona;
 pub mod engine;
 pub mod failover;
+pub mod health;
 pub mod hosts;
 
 pub use corona::{
@@ -43,6 +44,7 @@ pub use corona::{
 };
 pub use engine::{Resource, Scheduler, SimModel, SimTime, Simulation};
 pub use failover::{failover_run, FailoverRun, FailoverScenario};
+pub use health::{capacity_sweep, p99_us, stall_scenario, HealthEvent, WatchdogSim};
 pub use hosts::{
     HostProfile, NetworkProfile, CAMPUS_BACKBONE, ETHERNET_10MBPS, PENTIUM_II_200, SPARC_20_CLIENT,
     ULTRASPARC_1,

@@ -202,6 +202,10 @@ pub enum ClientRequest {
     /// Graceful disconnect: the server removes the client from all
     /// groups before closing.
     Goodbye,
+    /// Admin: requests the live health snapshot (alongside the
+    /// metrics-oriented stats dump). The server answers with
+    /// [`ServerEvent::Health`].
+    GetHealth,
 }
 
 impl Encode for ClientRequest {
@@ -291,6 +295,7 @@ impl Encode for ClientRequest {
                 buf.put_varint(*nonce);
             }
             ClientRequest::Goodbye => buf.put_u8(12),
+            ClientRequest::GetHealth => buf.put_u8(13),
         }
     }
 }
@@ -349,6 +354,7 @@ impl Decode for ClientRequest {
                 nonce: reader.read_varint()?,
             }),
             12 => Ok(ClientRequest::Goodbye),
+            13 => Ok(ClientRequest::GetHealth),
             tag => Err(CodecError::InvalidTag {
                 context: "ClientRequest",
                 tag,
@@ -480,6 +486,15 @@ pub enum ServerEvent {
         /// Live servers and their client-dialable addresses.
         servers: Vec<(ServerId, String)>,
     },
+    /// Reply to `GetHealth`: the versioned health-plane snapshot.
+    /// Carried as opaque JSON so the schema can evolve without wire
+    /// changes; `schema` lets scrapers reject unknown layouts cheaply.
+    Health {
+        /// Health-snapshot schema version.
+        schema: u16,
+        /// The snapshot, one JSON object.
+        json: String,
+    },
 }
 
 impl Encode for ServerEvent {
@@ -581,6 +596,11 @@ impl Encode for ServerEvent {
                 coordinator.encode(buf);
                 encode_seq(servers, buf);
             }
+            ServerEvent::Health { schema, json } => {
+                buf.put_u8(16);
+                buf.put_u16_le(*schema);
+                buf.put_len_str(json);
+            }
         }
     }
 }
@@ -651,6 +671,10 @@ impl Decode for ServerEvent {
                 epoch: Epoch::decode(reader)?,
                 coordinator: ServerId::decode(reader)?,
                 servers: decode_seq(reader)?,
+            }),
+            16 => Ok(ServerEvent::Health {
+                schema: reader.read_u16()?,
+                json: reader.read_string()?,
             }),
             tag => Err(CodecError::InvalidTag {
                 context: "ServerEvent",
@@ -1219,6 +1243,7 @@ mod tests {
             },
             ClientRequest::Ping { nonce: 77 },
             ClientRequest::Goodbye,
+            ClientRequest::GetHealth,
         ];
         for req in requests {
             roundtrip(req);
@@ -1298,6 +1323,10 @@ mod tests {
                     (ServerId::new(2), "s2:7000".to_string()),
                     (ServerId::new(3), "s3:7000".to_string()),
                 ],
+            },
+            ServerEvent::Health {
+                schema: 1,
+                json: "{\"schema\":1,\"seq\":7}".to_string(),
             },
         ];
         for ev in events {

@@ -172,6 +172,7 @@ fn arb_client_request() -> impl Strategy<Value = ClientRequest> {
         }),
         any::<u64>().prop_map(|nonce| ClientRequest::Ping { nonce }),
         Just(ClientRequest::Goodbye),
+        Just(ClientRequest::GetHealth),
     ]
 }
 
@@ -217,6 +218,8 @@ fn arb_server_event() -> impl Strategy<Value = ServerEvent> {
                     .map(|(id, addr)| (ServerId::new(id), addr))
                     .collect(),
             }),
+        (any::<u16>(), "[ -~]{0,60}")
+            .prop_map(|(schema, json)| ServerEvent::Health { schema, json }),
     ]
 }
 

@@ -8,8 +8,10 @@
 #                       breakdown per population of the replicated star
 #
 # Each file is a single JSON object: {"bench":..,"metrics":..,
-# "trace":[..]} where every element is lifted verbatim from the
-# harness's METRICS / TRACE lines. Human-readable tables still go to
+# "trace":[..],"health":..} where every element is lifted verbatim
+# from the harness's METRICS / TRACE / HEALTH lines. The health
+# section carries the capacity estimate (max sustainable clients at
+# p99 inside the SLO budget). Human-readable tables still go to
 # stdout. --offline throughout; the workspace builds without network.
 set -eu
 
@@ -28,9 +30,20 @@ out=$(./target/release/fig3_roundtrip "$@")
 printf '%s\n' "$out"
 metrics=$(printf '%s\n' "$out" | sed -n 's/^METRICS //p')
 traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
-printf '{"bench":"fig3","metrics":%s,"trace":[%s]}\n' \
-    "$metrics" "$traces" >BENCH_fig3.json
+health=$(printf '%s\n' "$out" | sed -n 's/^HEALTH //p')
+printf '{"bench":"fig3","metrics":%s,"trace":[%s],"health":%s}\n' \
+    "$metrics" "$traces" "$health" >BENCH_fig3.json
 echo "==> wrote BENCH_fig3.json"
+# The health plane's capacity estimate must be present and carry a
+# max-sustainable-clients figure.
+case "$health" in
+*'"max_sustainable_clients":'*) ;;
+*)
+    echo "==> FAIL: BENCH_fig3.json health section missing capacity estimate" >&2
+    exit 1
+    ;;
+esac
+echo "==> health capacity: $(printf '%s' "$health" | sed -n 's/.*\("max_sustainable_clients":[0-9]*\).*/\1/p')"
 # Record the encode-once counter: one frame encode per multicast, flat
 # in the number of recipients.
 encodes=$(printf '%s' "$metrics" | sed -n 's/.*"sim\.stage\.encodes":\([0-9]*\).*/\1/p')
@@ -43,6 +56,15 @@ printf '%s\n' "$out"
 single=$(printf '%s\n' "$out" | sed -n 's/^METRICS single //p')
 replicated=$(printf '%s\n' "$out" | sed -n 's/^METRICS replicated //p')
 traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
-printf '{"bench":"table2","metrics":{"single":%s,"replicated":%s},"trace":[%s]}\n' \
-    "$single" "$replicated" "$traces" >BENCH_table2.json
+health=$(printf '%s\n' "$out" | sed -n 's/^HEALTH //p')
+printf '{"bench":"table2","metrics":{"single":%s,"replicated":%s},"trace":[%s],"health":%s}\n' \
+    "$single" "$replicated" "$traces" "$health" >BENCH_table2.json
 echo "==> wrote BENCH_table2.json"
+case "$health" in
+*'"max_sustainable_clients":'*) ;;
+*)
+    echo "==> FAIL: BENCH_table2.json health section missing capacity estimate" >&2
+    exit 1
+    ;;
+esac
+echo "==> health capacity: $(printf '%s' "$health" | sed -n 's/.*\("max_sustainable_clients":[0-9]*\).*/\1/p')"

@@ -28,6 +28,33 @@ cargo build --offline --examples
 echo "==> cargo bench --no-run --offline"
 cargo bench --no-run --offline
 
+echo "==> health smoke: admin Health snapshot over the wire"
+# The probe asserts the wire schema matches the library; here we check
+# the snapshot parses (expected top-level keys present, version 1) and
+# the SLO percentiles are monotone.
+health_out=$(cargo run --offline -q --example health_probe 2>/dev/null)
+printf '%s\n' "$health_out" | sed -n 's/^HEALTH-PROBE //p' | awk '
+{
+    if ($0 !~ /^\{"schema":1,/) { print "health: wrong/missing schema version"; exit 1 }
+    if ($0 !~ /"groups":\{/ || $0 !~ /"fanout":\{/ || $0 !~ /"slo":\{/) {
+        print "health: snapshot missing expected sections"; exit 1
+    }
+    if (!match($0, /"p50_us":[0-9]+,"p90_us":[0-9]+,"p99_us":[0-9]+,"max_us":[0-9]+/)) {
+        print "health: SLO percentiles missing"; exit 1
+    }
+    split(substr($0, RSTART, RLENGTH), parts, /[:,]/)
+    p50 = parts[2] + 0; p90 = parts[4] + 0; p99 = parts[6] + 0; max = parts[8] + 0
+    if (p50 > p90 || p90 > p99 || p99 > max) {
+        printf "health: non-monotone SLO percentiles p50=%d p90=%d p99=%d max=%d\n", p50, p90, p99, max
+        exit 1
+    }
+    n++
+}
+END {
+    if (n != 1) { print "health: no HEALTH-PROBE line"; exit 1 }
+    printf "health snapshot ok: schema 1, SLO percentiles monotone (p50=%d p99=%d)\n", p50, p99
+}'
+
 echo "==> bench sanity: exported histogram percentiles must be monotone"
 ./scripts/bench.sh >/dev/null
 for f in BENCH_fig3.json BENCH_table2.json; do

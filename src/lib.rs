@@ -84,6 +84,11 @@ pub use corona_metrics as metrics;
 /// breakdowns.
 pub use corona_trace as trace;
 
+/// Live health plane: per-group health registry, watchdogs with
+/// structured ops events, SLO burn-rate tracking, and the capacity
+/// model behind the `Health` admin command.
+pub use corona_health as health;
+
 /// Deterministic discrete-event simulator for the paper's evaluation.
 pub use corona_sim as sim;
 
