@@ -8,13 +8,148 @@
 //! client each broadcast is sent to (worst case); a data point
 //! averages 600 messages sent one per 100 ms.
 
-use corona_bench::{arg_value, header, row};
+use corona_bench::{arg_present, arg_value, fd_soft_limit, header, row, thread_count};
+use corona_core::{config::ServerConfig, rawwire::RawMember, server::CoronaServer};
 use corona_health::{CapacityModel, CapacityPoint};
 use corona_metrics::Registry;
 use corona_sim::{p99_us, roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
 use corona_trace::Breakdown;
+use corona_types::id::{GroupId, ObjectId, ServerId};
+use std::time::{Duration, Instant};
+
+/// One point of the real-TCP connection sweep: `population` idle
+/// members held by a single reactor server, round-trip measured by a
+/// sender-inclusive broadcast echoing back to the last-joined member.
+fn conn_sweep_point(population: usize, broadcasts: usize) -> String {
+    let need = (population as u64) * 2 + 600;
+    match fd_soft_limit() {
+        Some(limit) if limit >= need => {}
+        _ => {
+            return format!(
+                "{{\"population\":{population},\"skipped\":true,\"reason\":\"fd-limit\"}}"
+            );
+        }
+    }
+    let baseline = thread_count().unwrap_or(0);
+    let server = CoronaServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::stateful(ServerId::new(1)).with_reactor_shards(4),
+    )
+    .expect("bind reactor server");
+    let addr = server.local_addr();
+    let group = GroupId::new(1);
+
+    let mut members: Vec<RawMember> = Vec::with_capacity(population);
+    for i in 0..population {
+        let mut m = RawMember::connect(&addr, &format!("m{i}")).expect("connect sweep member");
+        m.set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("set read timeout");
+        if i == 0 {
+            m.create_group(group).expect("create sweep group");
+        }
+        m.join(group).expect("join sweep group");
+        members.push(m);
+    }
+    let threads = thread_count().unwrap_or(baseline).saturating_sub(baseline);
+
+    // The sender is the *last*-joined member — the paper's worst-case
+    // arrangement — and its own sender-inclusive copy closes the loop.
+    let sender = members.last_mut().expect("at least one member");
+    let payload = vec![0u8; 1000];
+    let mut rtts_us: Vec<u64> = Vec::with_capacity(broadcasts);
+    for _ in 0..broadcasts {
+        let t0 = Instant::now();
+        sender
+            .broadcast(group, ObjectId::new(1), payload.clone())
+            .expect("broadcast");
+        sender.await_multicast(group).expect("echo multicast");
+        rtts_us.push(t0.elapsed().as_micros() as u64);
+    }
+    rtts_us.sort_unstable();
+    let p50 = rtts_us[rtts_us.len() / 2];
+    let p99 = p99_us(&rtts_us);
+
+    drop(members);
+    server.shutdown();
+    format!(
+        "{{\"population\":{population},\"threads\":{threads},\"broadcasts\":{broadcasts},\
+         \"rtt_p50_us\":{p50},\"rtt_p99_us\":{p99},\"skipped\":false}}"
+    )
+}
+
+/// `--conn-sweep`: real-TCP scale sweep over the reactor transport —
+/// 1k/5k/10k mostly-idle members on one server, thread population and
+/// broadcast RTT per point, one machine-readable CONNSWEEP line each.
+fn conn_sweep() {
+    println!("FIG3 conn-sweep: reactor transport, idle-member populations over real TCP");
+    println!("(threads = spawned by the server; O(shards + workers), not O(2 x clients))\n");
+    let widths = [12, 10, 14, 14, 10];
+    println!(
+        "{}",
+        header(
+            &[
+                "population",
+                "threads",
+                "rtt p50 (us)",
+                "rtt p99 (us)",
+                "status"
+            ],
+            &widths
+        )
+    );
+    let mut lines = Vec::new();
+    for &(population, broadcasts) in &[(1000usize, 200usize), (5000, 60), (10_000, 60)] {
+        let line = conn_sweep_point(population, broadcasts);
+        let skipped = line.contains("\"skipped\":true");
+        let field = |key: &str| -> String {
+            line.split(&format!("\"{key}\":"))
+                .nth(1)
+                .and_then(|rest| rest.split([',', '}']).next())
+                .unwrap_or("-")
+                .to_string()
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    population.to_string(),
+                    if skipped {
+                        "-".into()
+                    } else {
+                        field("threads")
+                    },
+                    if skipped {
+                        "-".into()
+                    } else {
+                        field("rtt_p50_us")
+                    },
+                    if skipped {
+                        "-".into()
+                    } else {
+                        field("rtt_p99_us")
+                    },
+                    if skipped {
+                        "skipped(fd)".into()
+                    } else {
+                        "ok".into()
+                    },
+                ],
+                &widths
+            )
+        );
+        lines.push(line);
+    }
+    println!();
+    for line in &lines {
+        println!("CONNSWEEP {line}");
+    }
+}
 
 fn main() {
+    if arg_present("--conn-sweep") {
+        conn_sweep();
+        return;
+    }
     let payload: usize = arg_value("--payload")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1000);

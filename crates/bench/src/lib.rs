@@ -51,6 +51,33 @@ pub fn arg_value(flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// True when `--flag` appears bare in `std::env::args`.
+pub fn arg_present(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// This process's live thread count (`Threads:` in
+/// `/proc/self/status`); `None` off Linux or if procfs is missing.
+pub fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// This process's soft open-file limit (`Max open files` in
+/// `/proc/self/limits`); `None` off Linux or if procfs is missing.
+pub fn fd_soft_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    let soft = line.split_whitespace().nth(3)?;
+    if soft == "unlimited" {
+        return Some(u64::MAX);
+    }
+    soft.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -64,11 +64,13 @@ pub mod config;
 pub mod core;
 pub mod mirror;
 pub mod qos;
+pub mod rawwire;
 pub mod server;
 
 pub use client::{CoronaClient, FailoverConfig, LockResult, RosterView, SharedMirror};
-pub use config::{ServerConfig, Statefulness};
+pub use config::{ServerConfig, Statefulness, TransportKind};
 pub use core::{CoreCounters, Effect, LogEffect, ServerCore};
 pub use mirror::{ApplyOutcome, GroupMirror};
 pub use qos::{classify, EventClass, QosPolicy};
+pub use rawwire::RawMember;
 pub use server::{CoronaServer, ServerStats};

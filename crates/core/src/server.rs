@@ -1,12 +1,15 @@
-//! The threaded Corona server runtime.
+//! The Corona server runtime.
 //!
-//! Thread structure (mirroring the multi-threaded design of §5.1):
+//! Thread structure (the multi-threaded design of §5.1, modernised):
 //!
-//! * **accept thread** — accepts transport connections and spawns a
-//!   reader per connection;
-//! * **reader threads** — decode inbound frames and forward them to
-//!   the dispatcher channel (per-connection order is preserved, giving
-//!   sender-FIFO);
+//! * **transport threads** — either the push-mode path (default): a
+//!   listener with an attached [`FrameSink`] accepts connections and
+//!   decodes frames on O(shards) reactor event loops, feeding the
+//!   dispatcher directly with no per-connection threads; or the
+//!   pull-mode fallback: an accept thread that spawns a reader thread
+//!   per connection (the original thread-per-connection structure).
+//!   Either way per-connection frame order is preserved, giving
+//!   sender-FIFO;
 //! * **dispatcher thread** — owns the [`ServerCore`] state machine;
 //!   processing commands one at a time yields the per-group total
 //!   order;
@@ -31,13 +34,16 @@
 //! disconnection (a client too slow to take data would desynchronise
 //! anyway), so a slow client can never OOM the server.
 
-use crate::config::ServerConfig;
+use crate::config::{ServerConfig, TransportKind};
 use crate::core::{Effect, LogEffect, ServerCore};
 use crate::qos::{classify, EventClass, QosPolicy};
 use corona_health::{ConnPressure, GroupHealth, HealthRegistry, WatchdogConfig, Watchdogs};
 use corona_metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use corona_statelog::{GroupStore, StableStore};
-use corona_transport::{Connection, Listener, MeteredConnection, TransportError, TransportMetrics};
+use corona_transport::{
+    Connection, FrameSink, Listener, MeteredConnection, ReactorListener, TcpAcceptor,
+    TransportError, TransportMetrics,
+};
 use corona_types::error::{CoronaError, Result};
 use corona_types::id::{ClientId, GroupId};
 use corona_types::message::{ClientRequest, ServerEvent};
@@ -424,8 +430,37 @@ impl CoronaServer {
     ///
     /// Storage open/recovery failures.
     pub fn start(listener: Box<dyn Listener>, config: ServerConfig) -> Result<CoronaServer> {
-        let addr = listener.local_addr();
+        Self::start_with_registry(listener, config, Registry::new())
+    }
+
+    /// Binds a TCP listener on `addr` per the configuration's
+    /// [`ServerConfig::transport`] selection — sharded reactor event
+    /// loops by default, classic thread-per-connection when
+    /// [`TransportKind::Threaded`] is chosen — and starts the server
+    /// on it. The reactor's `server.reactor.*` metrics land in the
+    /// server's own registry.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and everything [`CoronaServer::start`] reports.
+    pub fn bind(addr: &str, config: ServerConfig) -> Result<CoronaServer> {
         let registry = Registry::new();
+        let listener: Box<dyn Listener> = match config.transport {
+            TransportKind::Threaded => Box::new(TcpAcceptor::bind(addr).map_err(transport_to_io)?),
+            TransportKind::Reactor => Box::new(
+                ReactorListener::bind_with_registry(addr, config.reactor_shards, Some(&registry))
+                    .map_err(transport_to_io)?,
+            ),
+        };
+        Self::start_with_registry(listener, config, registry)
+    }
+
+    fn start_with_registry(
+        listener: Box<dyn Listener>,
+        config: ServerConfig,
+        registry: Arc<Registry>,
+    ) -> Result<CoronaServer> {
+        let addr = listener.local_addr();
         let health = HealthRegistry::new(config.slo);
         health.set_queue_capacity(config.send_queue_capacity as u64);
         let mut core = ServerCore::with_registry(&config, Arc::clone(&registry));
@@ -490,22 +525,35 @@ impl CoronaServer {
                 .expect("spawn dispatcher thread")
         };
 
-        // Accept thread. Accepted connections are wrapped in
-        // [`MeteredConnection`] so all client traffic is accounted in
-        // the shared registry, and their transmit queues are bounded
-        // per the configuration.
+        // Accept side. Push-mode transports (the sharded reactor) take
+        // a FrameSink and own accepting + reading entirely — the
+        // server spawns no per-connection threads at all. Pull-mode
+        // transports fall back to the accept thread + reader-thread-
+        // per-connection structure. Both paths wrap connections in
+        // [`MeteredConnection`] (traffic accounted in the shared
+        // registry) and bound their transmit queues per the
+        // configuration.
         let listener: Arc<Box<dyn Listener>> = Arc::new(listener);
         let send_queue_capacity = config.send_queue_capacity;
-        let accept = {
+        let transport_metrics = TransportMetrics::new(&registry);
+        let sink: Arc<dyn FrameSink> = Arc::new(ServerSink {
+            cmd_tx: cmd_tx.clone(),
+            transport_metrics: transport_metrics.clone(),
+            send_queue_capacity,
+        });
+        let accept = if listener.attach_sink(sink) {
+            None
+        } else {
             let cmd_tx = cmd_tx.clone();
             let listener = Arc::clone(&listener);
-            let transport_metrics = TransportMetrics::new(&registry);
-            std::thread::Builder::new()
-                .name("corona-accept".into())
-                .spawn(move || {
-                    accept_loop(listener, cmd_tx, transport_metrics, send_queue_capacity)
-                })
-                .expect("spawn accept thread")
+            Some(
+                std::thread::Builder::new()
+                    .name("corona-accept".into())
+                    .spawn(move || {
+                        accept_loop(listener, cmd_tx, transport_metrics, send_queue_capacity)
+                    })
+                    .expect("spawn accept thread"),
+            )
         };
 
         // Optional periodic metrics dump (one JSON line to stderr).
@@ -534,7 +582,7 @@ impl CoronaServer {
             addr,
             cmd_tx,
             dispatcher: Some(dispatcher),
-            accept: Some(accept),
+            accept,
             logger: logger_handle,
             listener,
             registry,
@@ -644,6 +692,54 @@ impl std::fmt::Debug for CoronaServer {
         f.debug_struct("CoronaServer")
             .field("addr", &self.addr)
             .finish_non_exhaustive()
+    }
+}
+
+fn transport_to_io(e: TransportError) -> CoronaError {
+    CoronaError::Io(std::io::Error::other(e.to_string()))
+}
+
+/// Dispatcher-queue high-water mark for push-mode transports. When the
+/// command queue backs up past this, the sink asks reactor shards to
+/// stop reading client sockets — ordinary TCP flow control then
+/// throttles the peers — and reading resumes once the queue drains
+/// below half the mark. The pull-mode analogue is the bounded inbound
+/// channel inside each connection.
+const SINK_QUEUE_HWM: usize = 8192;
+
+/// The server's push-mode frame receiver: adapts the [`FrameSink`]
+/// calls a reactor transport makes from its shard threads onto the
+/// dispatcher command queue.
+struct ServerSink {
+    cmd_tx: Sender<Command>,
+    transport_metrics: TransportMetrics,
+    send_queue_capacity: usize,
+}
+
+impl FrameSink for ServerSink {
+    fn on_accept(&self, conn_id: u64, conn: Box<dyn Connection>) {
+        conn.set_send_capacity(self.send_queue_capacity);
+        let conn: Arc<Box<dyn Connection>> = Arc::new(Box::new(MeteredConnection::new(
+            conn,
+            self.transport_metrics.clone(),
+        )));
+        let _ = self.cmd_tx.send(Command::Accepted { conn_id, conn });
+    }
+
+    fn on_frame(&self, conn_id: u64, frame: bytes::Bytes) -> bool {
+        // Push mode bypasses MeteredConnection::recv, so inbound
+        // traffic is accounted here.
+        self.transport_metrics.record_frame_in(frame.len());
+        let _ = self.cmd_tx.send(Command::Frame { conn_id, frame });
+        self.cmd_tx.len() < SINK_QUEUE_HWM
+    }
+
+    fn ready_for_more(&self) -> bool {
+        self.cmd_tx.len() < SINK_QUEUE_HWM / 2
+    }
+
+    fn on_closed(&self, conn_id: u64, _clean: bool) {
+        let _ = self.cmd_tx.send(Command::Closed { conn_id });
     }
 }
 

@@ -3,7 +3,10 @@
 //! Framed, reliable, ordered transport for Corona with two backends:
 //!
 //! * [`tcp`] — real TCP with background reader/writer threads and
-//!   batched flushes (the deployment and loopback-benchmark path);
+//!   batched flushes (the original thread-per-connection path);
+//! * [`reactor`] — real TCP multiplexed onto sharded epoll event
+//!   loops: O(shards) threads regardless of connection count (the
+//!   deployment and scale-benchmark path);
 //! * [`mem`] — a deterministic in-memory network with fault injection
 //!   (partitions, severed links, node crashes) for tests.
 //!
@@ -32,10 +35,15 @@
 
 pub mod mem;
 pub mod metered;
+pub mod reactor;
 pub mod tcp;
 pub mod traits;
 
 pub use mem::{MemConnection, MemDialer, MemListener, MemNetwork};
 pub use metered::{ConnTraffic, MeteredConnection, TransportMetrics};
+pub use reactor::{Reactor, ReactorConnection, ReactorDialer, ReactorListener};
 pub use tcp::{TcpAcceptor, TcpConnection, TcpDialer};
-pub use traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};
+pub use traits::{
+    Connection, Dialer, FrameSink, Listener, TransportError, DEFAULT_INBOUND_CAPACITY,
+    DEFAULT_SEND_CAPACITY,
+};

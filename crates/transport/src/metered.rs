@@ -42,6 +42,16 @@ impl TransportMetrics {
             frame_out_bytes: registry.histogram("transport.frame_out_bytes"),
         }
     }
+
+    /// Accounts one inbound frame of `bytes` payload bytes delivered
+    /// *outside* a [`MeteredConnection`] — push-mode transports hand
+    /// frames straight to a [`FrameSink`](crate::traits::FrameSink),
+    /// bypassing the wrapper's `recv` instrumentation.
+    pub fn record_frame_in(&self, bytes: usize) {
+        self.frames_in.inc();
+        self.bytes_in.add(bytes as u64);
+        self.frame_in_bytes.record(bytes as u64);
+    }
 }
 
 /// Per-connection traffic totals (frames and payload bytes).

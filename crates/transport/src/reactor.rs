@@ -1,0 +1,1177 @@
+//! Sharded readiness-based reactor transport.
+//!
+//! The [`tcp`](crate::tcp) backend spawns two threads per connection
+//! (reader + writer), which caps a server at a few hundred clients
+//! before thread stacks and scheduler churn dominate. This module
+//! keeps the same wire format ([`corona_types::frame`]) and the same
+//! [`Connection`] semantics — exact bounded transmit queues with
+//! [`TransportError::Full`] backpressure, bounded inbound buffering,
+//! [`corona_trace::Hop::Disconnect`] events — but multiplexes *all*
+//! connections onto `N` shard event loops driven by epoll readiness
+//! (via the offline [`mio`] shim): server thread count becomes
+//! O(shards + fan-out workers) instead of O(2 × clients).
+//!
+//! Sharding is by connection id (`conn_id % shards`): each shard owns
+//! a poller plus the read/decode and write/flush state of its
+//! connections, so no lock is shared between shards on the hot path.
+//!
+//! Two delivery modes:
+//!
+//! * **pull** — [`ReactorListener::accept`] returns connections whose
+//!   `recv` drains a bounded inbound queue, exactly like the threaded
+//!   backend. When the queue fills, the shard drops read interest and
+//!   TCP flow control throttles the peer.
+//! * **push** — [`Listener::attach_sink`] hands every accepted
+//!   connection and decoded frame to a [`FrameSink`]; the server then
+//!   needs no per-connection reader threads at all. A sink returning
+//!   `false` from `on_frame` pauses reading until
+//!   [`FrameSink::ready_for_more`] reports `true`.
+//!
+//! Backpressure is symmetric to the threaded backend: outbound frames
+//! reserve a slot in an exact atomic counter before enqueueing
+//! (concurrent senders can never overshoot the cap), and the slot is
+//! released only once the frame's bytes reach the socket. Writability
+//! interest is armed only while a connection has pending output, so an
+//! idle population costs zero wakeups.
+
+use crate::tcp::{DISCONNECT_CLEAN, DISCONNECT_ERROR};
+use crate::traits::{
+    Connection, Dialer, FrameSink, Listener, TransportError, DEFAULT_INBOUND_CAPACITY,
+    DEFAULT_SEND_CAPACITY,
+};
+use bytes::Bytes;
+use corona_metrics::{Counter, Gauge, Histogram, Registry};
+use corona_types::frame::{frame_header, read_frame, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use crossbeam::channel::{self, Receiver, Sender};
+use mio::{Events, Interest, Poll, Token, Waker};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Token reserved for each shard's cross-thread waker.
+const WAKER_TOKEN: Token = Token(usize::MAX);
+
+/// `ConnInner::token` value while the connection is not registered
+/// with its shard (pre-registration or already torn down).
+const TOKEN_NONE: usize = usize::MAX;
+
+/// Max bytes pulled off one socket per readiness event before the
+/// shard moves on (level-triggered epoll re-reports the leftover).
+/// Mirrors the bounded inbound queue: one firehosing peer cannot
+/// monopolise its shard or buffer unbounded memory.
+const READ_BUDGET: usize = 256 * 1024;
+
+/// Max frames flushed to one socket per writability event; the rest
+/// stay queued and the still-armed write interest re-fires.
+const WRITE_BUDGET_FRAMES: usize = 64;
+
+/// Read chunk size (one `read(2)` call).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// How often a pending pull-mode `accept` (or the push-mode accept
+/// thread) re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// How long a shard sleeps between [`FrameSink::ready_for_more`]
+/// checks while at least one of its connections is sink-paused.
+const SINK_RESUME_POLL: Duration = Duration::from_millis(1);
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+/// `server.reactor.*` instrumentation, shared by all shards of one
+/// reactor.
+#[derive(Debug, Clone)]
+struct ReactorMetrics {
+    /// `server.reactor.wakeups` — cross-thread waker fires observed.
+    wakeups: Arc<Counter>,
+    /// `server.reactor.polls` — poll loop iterations.
+    polls: Arc<Counter>,
+    /// `server.reactor.events` — readiness events dispatched.
+    events: Arc<Counter>,
+    /// `server.reactor.conns` — currently registered connections.
+    conns: Arc<Gauge>,
+    /// `server.reactor.accepted` — connections ever attached.
+    accepted: Arc<Counter>,
+    /// `server.reactor.read_paused` — times a connection's reading was
+    /// paused for inbound backpressure (full queue or sink push-back).
+    read_paused: Arc<Counter>,
+    /// `server.reactor.write_blocked` — `WouldBlock` on a socket write
+    /// (the peer's receive window is full; write interest stays armed).
+    write_blocked: Arc<Counter>,
+    /// `server.reactor.shard_depth` — pending shard-op queue depth
+    /// sampled once per poll iteration.
+    shard_depth: Arc<Histogram>,
+}
+
+impl ReactorMetrics {
+    fn new(registry: &Registry) -> Self {
+        ReactorMetrics {
+            wakeups: registry.counter("server.reactor.wakeups"),
+            polls: registry.counter("server.reactor.polls"),
+            events: registry.counter("server.reactor.events"),
+            conns: registry.gauge("server.reactor.conns"),
+            accepted: registry.counter("server.reactor.accepted"),
+            read_paused: registry.counter("server.reactor.read_paused"),
+            write_blocked: registry.counter("server.reactor.write_blocked"),
+            shard_depth: registry.histogram("server.reactor.shard_depth"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------
+
+/// One frame mid-write: header ∥ body with a resume position, so a
+/// short write picks up exactly where the socket buffer filled.
+struct Staged {
+    header: [u8; FRAME_HEADER_LEN],
+    frame: Bytes,
+    pos: usize,
+}
+
+/// Outbound state, guarded by one mutex: senders push, the shard
+/// drains. `want_write` is the wakeup-elision flag — set by the first
+/// sender to queue into an empty pipeline (which then notifies the
+/// shard), cleared by the shard only once everything is flushed, so a
+/// wakeup can never be lost.
+struct OutQueue {
+    queue: VecDeque<Bytes>,
+    staged: Option<Staged>,
+    want_write: bool,
+}
+
+/// Inbound pull-mode queue (push mode bypasses it).
+struct Inbound {
+    queue: VecDeque<Bytes>,
+}
+
+/// State shared between a [`ReactorConnection`] handle, its shard, and
+/// any queued shard ops.
+struct ConnInner {
+    stream: TcpStream,
+    peer: String,
+    conn_id: u64,
+    /// The shard-local epoll token, or [`TOKEN_NONE`].
+    token: AtomicUsize,
+    closed: AtomicBool,
+    /// Set by a locally initiated `close()` (or reactor teardown) so
+    /// the resulting socket error is not traced as a peer disconnect.
+    local_close: AtomicBool,
+    /// Reading is paused for inbound backpressure. For pull mode this
+    /// is flipped under the `inbound` mutex by both sides (shard
+    /// pauses at the high-water mark, `recv` resumes at the low-water
+    /// mark) so a resume can never be missed.
+    read_paused: AtomicBool,
+    send_capacity: AtomicUsize,
+    /// Frames accepted by `send` whose bytes have not yet fully
+    /// reached the socket. Slots are reserved here atomically before
+    /// enqueueing — the cap is exact under concurrent senders.
+    outstanding: AtomicUsize,
+    out: Mutex<OutQueue>,
+    inbound: Mutex<Inbound>,
+    inbound_cv: Condvar,
+    inbound_capacity: usize,
+    /// Push-mode delivery target; `None` means pull mode.
+    sink: Option<Arc<dyn FrameSink>>,
+    ops: Sender<ShardOp>,
+    waker: Arc<Waker>,
+}
+
+impl fmt::Debug for ConnInner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConnInner")
+            .field("peer", &self.peer)
+            .field("conn_id", &self.conn_id)
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .field("push_mode", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl ConnInner {
+    fn notify_shard(&self, op: ShardOp) {
+        // A send error means the reactor is gone; its teardown already
+        // marked every connection closed.
+        let _ = self.ops.send(op);
+        let _ = self.waker.wake();
+    }
+}
+
+/// A connection multiplexed onto a reactor shard.
+///
+/// Implements the full [`Connection`] contract of the threaded TCP
+/// backend — exact bounded sends, bounded inbound, disconnect trace
+/// events — without owning any thread.
+pub struct ReactorConnection {
+    inner: Arc<ConnInner>,
+}
+
+impl fmt::Debug for ReactorConnection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReactorConnection")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl ReactorConnection {
+    /// The reactor-assigned connection id (also the sharding key).
+    pub fn conn_id(&self) -> u64 {
+        self.inner.conn_id
+    }
+}
+
+impl Connection for ReactorConnection {
+    fn send(&self, frame: Bytes) -> Result<(), TransportError> {
+        let inner = &self.inner;
+        if inner.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        // Reserve a slot atomically before enqueueing: the cap is
+        // exact even under concurrent senders (dispatcher replies
+        // racing fan-out workers), unlike check-then-act on a length.
+        let cap = inner.send_capacity.load(Ordering::Relaxed);
+        if inner
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return Err(TransportError::Full);
+        }
+        let needs_wakeup = {
+            let mut out = lock(&inner.out);
+            out.queue.push_back(frame);
+            let first = !out.want_write;
+            out.want_write = true;
+            first
+        };
+        if needs_wakeup {
+            inner.notify_shard(ShardOp::Writable(Arc::clone(inner)));
+        }
+        Ok(())
+    }
+
+    fn set_send_capacity(&self, cap: usize) {
+        self.inner
+            .send_capacity
+            .store(cap.max(1), Ordering::Relaxed);
+    }
+
+    fn recv(&self) -> Result<Bytes, TransportError> {
+        let inner = &self.inner;
+        let mut q = lock(&inner.inbound);
+        loop {
+            if let Some(frame) = q.queue.pop_front() {
+                self.maybe_resume_read(&q);
+                return Ok(frame);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            q = inner.inbound_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Bytes, TransportError> {
+        let inner = &self.inner;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = lock(&inner.inbound);
+        loop {
+            if let Some(frame) = q.queue.pop_front() {
+                self.maybe_resume_read(&q);
+                return Ok(frame);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(TransportError::Timeout);
+            }
+            q = inner
+                .inbound_cv
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Bytes>, TransportError> {
+        let inner = &self.inner;
+        let mut q = lock(&inner.inbound);
+        if let Some(frame) = q.queue.pop_front() {
+            self.maybe_resume_read(&q);
+            return Ok(Some(frame));
+        }
+        if inner.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        Ok(None)
+    }
+
+    fn backlog(&self) -> usize {
+        self.inner.outstanding.load(Ordering::Acquire)
+    }
+
+    fn close(&self) {
+        let inner = &self.inner;
+        inner.local_close.store(true, Ordering::Release);
+        if inner.closed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let _ = inner.stream.shutdown(Shutdown::Both);
+        // The shutdown surfaces as a readiness event, but a fully
+        // paused connection is deregistered from the poller — the
+        // explicit op guarantees teardown either way.
+        inner.notify_shard(ShardOp::Close(Arc::clone(inner)));
+        inner.inbound_cv.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    fn peer_label(&self) -> String {
+        self.inner.peer.clone()
+    }
+}
+
+impl ReactorConnection {
+    /// Pull-mode low-water resume: called with the inbound lock held
+    /// right after popping a frame. Pausing (shard side) and resuming
+    /// (consumer side) both happen under this lock, so the "paused
+    /// with nobody left to resume" race cannot occur.
+    fn maybe_resume_read(&self, q: &Inbound) {
+        let inner = &self.inner;
+        if inner.read_paused.load(Ordering::Acquire)
+            && q.queue.len() * 2 <= inner.inbound_capacity
+            && !inner.closed.load(Ordering::Acquire)
+        {
+            inner.read_paused.store(false, Ordering::Release);
+            inner.notify_shard(ShardOp::ResumeRead(Arc::clone(inner)));
+        }
+    }
+}
+
+impl Drop for ReactorConnection {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Shards
+// ---------------------------------------------------------------------
+
+enum ShardOp {
+    /// A freshly attached connection to register with the poller.
+    Register(Arc<ConnInner>),
+    /// A sender queued output into an empty pipeline.
+    Writable(Arc<ConnInner>),
+    /// A pull-mode consumer drained below the low-water mark.
+    ResumeRead(Arc<ConnInner>),
+    /// A local `close()`; guarantees teardown even while deregistered.
+    Close(Arc<ConnInner>),
+}
+
+struct ShardHandle {
+    ops: Sender<ShardOp>,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Per-connection state owned by the shard thread alone.
+struct ShardConn {
+    inner: Arc<ConnInner>,
+    /// Frame reassembly buffer: bytes read off the socket but not yet
+    /// parsed into complete frames.
+    rbuf: Vec<u8>,
+    /// Whether the fd is currently registered with the poller. A
+    /// connection with reading paused and nothing to write is
+    /// deregistered entirely (level-triggered epoll would otherwise
+    /// spin on the readable socket).
+    registered: bool,
+}
+
+enum PumpEnd {
+    /// Keep the connection; interest may need re-arming.
+    Keep,
+    /// The peer closed; `true` = at a frame boundary.
+    PeerClosed(bool),
+    /// I/O or framing error.
+    Error,
+}
+
+struct ShardRt {
+    poll: Poll,
+    events: Events,
+    ops_rx: Receiver<ShardOp>,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<usize, ShardConn>,
+    /// Tokens paused by a [`FrameSink::on_frame`] push-back, polled
+    /// against [`FrameSink::ready_for_more`].
+    sink_paused: HashSet<usize>,
+    next_token: usize,
+    metrics: Option<ReactorMetrics>,
+}
+
+impl ShardRt {
+    fn run(&mut self) {
+        let mut scratch = vec![0u8; READ_CHUNK];
+        loop {
+            let timeout = if self.sink_paused.is_empty() {
+                None
+            } else {
+                Some(SINK_RESUME_POLL)
+            };
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            if self.poll.poll(&mut self.events, timeout).is_err() {
+                break;
+            }
+            if let Some(m) = &self.metrics {
+                m.polls.inc();
+                m.shard_depth.record(self.ops_rx.len() as u64);
+            }
+            let fired: Vec<(Token, bool, bool)> = self
+                .events
+                .iter()
+                .map(|e| (e.token(), e.is_readable(), e.is_writable()))
+                .collect();
+            for (token, readable, writable) in fired {
+                if token == WAKER_TOKEN {
+                    self.waker.drain();
+                    if let Some(m) = &self.metrics {
+                        m.wakeups.inc();
+                    }
+                    continue;
+                }
+                if let Some(m) = &self.metrics {
+                    m.events.inc();
+                }
+                if writable {
+                    self.pump_write(token.0);
+                }
+                if readable {
+                    self.pump_read(token.0, &mut scratch);
+                }
+            }
+            while let Ok(op) = self.ops_rx.try_recv() {
+                match op {
+                    ShardOp::Register(inner) => self.register(inner, &mut scratch),
+                    ShardOp::Writable(inner) => {
+                        let token = inner.token.load(Ordering::Acquire);
+                        if token != TOKEN_NONE {
+                            self.pump_write(token);
+                        }
+                    }
+                    ShardOp::ResumeRead(inner) => {
+                        let token = inner.token.load(Ordering::Acquire);
+                        if token != TOKEN_NONE {
+                            self.pump_read(token, &mut scratch);
+                        }
+                    }
+                    ShardOp::Close(inner) => {
+                        let token = inner.token.load(Ordering::Acquire);
+                        if token != TOKEN_NONE {
+                            self.teardown(token, true);
+                        }
+                    }
+                }
+            }
+            self.resume_sink_paused(&mut scratch);
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+        }
+        // Reactor teardown: close every surviving connection without
+        // tracing peer disconnects (this endpoint is going away).
+        let tokens: Vec<usize> = self.conns.keys().copied().collect();
+        for token in tokens {
+            if let Some(sc) = self.conns.get(&token) {
+                sc.inner.local_close.store(true, Ordering::Release);
+            }
+            self.teardown(token, true);
+        }
+    }
+
+    fn register(&mut self, inner: Arc<ConnInner>, scratch: &mut [u8]) {
+        let token = self.next_token;
+        self.next_token += 1;
+        inner.token.store(token, Ordering::Release);
+        self.conns.insert(
+            token,
+            ShardConn {
+                inner: Arc::clone(&inner),
+                rbuf: Vec::new(),
+                registered: false,
+            },
+        );
+        if inner.closed.load(Ordering::Acquire) {
+            self.teardown(token, true);
+            return;
+        }
+        self.rearm(token);
+        // Bytes may already be waiting (the peer sent before we
+        // registered): with level-triggered epoll the registration
+        // reports them, but pumping once now saves a poll round-trip.
+        self.pump_read(token, scratch);
+    }
+
+    /// Recomputes and applies a connection's poller interest from its
+    /// current read/write state.
+    fn rearm(&mut self, token: usize) {
+        let Some(sc) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let inner = &sc.inner;
+        let want_read =
+            !inner.read_paused.load(Ordering::Acquire) && !inner.closed.load(Ordering::Acquire);
+        let want_write = lock(&inner.out).want_write;
+        let fd = inner.stream.as_raw_fd();
+        let registry = self.poll.registry();
+        match (sc.registered, want_read || want_write) {
+            (false, false) => {}
+            (true, false) => {
+                let _ = registry.deregister(fd);
+                sc.registered = false;
+            }
+            (was, true) => {
+                let interest = match (want_read, want_write) {
+                    (true, true) => Interest::READABLE | Interest::WRITABLE,
+                    (true, false) => Interest::READABLE,
+                    _ => Interest::WRITABLE,
+                };
+                let ok = if was {
+                    registry.reregister(fd, Token(token), interest)
+                } else {
+                    registry.register(fd, Token(token), interest)
+                };
+                match ok {
+                    Ok(()) => sc.registered = true,
+                    Err(_) => self.teardown(token, false),
+                }
+            }
+        }
+    }
+
+    fn pump_write(&mut self, token: usize) {
+        let Some(sc) = self.conns.get(&token) else {
+            return;
+        };
+        let inner = Arc::clone(&sc.inner);
+        match write_pump(&inner, self.metrics.as_ref()) {
+            PumpEnd::Keep => self.rearm(token),
+            PumpEnd::PeerClosed(clean) => self.teardown(token, clean),
+            PumpEnd::Error => self.teardown(token, false),
+        }
+    }
+
+    fn pump_read(&mut self, token: usize, scratch: &mut [u8]) {
+        let outcome = {
+            let Some(sc) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if sc.inner.closed.load(Ordering::Acquire) {
+                PumpEnd::PeerClosed(true)
+            } else {
+                read_pump(sc, scratch, self.metrics.as_ref(), &mut self.sink_paused)
+            }
+        };
+        match outcome {
+            PumpEnd::Keep => self.rearm(token),
+            PumpEnd::PeerClosed(clean) => self.teardown(token, clean),
+            PumpEnd::Error => self.teardown(token, false),
+        }
+    }
+
+    fn resume_sink_paused(&mut self, scratch: &mut [u8]) {
+        if self.sink_paused.is_empty() {
+            return;
+        }
+        let tokens: Vec<usize> = self.sink_paused.iter().copied().collect();
+        for token in tokens {
+            let ready = self
+                .conns
+                .get(&token)
+                .and_then(|sc| sc.inner.sink.as_ref())
+                .is_some_and(|sink| sink.ready_for_more());
+            if ready {
+                self.sink_paused.remove(&token);
+                if let Some(sc) = self.conns.get(&token) {
+                    sc.inner.read_paused.store(false, Ordering::Release);
+                }
+                self.pump_read(token, scratch);
+            }
+        }
+    }
+
+    fn teardown(&mut self, token: usize, clean: bool) {
+        let Some(sc) = self.conns.remove(&token) else {
+            return;
+        };
+        self.sink_paused.remove(&token);
+        let inner = &sc.inner;
+        if sc.registered {
+            let _ = self.poll.registry().deregister(inner.stream.as_raw_fd());
+        }
+        inner.token.store(TOKEN_NONE, Ordering::Release);
+        let was_closed = inner.closed.swap(true, Ordering::AcqRel);
+        // Sample local_close BEFORE waking consumers: a woken consumer
+        // can drop (and thereby close()) the connection between the
+        // notify and a later load, making a remote disconnect look
+        // locally initiated and suppressing its trace event.
+        let was_local = inner.local_close.load(Ordering::Acquire);
+        let _ = inner.stream.shutdown(Shutdown::Both);
+        // Lock-then-notify so a consumer between its closed-check and
+        // its condvar wait cannot miss the wakeup.
+        drop(lock(&inner.inbound));
+        inner.inbound_cv.notify_all();
+        if !was_closed && !was_local {
+            corona_trace::record(
+                corona_trace::Hop::Disconnect,
+                corona_trace::TraceId::NONE,
+                0,
+                if clean {
+                    DISCONNECT_CLEAN
+                } else {
+                    DISCONNECT_ERROR
+                },
+            );
+        }
+        if let Some(sink) = &inner.sink {
+            sink.on_closed(inner.conn_id, clean);
+        }
+        if let Some(m) = &self.metrics {
+            m.conns.dec();
+        }
+    }
+}
+
+/// Flushes a connection's outbound pipeline until the socket pushes
+/// back, the queue drains, or the per-event frame budget runs out.
+fn write_pump(inner: &Arc<ConnInner>, metrics: Option<&ReactorMetrics>) -> PumpEnd {
+    let mut out = lock(&inner.out);
+    let mut flushed = 0usize;
+    loop {
+        if out.staged.is_none() {
+            match out.queue.pop_front() {
+                Some(frame) => {
+                    out.staged = Some(Staged {
+                        header: frame_header(&frame),
+                        frame,
+                        pos: 0,
+                    });
+                }
+                None => {
+                    out.want_write = false;
+                    return PumpEnd::Keep;
+                }
+            }
+        }
+        let staged = out.staged.as_mut().expect("staged frame present");
+        let total = FRAME_HEADER_LEN + staged.frame.len();
+        while staged.pos < total {
+            let chunk: &[u8] = if staged.pos < FRAME_HEADER_LEN {
+                &staged.header[staged.pos..]
+            } else {
+                &staged.frame[staged.pos - FRAME_HEADER_LEN..]
+            };
+            match (&inner.stream).write(chunk) {
+                Ok(0) => return PumpEnd::Error,
+                Ok(n) => staged.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if let Some(m) = metrics {
+                        m.write_blocked.inc();
+                    }
+                    return PumpEnd::Keep;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return PumpEnd::Error,
+            }
+        }
+        out.staged = None;
+        inner.outstanding.fetch_sub(1, Ordering::AcqRel);
+        flushed += 1;
+        if flushed >= WRITE_BUDGET_FRAMES && !out.queue.is_empty() {
+            // Leave want_write armed; the still-registered write
+            // interest re-fires and the next pump continues.
+            return PumpEnd::Keep;
+        }
+    }
+}
+
+/// Parses complete frames out of `sc.rbuf`, delivering each to the
+/// sink (push mode) or inbound queue (pull mode). Returns `Err(())` on
+/// framing corruption, `Ok(true)` if reading should pause.
+fn parse_frames(
+    sc: &mut ShardConn,
+    metrics: Option<&ReactorMetrics>,
+    sink_paused: &mut HashSet<usize>,
+) -> Result<bool, ()> {
+    let mut pos = 0usize;
+    let mut paused = false;
+    while sc.rbuf.len() - pos >= FRAME_HEADER_LEN {
+        let len =
+            u32::from_le_bytes(sc.rbuf[pos..pos + 4].try_into().expect("4-byte slice")) as usize;
+        if len as u64 > MAX_FRAME_LEN as u64 {
+            sc.rbuf.drain(..pos);
+            return Err(());
+        }
+        if sc.rbuf.len() - pos < FRAME_HEADER_LEN + len {
+            break;
+        }
+        // Re-use the canonical decoder (CRC validation included) over
+        // the complete in-buffer frame.
+        let mut cursor = io::Cursor::new(&sc.rbuf[pos..pos + FRAME_HEADER_LEN + len]);
+        let frame = match read_frame(&mut cursor) {
+            Ok(Some(frame)) => frame,
+            _ => {
+                sc.rbuf.drain(..pos);
+                return Err(());
+            }
+        };
+        pos += FRAME_HEADER_LEN + len;
+        let inner = &sc.inner;
+        match &inner.sink {
+            Some(sink) => {
+                if !sink.on_frame(inner.conn_id, frame) {
+                    inner.read_paused.store(true, Ordering::Release);
+                    sink_paused.insert(inner.token.load(Ordering::Acquire));
+                    paused = true;
+                }
+            }
+            None => {
+                let mut q = lock(&inner.inbound);
+                q.queue.push_back(frame);
+                // High-water mark: pause before reading any further.
+                // Same lock as the consumer's low-water resume check,
+                // so the handoff cannot be missed.
+                if q.queue.len() >= inner.inbound_capacity {
+                    inner.read_paused.store(true, Ordering::Release);
+                    paused = true;
+                }
+                drop(q);
+                inner.inbound_cv.notify_all();
+            }
+        }
+        if paused {
+            if let Some(m) = metrics {
+                m.read_paused.inc();
+            }
+            break;
+        }
+    }
+    sc.rbuf.drain(..pos);
+    Ok(paused)
+}
+
+/// Drains readable bytes (bounded by [`READ_BUDGET`]) and delivers the
+/// frames they complete. Leftover partial frames stay in the
+/// reassembly buffer for the next readiness event.
+fn read_pump(
+    sc: &mut ShardConn,
+    scratch: &mut [u8],
+    metrics: Option<&ReactorMetrics>,
+    sink_paused: &mut HashSet<usize>,
+) -> PumpEnd {
+    let mut read_bytes = 0usize;
+    loop {
+        match parse_frames(sc, metrics, sink_paused) {
+            Err(()) => return PumpEnd::Error,
+            Ok(true) => return PumpEnd::Keep, // paused; interest re-armed by caller
+            Ok(false) => {}
+        }
+        if read_bytes >= READ_BUDGET {
+            return PumpEnd::Keep; // level-triggered epoll re-reports
+        }
+        match (&sc.inner.stream).read(scratch) {
+            Ok(0) => return PumpEnd::PeerClosed(sc.rbuf.is_empty()),
+            Ok(n) => {
+                sc.rbuf.extend_from_slice(&scratch[..n]);
+                read_bytes += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return PumpEnd::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return PumpEnd::Error,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+/// A pool of shard event loops that connections multiplex onto.
+///
+/// Owned by a [`ReactorListener`] (server side) or [`ReactorDialer`]
+/// (client side); dropping the last owner stops the shard threads and
+/// closes every remaining connection.
+pub struct Reactor {
+    shards: Vec<ShardHandle>,
+    next_conn: AtomicU64,
+    inbound_capacity: usize,
+    metrics: Option<ReactorMetrics>,
+}
+
+impl fmt::Debug for Reactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reactor")
+            .field("shards", &self.shards.len())
+            .field("next_conn", &self.next_conn.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Reactor {
+    /// Starts `shards` event-loop threads (at least one).
+    ///
+    /// # Errors
+    ///
+    /// Poller or waker creation failures (fd exhaustion).
+    pub fn new(shards: usize) -> Result<Reactor, TransportError> {
+        Self::with_registry(shards, None)
+    }
+
+    /// Like [`Reactor::new`], additionally exporting `server.reactor.*`
+    /// metrics (wakeups, polls, events, live conns, pause/block
+    /// counters, shard op-queue depth) into `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Poller or waker creation failures (fd exhaustion).
+    pub fn with_registry(
+        shards: usize,
+        registry: Option<&Registry>,
+    ) -> Result<Reactor, TransportError> {
+        let metrics = registry.map(ReactorMetrics::new);
+        let mut handles = Vec::new();
+        for i in 0..shards.max(1) {
+            let poll = Poll::new().map_err(TransportError::from)?;
+            let waker =
+                Arc::new(Waker::new(poll.registry(), WAKER_TOKEN).map_err(TransportError::from)?);
+            let (ops_tx, ops_rx) = channel::unbounded::<ShardOp>();
+            let stop = Arc::new(AtomicBool::new(false));
+            let mut rt = ShardRt {
+                poll,
+                events: Events::with_capacity(1024),
+                ops_rx,
+                waker: Arc::clone(&waker),
+                stop: Arc::clone(&stop),
+                conns: HashMap::new(),
+                sink_paused: HashSet::new(),
+                next_token: 0,
+                metrics: metrics.clone(),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("corona-reactor-{i}"))
+                .spawn(move || rt.run())
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            handles.push(ShardHandle {
+                ops: ops_tx,
+                waker,
+                stop,
+                thread: Some(thread),
+            });
+        }
+        Ok(Reactor {
+            shards: handles,
+            next_conn: AtomicU64::new(0),
+            inbound_capacity: DEFAULT_INBOUND_CAPACITY,
+            metrics,
+        })
+    }
+
+    /// Number of shard event loops.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Multiplexes an established stream onto its shard
+    /// (`conn_id % shards`), in push mode when `sink` is given.
+    ///
+    /// The connection is inert until [`Reactor::activate`] registers
+    /// it with its shard — push-mode callers deliver the connection to
+    /// the sink *first*, so no `on_frame` can ever precede its
+    /// `on_accept`.
+    fn attach(
+        &self,
+        stream: TcpStream,
+        sink: Option<Arc<dyn FrameSink>>,
+    ) -> Result<ReactorConnection, TransportError> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".to_string());
+        let conn_id = self.next_conn.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[(conn_id as usize) % self.shards.len()];
+        let inner = Arc::new(ConnInner {
+            stream,
+            peer,
+            conn_id,
+            token: AtomicUsize::new(TOKEN_NONE),
+            closed: AtomicBool::new(false),
+            local_close: AtomicBool::new(false),
+            read_paused: AtomicBool::new(false),
+            send_capacity: AtomicUsize::new(DEFAULT_SEND_CAPACITY),
+            outstanding: AtomicUsize::new(0),
+            out: Mutex::new(OutQueue {
+                queue: VecDeque::new(),
+                staged: None,
+                want_write: false,
+            }),
+            inbound: Mutex::new(Inbound {
+                queue: VecDeque::new(),
+            }),
+            inbound_cv: Condvar::new(),
+            inbound_capacity: self.inbound_capacity,
+            sink,
+            ops: shard.ops.clone(),
+            waker: Arc::clone(&shard.waker),
+        });
+        if let Some(m) = &self.metrics {
+            m.accepted.inc();
+            m.conns.inc();
+        }
+        Ok(ReactorConnection { inner })
+    }
+
+    /// Registers an attached connection with its shard, after which
+    /// frames start flowing. Sends queued before activation (and a
+    /// pre-activation `close()`) are honoured on registration.
+    fn activate(inner: &Arc<ConnInner>) {
+        inner.notify_shard(ShardOp::Register(Arc::clone(inner)));
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.stop.store(true, Ordering::Release);
+            let _ = shard.waker.wake();
+        }
+        for shard in &mut self.shards {
+            if let Some(thread) = shard.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Listener / Dialer
+// ---------------------------------------------------------------------
+
+/// A TCP listener whose accepted connections run on a sharded reactor
+/// instead of per-connection threads.
+///
+/// Supports both pull mode ([`Listener::accept`]) and push mode
+/// ([`Listener::attach_sink`]); a server attaching a sink runs with
+/// O(shards) transport threads regardless of population.
+#[derive(Debug)]
+pub struct ReactorListener {
+    listener: TcpListener,
+    addr: String,
+    reactor: Arc<Reactor>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReactorListener {
+    /// Binds to `addr` with `shards` event loops and no metrics.
+    ///
+    /// # Errors
+    ///
+    /// Bind or reactor startup failures.
+    pub fn bind(addr: &str, shards: usize) -> Result<Self, TransportError> {
+        Self::bind_with_registry(addr, shards, None)
+    }
+
+    /// Binds to `addr`, exporting `server.reactor.*` metrics into
+    /// `registry` when given.
+    ///
+    /// # Errors
+    ///
+    /// Bind or reactor startup failures.
+    pub fn bind_with_registry(
+        addr: &str,
+        shards: usize,
+        registry: Option<&Registry>,
+    ) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        Ok(ReactorListener {
+            listener,
+            addr,
+            reactor: Arc::new(Reactor::with_registry(shards, registry)?),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            accept_thread: Mutex::new(None),
+        })
+    }
+
+    /// The shared reactor (e.g. to inspect [`Reactor::shard_count`]).
+    pub fn reactor(&self) -> &Arc<Reactor> {
+        &self.reactor
+    }
+}
+
+/// Accepts one pending connection from a nonblocking listener, or
+/// reports why not.
+fn try_accept(listener: &TcpListener) -> Result<Option<TcpStream>, TransportError> {
+    match listener.accept() {
+        Ok((stream, _)) => Ok(Some(stream)),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+impl Listener for ReactorListener {
+    fn accept(&self) -> Result<Box<dyn Connection>, TransportError> {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return Err(TransportError::Closed);
+            }
+            match try_accept(&self.listener)? {
+                Some(stream) => {
+                    let conn = self.reactor.attach(stream, None)?;
+                    Reactor::activate(&conn.inner);
+                    return Ok(Box::new(conn));
+                }
+                None => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+    }
+
+    fn local_addr(&self) -> String {
+        self.addr.clone()
+    }
+
+    fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(thread) = lock(&self.accept_thread).take() {
+            let _ = thread.join();
+        }
+    }
+
+    fn attach_sink(&self, sink: Arc<dyn FrameSink>) -> bool {
+        let mut slot = lock(&self.accept_thread);
+        if slot.is_some() || self.shutdown.load(Ordering::Acquire) {
+            return false;
+        }
+        let listener = match self.listener.try_clone() {
+            Ok(l) => l,
+            Err(_) => return false,
+        };
+        let reactor = Arc::clone(&self.reactor);
+        let shutdown = Arc::clone(&self.shutdown);
+        let thread = std::thread::Builder::new()
+            .name("corona-accept".to_string())
+            .spawn(move || {
+                while !shutdown.load(Ordering::Acquire) {
+                    match try_accept(&listener) {
+                        Ok(Some(stream)) => {
+                            if let Ok(conn) = reactor.attach(stream, Some(Arc::clone(&sink))) {
+                                let conn_id = conn.conn_id();
+                                let inner = Arc::clone(&conn.inner);
+                                // Hand the connection over before any
+                                // byte of it is read: the sink's
+                                // `on_accept` is guaranteed to precede
+                                // its first `on_frame`.
+                                sink.on_accept(conn_id, Box::new(conn));
+                                Reactor::activate(&inner);
+                            }
+                        }
+                        Ok(None) => std::thread::sleep(ACCEPT_POLL),
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
+                    }
+                }
+            });
+        match thread {
+            Ok(handle) => {
+                *slot = Some(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Drop for ReactorListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Dials TCP endpoints onto a private single-shard reactor — the
+/// client-side counterpart of [`ReactorListener`]. All connections
+/// dialed through one `ReactorDialer` share its event loop, so a
+/// client holding many connections costs one thread, not 2×N.
+#[derive(Debug)]
+pub struct ReactorDialer {
+    reactor: Arc<Reactor>,
+}
+
+impl ReactorDialer {
+    /// Starts the dialer's event loop.
+    ///
+    /// # Errors
+    ///
+    /// Reactor startup failures.
+    pub fn new() -> Result<Self, TransportError> {
+        Ok(ReactorDialer {
+            reactor: Arc::new(Reactor::new(1)?),
+        })
+    }
+}
+
+impl Dialer for ReactorDialer {
+    fn dial(&self, addr: &str) -> Result<Box<dyn Connection>, TransportError> {
+        let stream = TcpStream::connect(addr)?;
+        let conn = self.reactor.attach(stream, None)?;
+        Reactor::activate(&conn.inner);
+        Ok(Box::new(conn))
+    }
+
+    fn dial_timeout(
+        &self,
+        addr: &str,
+        timeout: Duration,
+    ) -> Result<Box<dyn Connection>, TransportError> {
+        use std::net::ToSocketAddrs;
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| TransportError::Io(format!("{addr}: no addresses resolved")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| {
+            if e.kind() == io::ErrorKind::TimedOut {
+                TransportError::Timeout
+            } else {
+                TransportError::Io(e.to_string())
+            }
+        })?;
+        let conn = self.reactor.attach(stream, None)?;
+        Reactor::activate(&conn.inner);
+        Ok(Box::new(conn))
+    }
+}

@@ -7,7 +7,9 @@
 //! single flush, so a burst of multicast fan-out messages to one
 //! client costs one syscall, not N.
 
-use crate::traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};
+use crate::traits::{
+    Connection, Dialer, Listener, TransportError, DEFAULT_INBOUND_CAPACITY, DEFAULT_SEND_CAPACITY,
+};
 use bytes::Bytes;
 use corona_types::frame::{read_frame, write_frame};
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
@@ -30,18 +32,40 @@ pub struct TcpConnection {
     outbound: Sender<Bytes>,
     inbound: Receiver<Bytes>,
     closed: Arc<AtomicBool>,
-    send_capacity: AtomicUsize,
+    send_capacity: Arc<AtomicUsize>,
+    /// Frames accepted by `send` and not yet written to the socket
+    /// (queued or in the writer's hands). Slots are *reserved* here
+    /// before enqueueing, so the configured capacity is exact even
+    /// under concurrent senders.
+    outstanding: Arc<AtomicUsize>,
     stream: TcpStream,
     peer: String,
 }
 
 impl TcpConnection {
-    /// Wraps an established stream, spawning its I/O threads.
+    /// Wraps an established stream, spawning its I/O threads, with the
+    /// default inbound bound ([`DEFAULT_INBOUND_CAPACITY`]).
     ///
     /// # Errors
     ///
     /// I/O errors cloning the stream handle.
     pub fn from_stream(stream: TcpStream) -> Result<Self, TransportError> {
+        Self::from_stream_with_inbound_capacity(stream, DEFAULT_INBOUND_CAPACITY)
+    }
+
+    /// Wraps an established stream, bounding the inbound queue at
+    /// `inbound_capacity` frames. When the queue is full the reader
+    /// thread blocks — it stops pulling frames off the socket, and TCP
+    /// flow control pushes back on the peer — so a flooding peer
+    /// cannot buffer unbounded memory on this endpoint.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors cloning the stream handle.
+    pub fn from_stream_with_inbound_capacity(
+        stream: TcpStream,
+        inbound_capacity: usize,
+    ) -> Result<Self, TransportError> {
         stream.set_nodelay(true)?;
         let peer = stream
             .peer_addr()
@@ -49,15 +73,19 @@ impl TcpConnection {
             .unwrap_or_else(|_| "<unknown>".to_string());
         let closed = Arc::new(AtomicBool::new(false));
         let (out_tx, out_rx) = channel::unbounded::<Bytes>();
-        let (in_tx, in_rx) = channel::unbounded::<Bytes>();
+        let (in_tx, in_rx) = channel::bounded::<Bytes>(inbound_capacity.max(1));
+        let outstanding = Arc::new(AtomicUsize::new(0));
 
-        // Reader thread: frames -> inbound channel. A peer hanging up
-        // between frames (`Ok(None)`) is a clean shutdown; mid-frame
-        // EOF, I/O failures, and CRC mismatches are abnormal. Both end
-        // the connection, but they are distinct trace events — and a
-        // locally initiated close tears down the socket under the
-        // reader, so errors after `close()` are not recorded as peer
-        // failures.
+        // Reader thread: frames -> inbound channel. The channel is
+        // bounded: when the consumer falls behind, `send` blocks and
+        // the reader stops pulling frames off the socket, so inbound
+        // memory is capped and TCP flow control throttles the peer. A
+        // peer hanging up between frames (`Ok(None)`) is a clean
+        // shutdown; mid-frame EOF, I/O failures, and CRC mismatches
+        // are abnormal. Both end the connection, but they are distinct
+        // trace events — and a locally initiated close tears down the
+        // socket under the reader, so errors after `close()` are not
+        // recorded as peer failures.
         {
             let mut read_stream = stream.try_clone()?;
             let closed = Arc::clone(&closed);
@@ -103,9 +131,13 @@ impl TcpConnection {
         }
 
         // Writer thread: outbound channel -> frames, batched flushes.
+        // Each frame's capacity reservation (`outstanding`) is
+        // released only after its bytes reach the socket, so the
+        // sender-side cap covers queued *and* in-flight frames.
         {
             let write_stream = stream.try_clone()?;
             let closed = Arc::clone(&closed);
+            let outstanding = Arc::clone(&outstanding);
             std::thread::Builder::new()
                 .name(format!("tcp-write-{peer}"))
                 .spawn(move || {
@@ -116,6 +148,7 @@ impl TcpConnection {
                             write_failed = true;
                             break;
                         }
+                        outstanding.fetch_sub(1, Ordering::AcqRel);
                         // Batch whatever else is already queued.
                         loop {
                             match out_rx.try_recv() {
@@ -124,6 +157,7 @@ impl TcpConnection {
                                         write_failed = true;
                                         break 'outer;
                                     }
+                                    outstanding.fetch_sub(1, Ordering::AcqRel);
                                 }
                                 Err(TryRecvError::Empty) => break,
                                 Err(TryRecvError::Disconnected) => {
@@ -155,7 +189,8 @@ impl TcpConnection {
             outbound: out_tx,
             inbound: in_rx,
             closed,
-            send_capacity: AtomicUsize::new(DEFAULT_SEND_CAPACITY),
+            send_capacity: Arc::new(AtomicUsize::new(DEFAULT_SEND_CAPACITY)),
+            outstanding,
             stream,
             peer,
         })
@@ -167,15 +202,23 @@ impl Connection for TcpConnection {
         if self.closed.load(Ordering::Acquire) {
             return Err(TransportError::Closed);
         }
-        // The writer thread drains the queue; if the peer stalls, the
-        // queue grows toward the cap and we push back rather than
-        // buffer unboundedly.
-        if self.outbound.len() >= self.send_capacity.load(Ordering::Relaxed) {
+        // Reserve a queue slot atomically *before* enqueueing: the cap
+        // is exact even when the dispatcher and a fan-out worker race,
+        // unlike a len()-check-then-send which can overshoot.
+        let cap = self.send_capacity.load(Ordering::Relaxed);
+        if self
+            .outstanding
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_err()
+        {
             return Err(TransportError::Full);
         }
-        self.outbound
-            .send(frame)
-            .map_err(|_| TransportError::Closed)
+        self.outbound.send(frame).map_err(|_| {
+            self.outstanding.fetch_sub(1, Ordering::AcqRel);
+            TransportError::Closed
+        })
     }
 
     fn recv(&self) -> Result<Bytes, TransportError> {
@@ -202,7 +245,7 @@ impl Connection for TcpConnection {
     }
 
     fn backlog(&self) -> usize {
-        self.outbound.len()
+        self.outstanding.load(Ordering::Acquire)
     }
 
     fn close(&self) {
@@ -225,7 +268,20 @@ impl Drop for TcpConnection {
     }
 }
 
-/// A TCP listener. `accept` blocks on the OS accept queue.
+/// How often a pending `accept` re-checks the shutdown flag when the
+/// OS accept queue is empty. Bounds both shutdown latency and the
+/// worst-case accept latency for a fresh connection.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// A TCP listener.
+///
+/// `accept` waits on a *nonblocking* OS socket and re-checks the
+/// shutdown flag between polls. Earlier revisions used a blocking
+/// `accept` unblocked by `shutdown` dialing the listener's own address
+/// — which never arrives when the socket is bound to a wildcard
+/// address on platforms that refuse wildcard connects, or when the
+/// accept backlog is already full, leaving the accept thread blocked
+/// forever. Shutdown now needs no network traffic at all.
 #[derive(Debug)]
 pub struct TcpAcceptor {
     listener: TcpListener,
@@ -241,6 +297,7 @@ impl TcpAcceptor {
     /// Bind failures.
     pub fn bind(addr: &str) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?.to_string();
         Ok(TcpAcceptor {
             listener,
@@ -261,7 +318,13 @@ impl Listener for TcpAcceptor {
                     if self.shutdown.load(Ordering::Acquire) {
                         return Err(TransportError::Closed);
                     }
+                    // The listener is nonblocking; the accepted stream
+                    // must not be (its reader/writer threads block).
+                    stream.set_nonblocking(false)?;
                     return Ok(Box::new(TcpConnection::from_stream(stream)?));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(e) => {
@@ -280,8 +343,6 @@ impl Listener for TcpAcceptor {
 
     fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the accept() by dialing ourselves.
-        let _ = TcpStream::connect(&self.addr);
     }
 }
 
@@ -573,10 +634,151 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        // The rejected frame was not enqueued; the queue stays bounded.
-        assert!(client.backlog() <= 4, "backlog {} > cap", client.backlog());
+        // The rejected frame was not enqueued, and the reservation cap
+        // is exact: at the moment Full was returned the queue held
+        // precisely `cap` frames (queued + in the writer's hands) —
+        // not `cap` give-or-take racing senders.
+        assert_eq!(client.backlog(), 4, "cap must be exact at Full");
         client.close();
         server.join().unwrap();
+    }
+
+    /// Regression (check-then-act overshoot): `send` used to compare
+    /// `outbound.len()` against the cap and then enqueue on an
+    /// unbounded channel, so N racing senders could overshoot the cap
+    /// by up to N−1 frames. Slots are now reserved atomically; with
+    /// the writer stalled, hammering from four threads must never
+    /// push the backlog past the cap.
+    #[test]
+    fn concurrent_senders_cannot_overshoot_capacity() {
+        const CAP: usize = 8;
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr();
+        let (stop_tx, stop_rx) = channel::bounded::<()>(1);
+        let server = std::thread::spawn(move || {
+            // Accept but never read, so the client's writer thread
+            // stalls on a full socket buffer and the transmit queue
+            // stays pinned at the cap (maximising the race window).
+            let conn = acceptor.accept().unwrap();
+            let _ = stop_rx.recv();
+            drop(conn);
+        });
+        let client: Arc<Box<dyn Connection>> = Arc::new(TcpDialer.dial(&addr).unwrap());
+        client.set_send_capacity(CAP);
+        let frame = Bytes::from(vec![0u8; 64 * 1024]);
+        let mut senders = Vec::new();
+        for _ in 0..4 {
+            let client = Arc::clone(&client);
+            let frame = frame.clone();
+            senders.push(std::thread::spawn(move || {
+                for _ in 0..2000 {
+                    let _ = client.send(frame.clone());
+                    let backlog = client.backlog();
+                    assert!(backlog <= CAP, "backlog {backlog} overshot cap {CAP}");
+                }
+            }));
+        }
+        for s in senders {
+            s.join().unwrap();
+        }
+        let _ = stop_tx.send(());
+        client.close();
+        server.join().unwrap();
+    }
+
+    /// Regression (unbounded inbound buffering): the inbound channel
+    /// used to be unbounded, so a peer flooding frames faster than the
+    /// consumer drains buffered unlimited memory on the receiver. The
+    /// channel is now bounded and the reader thread blocks when it is
+    /// full — it stops pulling frames off the socket, and TCP flow
+    /// control throttles the peer.
+    #[test]
+    fn flooding_peer_cannot_grow_inbound_queue_past_cap() {
+        const CAP: usize = 64;
+        const FLOOD: usize = 1000;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        let server_conn = TcpConnection::from_stream_with_inbound_capacity(stream, CAP).unwrap();
+
+        // Flood tiny frames from a raw socket; nobody calls recv() on
+        // the server side, so without the bound every frame would pile
+        // up in the inbound channel.
+        let flooder = std::thread::spawn(move || {
+            let mut w = BufWriter::new(raw);
+            for i in 0..FLOOD as u32 {
+                write_frame(&mut w, &i.to_le_bytes()).unwrap();
+            }
+            w.flush().unwrap();
+            w.into_inner().unwrap()
+        });
+        let raw = flooder.join().unwrap();
+
+        // Let the reader thread ingest as much as it ever will, then
+        // check the server-side RSS proxy: the channel length.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server_conn.inbound.len() < CAP {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "reader never filled the bounded queue"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        let buffered = server_conn.inbound.len();
+        assert!(
+            buffered <= CAP,
+            "inbound queue grew to {buffered}, past the {CAP}-frame cap"
+        );
+
+        // The backpressure is released, not fatal: draining the queue
+        // resumes the reader and every flooded frame arrives in order.
+        for i in 0..FLOOD as u32 {
+            let frame = server_conn.recv().unwrap();
+            assert_eq!(u32::from_le_bytes(frame.as_ref().try_into().unwrap()), i);
+        }
+        drop(raw);
+    }
+
+    /// Regression (shutdown relied on dialing ourselves): `shutdown`
+    /// used to unblock `accept` by connecting to the listener's own
+    /// address, which is not portably possible for a wildcard bind
+    /// (`0.0.0.0` / `::`) and never succeeds once the backlog is full
+    /// — leaving the accept thread blocked forever. Accept now polls a
+    /// nonblocking socket and needs no unblocking traffic.
+    #[test]
+    fn shutdown_unblocks_accept_on_wildcard_bind() {
+        let acceptor = Arc::new(TcpAcceptor::bind("0.0.0.0:0").unwrap());
+        let acceptor2 = Arc::clone(&acceptor);
+        let (done_tx, done_rx) = channel::bounded(1);
+        std::thread::spawn(move || {
+            let _ = done_tx.send(acceptor2.accept().err());
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        acceptor.shutdown();
+        let result = done_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("accept thread still blocked after shutdown of a wildcard bind");
+        assert!(matches!(result, Some(TransportError::Closed)));
+    }
+
+    #[test]
+    fn wildcard_bind_still_accepts_loopback_dials() {
+        let acceptor = TcpAcceptor::bind("0.0.0.0:0").unwrap();
+        let port = acceptor
+            .local_addr()
+            .rsplit(':')
+            .next()
+            .unwrap()
+            .to_string();
+        let server = std::thread::spawn(move || {
+            let conn = acceptor.accept().unwrap();
+            conn.recv().unwrap()
+        });
+        let client = TcpDialer.dial(&format!("127.0.0.1:{port}")).unwrap();
+        client.send(Bytes::from_static(b"via-wildcard")).unwrap();
+        assert_eq!(server.join().unwrap().as_ref(), b"via-wildcard");
     }
 
     #[test]

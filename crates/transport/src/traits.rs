@@ -20,6 +20,13 @@ use std::time::Duration;
 /// stalled peer cannot buffer unbounded memory on the sender.
 pub const DEFAULT_SEND_CAPACITY: usize = 4096;
 
+/// Default bound (in frames) on a connection's *inbound* queue: frames
+/// decoded off the wire but not yet consumed by `recv`. Once the queue
+/// is full the transport stops reading the socket, so a peer that
+/// sends faster than the consumer drains is throttled by ordinary TCP
+/// backpressure instead of buffering unbounded memory on the receiver.
+pub const DEFAULT_INBOUND_CAPACITY: usize = 1024;
+
 /// Transport-level errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransportError {
@@ -94,10 +101,9 @@ pub trait Connection: Send + Sync + fmt::Debug {
     /// start with a generous default bound; a server typically lowers
     /// it per its configuration right after accepting.
     ///
-    /// The bound is checked against [`Connection::backlog`] at enqueue
-    /// time; concurrent senders may overshoot by at most the number of
-    /// racing calls, which keeps the queue bounded without a lock on
-    /// the hot path.
+    /// The cap is **exact**: enqueue slots are reserved atomically, so
+    /// concurrent senders (dispatcher replies racing fan-out workers)
+    /// can never overshoot the configured capacity.
     fn set_send_capacity(&self, cap: usize);
 
     /// Blocks until a frame arrives.
@@ -140,6 +146,43 @@ pub trait Connection: Send + Sync + fmt::Debug {
     fn peer_label(&self) -> String;
 }
 
+/// Receives connections and inbound frames *pushed* by an evented
+/// transport, instead of the server pulling them through per-connection
+/// reader threads.
+///
+/// A listener that accepts a sink (see [`Listener::attach_sink`])
+/// delivers every accepted connection through [`FrameSink::on_accept`]
+/// and every decoded frame through [`FrameSink::on_frame`]; the
+/// server's `accept` loop and reader threads are not used at all, which
+/// is what turns server thread count from O(connections) into
+/// O(reactor shards).
+///
+/// Calls for one connection arrive in wire order, but calls for
+/// different connections may come from different reactor shard threads
+/// concurrently — implementations must be internally synchronised (in
+/// practice: a channel sender).
+pub trait FrameSink: Send + Sync {
+    /// A new connection was accepted. `conn` supports the full
+    /// [`Connection`] API except that inbound frames flow through
+    /// [`FrameSink::on_frame`] rather than `recv`.
+    fn on_accept(&self, conn_id: u64, conn: Box<dyn Connection>);
+
+    /// A frame arrived on `conn_id`. Returns `false` to ask the
+    /// transport to pause reading this connection (inbound
+    /// backpressure); reading resumes once [`FrameSink::ready_for_more`]
+    /// reports `true`.
+    fn on_frame(&self, conn_id: u64, frame: Bytes) -> bool;
+
+    /// Whether connections paused by an `on_frame() == false` may
+    /// resume reading. Polled by the transport; must be cheap.
+    fn ready_for_more(&self) -> bool;
+
+    /// The connection closed (peer hang-up, I/O error, or local
+    /// close). `clean` distinguishes an orderly close at a frame
+    /// boundary from an abnormal teardown.
+    fn on_closed(&self, conn_id: u64, clean: bool);
+}
+
 /// Accepts inbound connections.
 ///
 /// `accept` and `shutdown` may be called concurrently from different
@@ -158,6 +201,16 @@ pub trait Listener: Send + Sync {
     /// Stops accepting; concurrent and future `accept` calls return
     /// [`TransportError::Closed`]. Idempotent.
     fn shutdown(&self);
+
+    /// Offers the listener a push-mode [`FrameSink`]. Evented
+    /// transports take ownership of accepting and reading and return
+    /// `true`; the caller must then *not* call [`Listener::accept`].
+    /// The default declines (`false`), meaning the caller pulls
+    /// connections and frames itself — the thread-per-connection path.
+    fn attach_sink(&self, sink: std::sync::Arc<dyn FrameSink>) -> bool {
+        let _ = sink;
+        false
+    }
 }
 
 /// A connection factory (the dial side).

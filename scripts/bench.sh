@@ -31,8 +31,34 @@ printf '%s\n' "$out"
 metrics=$(printf '%s\n' "$out" | sed -n 's/^METRICS //p')
 traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
 health=$(printf '%s\n' "$out" | sed -n 's/^HEALTH //p')
-printf '{"bench":"fig3","metrics":%s,"trace":[%s],"health":%s}\n' \
-    "$metrics" "$traces" "$health" >BENCH_fig3.json
+
+echo "==> fig3_roundtrip --conn-sweep"
+sweep_out=$(./target/release/fig3_roundtrip --conn-sweep)
+printf '%s\n' "$sweep_out"
+conn_sweep=$(printf '%s\n' "$sweep_out" | sed -n 's/^CONNSWEEP //p' | join_lines)
+# The sweep must produce entries, and at least one population must
+# actually have run (an all-skipped sweep means the fd limit is too
+# low to validate anything).
+test -n "$conn_sweep" || {
+    echo "==> FAIL: conn-sweep produced no CONNSWEEP lines" >&2
+    exit 1
+}
+case "$conn_sweep" in
+*'"skipped":false'*) ;;
+*)
+    echo "==> FAIL: every conn-sweep population was skipped (raise ulimit -n)" >&2
+    exit 1
+    ;;
+esac
+sweep_p99=$(printf '%s' "$conn_sweep" | sed -n 's/.*"rtt_p99_us":\([0-9]*\).*/\1/p')
+test -n "$sweep_p99" || {
+    echo "==> FAIL: conn-sweep entries carry no rtt_p99_us" >&2
+    exit 1
+}
+echo "==> conn-sweep ok (rtt_p99_us: $sweep_p99)"
+
+printf '{"bench":"fig3","metrics":%s,"trace":[%s],"health":%s,"conn_sweep":[%s]}\n' \
+    "$metrics" "$traces" "$health" "$conn_sweep" >BENCH_fig3.json
 echo "==> wrote BENCH_fig3.json"
 # The health plane's capacity estimate must be present and carry a
 # max-sustainable-clients figure.

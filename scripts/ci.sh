@@ -22,6 +22,14 @@ for seed in 1 2 3; do
         supervised_clients_survive_server_kill -- --exact
 done
 
+echo "==> reactor transport gate: conformance suite + full stack + C5k smoke"
+# Every Connection/Listener/Dialer contract, run against the reactor
+# in both roles (and mixed with the threaded transport), then the
+# whole server stack over the reactor backend — including the 5000-
+# member smoke test (self-skipping when ulimit -n is too low).
+cargo test -q --offline -p corona-transport --test conformance
+cargo test -q --offline --test reactor_stack
+
 echo "==> cargo build --offline --examples"
 cargo build --offline --examples
 

@@ -95,9 +95,9 @@ pub use corona_sim as sim;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use corona_core::{
-        client::CoronaClient, config::ServerConfig, mirror::GroupMirror, server::CoronaServer,
-        ApplyOutcome, EventClass, FailoverConfig, LockResult, QosPolicy, RosterView, SharedMirror,
-        Statefulness,
+        client::CoronaClient, config::ServerConfig, mirror::GroupMirror, rawwire::RawMember,
+        server::CoronaServer, ApplyOutcome, EventClass, FailoverConfig, LockResult, QosPolicy,
+        RosterView, SharedMirror, Statefulness, TransportKind,
     };
     pub use corona_metrics::{MetricsSnapshot, Registry};
     pub use corona_replication::{ReplicatedConfig, ReplicatedServer};

@@ -130,7 +130,11 @@ fn coordinator_kill_mid_broadcast_trips_stall_then_heals() {
             servers: peers.clone(),
             client_addrs: client_addrs.clone(),
             heartbeat_ms: 30,
-            base_timeout_ms: 150,
+            // The election must resolve decisively *slower* than the
+            // 150 ms stall threshold: with a fast timeout the surviving
+            // replica can win and resume sequencing before the watchdog
+            // ever sees a 150 ms quiet window, and the trip is a race.
+            base_timeout_ms: 450,
             server_config: ServerConfig::stateful(ServerId::new(i)).with_watchdog(watchdog),
         };
         servers.push(
