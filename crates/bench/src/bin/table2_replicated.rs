@@ -8,10 +8,20 @@
 //! clients; compared against one server carrying the same population.
 
 use corona_bench::{arg_value, header, row};
+use corona_core::client::CoronaClient;
+use corona_core::ServerConfig;
 use corona_health::{CapacityModel, CapacityPoint};
 use corona_metrics::Registry;
+use corona_replication::{ReplicatedConfig, ReplicatedServer};
 use corona_sim::{p99_us, roundtrip_traced, roundtrip_with_metrics, ExperimentConfig};
 use corona_trace::Breakdown;
+use corona_transport::MemNetwork;
+use corona_types::id::{GroupId, ObjectId, ServerId};
+use corona_types::message::ServerEvent;
+use corona_types::policy::{DeliveryScope, MemberRole, Persistence, StateTransferPolicy};
+use corona_types::state::SharedState;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() {
     // SLO budget for the per-replica capacity estimate (HEALTH line).
@@ -121,4 +131,151 @@ fn main() {
         "METRICS replicated {}",
         replicated_registry.snapshot().render_json()
     );
+
+    // Partition-heal recovery: real 3-server clusters over the
+    // in-memory transport, coordinator stranded in a minority until it
+    // fences, majority elects a successor and keeps sequencing; the
+    // clock runs from heal() until the stranded server's client has
+    // the reconciled stream (the missed entry replayed). Regression
+    // baseline for later partition work.
+    let heal_runs: usize = arg_value("--heal-runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let mut recover_ms: Vec<u64> = (0..heal_runs)
+        .map(|_| partition_heal_recovery_ms())
+        .collect();
+    recover_ms.sort_unstable();
+    let pct = |q: usize| recover_ms[(recover_ms.len() - 1) * q / 100];
+    println!(
+        "\npartition-heal recovery over {heal_runs} runs: p50 {} ms, p99 {} ms",
+        pct(50),
+        pct(99)
+    );
+    println!(
+        "PARTITION_HEAL {{\"experiment\":\"table2\",\"runs\":{heal_runs},\"p50_ms\":{},\"p99_ms\":{}}}",
+        pct(50),
+        pct(99)
+    );
+}
+
+/// One partition-heal cycle against a live cluster; returns the
+/// heal-to-reconciled-stream latency in milliseconds.
+fn partition_heal_recovery_ms() -> u64 {
+    const G: GroupId = GroupId(1);
+    const O: ObjectId = ObjectId(1);
+    let net = MemNetwork::new();
+    let peers: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("s{i}-peer")))
+        .collect();
+    let client_addrs: Vec<(ServerId, String)> = (1..=3)
+        .map(|i| (ServerId::new(i), format!("s{i}-client")))
+        .collect();
+    let servers: Vec<ReplicatedServer> = (1..=3u64)
+        .map(|i| {
+            ReplicatedServer::start(
+                Box::new(net.listen(&format!("s{i}-client")).expect("listen")),
+                Box::new(net.listen(&format!("s{i}-peer")).expect("listen")),
+                Arc::new(net.dialer(&format!("s{i}-node"))),
+                ReplicatedConfig {
+                    servers: peers.clone(),
+                    client_addrs: client_addrs.clone(),
+                    heartbeat_ms: 10,
+                    base_timeout_ms: 100,
+                    server_config: ServerConfig::stateful(ServerId::new(i)),
+                },
+            )
+            .expect("start server")
+        })
+        .collect();
+    let connect = |name: &str, srv: u64| -> CoronaClient {
+        let conn = net
+            .dial_from(name, &format!("s{srv}-client"))
+            .expect("dial");
+        let mut c = CoronaClient::connect(Box::new(conn), name, None).expect("connect");
+        c.set_call_timeout(Duration::from_secs(15));
+        c
+    };
+    let alice = connect("alice", 1);
+    let bob = connect("bob", 2);
+    alice
+        .create_group(G, Persistence::Persistent, SharedState::new())
+        .expect("create");
+    alice
+        .join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .expect("join");
+    bob.join(G, MemberRole::Principal, StateTransferPolicy::None, false)
+        .expect("join");
+    let send = |c: &CoronaClient, payload: &str| {
+        c.bcast_update(
+            G,
+            O,
+            payload.as_bytes().to_vec(),
+            DeliveryScope::SenderInclusive,
+        )
+        .expect("bcast");
+    };
+    let wait_payload = |c: &CoronaClient, want: &str| {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match c.next_event_timeout(remaining.max(Duration::from_millis(1))) {
+                Ok(ServerEvent::Multicast { logged, .. })
+                    if logged.update.payload.as_ref() == want.as_bytes() =>
+                {
+                    return
+                }
+                Ok(_) => {}
+                Err(e) => panic!("no {want:?} within deadline: {e}"),
+            }
+        }
+    };
+    let wait_for = |what: &str, mut done: Box<dyn FnMut() -> bool>| {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while !done() {
+            assert!(Instant::now() < deadline, "timed out: {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    send(&alice, "base;");
+    wait_payload(&alice, "base;");
+    wait_payload(&bob, "base;");
+
+    // Strand the coordinator: cut both peer links in both directions.
+    for other in [2u64, 3] {
+        net.block("s1-node", &format!("s{other}-peer"));
+        net.block(&format!("s{other}-node"), "s1-peer");
+    }
+    let health = servers[0].health_registry();
+    wait_for("s1 fence", Box::new(move || health.fenced()));
+    {
+        let s2 = &servers[1];
+        let s3 = &servers[2];
+        wait_for(
+            "majority election",
+            Box::new(move || {
+                [s2, s3].iter().all(|s| {
+                    s.status()
+                        .map(|st| st.coordinator == Some(ServerId::new(2)))
+                        .unwrap_or(false)
+                })
+            }),
+        );
+    }
+    send(&bob, "mid;");
+    wait_payload(&bob, "mid;");
+
+    // The measured window: heal until the stranded side's client has
+    // the entry it missed (replayed by the reconciliation).
+    let t0 = Instant::now();
+    net.heal();
+    wait_payload(&alice, "mid;");
+    let elapsed = t0.elapsed().as_millis() as u64;
+
+    alice.close();
+    bob.close();
+    for s in servers {
+        s.shutdown();
+    }
+    elapsed
 }

@@ -156,6 +156,7 @@ pub struct HealthRegistry {
     queue_capacity: AtomicU64,
     elections: AtomicU64,
     reconnects: AtomicU64,
+    fenced: AtomicBool,
     last_trace: AtomicU64,
     slo: SloTracker,
     ops: Mutex<VecDeque<OpsEvent>>,
@@ -172,6 +173,7 @@ impl HealthRegistry {
             queue_capacity: AtomicU64::new(0),
             elections: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            fenced: AtomicBool::new(false),
             last_trace: AtomicU64::new(0),
             slo: SloTracker::new(slo),
             ops: Mutex::new(VecDeque::new()),
@@ -236,6 +238,18 @@ impl HealthRegistry {
     /// Session resumes observed since start.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Publishes whether this server is currently write-fenced (it
+    /// holds the coordinator role but has lost its quorum lease, or it
+    /// is a healed stale coordinator awaiting reconciliation).
+    pub fn set_fenced(&self, fenced: bool) {
+        self.fenced.store(fenced, Ordering::Relaxed);
+    }
+
+    /// Whether the server is currently write-fenced.
+    pub fn fenced(&self) -> bool {
+        self.fenced.load(Ordering::Relaxed)
     }
 
     /// Remembers the most recent wire-carried trace id seen by the
@@ -347,9 +361,10 @@ impl HealthRegistry {
         out.push(']');
         let _ = write!(
             out,
-            ",\"elections\":{},\"reconnects\":{}",
+            ",\"elections\":{},\"reconnects\":{},\"fenced\":{}",
             self.elections.load(Ordering::Relaxed),
-            self.reconnects.load(Ordering::Relaxed)
+            self.reconnects.load(Ordering::Relaxed),
+            self.fenced()
         );
         out.push_str(",\"slo\":");
         out.push_str(&self.slo.snapshot(uptime_ms).to_json());
@@ -433,6 +448,11 @@ mod tests {
         );
         assert!(b.contains("\"stalled\":true"), "{b}");
         assert!(b.contains("\"id\":5"), "{b}");
+        assert!(a.contains("\"fenced\":false"), "{a}");
+        reg.set_fenced(true);
+        let c = reg.snapshot_json(&[], &[]);
+        assert!(c.contains("\"fenced\":true"), "{c}");
+        assert!(reg.fenced());
     }
 
     #[test]

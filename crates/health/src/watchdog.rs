@@ -145,6 +145,7 @@ pub struct Watchdogs {
     flap_tripped: bool,
     reconnects: VecDeque<u64>,
     storm_tripped: bool,
+    quorum_tripped: bool,
 }
 
 impl Watchdogs {
@@ -158,6 +159,7 @@ impl Watchdogs {
             flap_tripped: false,
             reconnects: VecDeque::new(),
             storm_tripped: false,
+            quorum_tripped: false,
         }
     }
 
@@ -218,6 +220,43 @@ impl Watchdogs {
             self.storm_tripped = false;
         }
         None
+    }
+
+    /// Records the coordinator's current quorum-lease observation:
+    /// `live` servers (including itself) reachable out of a majority
+    /// requirement of `need`. Returns a `quorum_lost` event when the
+    /// lease drops below the majority and a `quorum_regained` event
+    /// when it recovers; each fires once per episode.
+    pub fn note_quorum(&mut self, live: u64, need: u64, now_ms: u64) -> Option<OpsEvent> {
+        if live < need {
+            if !self.quorum_tripped {
+                self.quorum_tripped = true;
+                return Some(
+                    OpsEvent::new(now_ms, "quorum_lost", None, live).with_detail(format!(
+                        "coordinator lease lost: {live} of {need} required servers reachable; \
+                         fencing writes"
+                    )),
+                );
+            }
+        } else if self.quorum_tripped {
+            self.quorum_tripped = false;
+            return Some(
+                OpsEvent::new(now_ms, "quorum_regained", None, live).with_detail(format!(
+                    "quorum lease restored: {live} of {need} required servers reachable"
+                )),
+            );
+        }
+        None
+    }
+
+    /// Builds the `divergence_repaired` event emitted after a healed
+    /// stale coordinator reconciles a divergent log suffix through the
+    /// merge policies; `discarded` is the number of minority-side
+    /// entries rolled back in favour of the quorum side.
+    pub fn divergence_repaired(group: GroupId, discarded: u64, now_ms: u64) -> OpsEvent {
+        OpsEvent::new(now_ms, "divergence_repaired", Some(group), discarded).with_detail(format!(
+            "divergent suffix reconciled after heal: {discarded} stale entries discarded"
+        ))
     }
 
     /// Polls the registry-backed conditions (sequencing stall per
@@ -399,6 +438,32 @@ mod tests {
         let e = dogs.note_reconnect(30).expect("fourth trips");
         assert_eq!(e.kind, "reconnect_storm");
         assert_eq!(e.value, 4);
+    }
+
+    #[test]
+    fn quorum_watchdog_fires_on_each_transition() {
+        let mut dogs = wd(WatchdogConfig::default());
+        assert!(dogs.note_quorum(3, 3, 0).is_none(), "healthy lease");
+        let lost = dogs.note_quorum(2, 3, 100).expect("drop below need trips");
+        assert_eq!(lost.kind, "quorum_lost");
+        assert_eq!(lost.value, 2);
+        assert!(dogs.note_quorum(1, 3, 200).is_none(), "fires once");
+        let back = dogs.note_quorum(3, 3, 300).expect("recovery event");
+        assert_eq!(back.kind, "quorum_regained");
+        assert!(dogs.note_quorum(3, 3, 400).is_none(), "steady state quiet");
+        assert!(
+            dogs.note_quorum(1, 3, 500).is_some(),
+            "new episode trips again"
+        );
+    }
+
+    #[test]
+    fn divergence_repaired_event_shape() {
+        let e = Watchdogs::divergence_repaired(GroupId::new(2), 5, 77);
+        assert_eq!(e.kind, "divergence_repaired");
+        assert_eq!(e.group, Some(GroupId::new(2)));
+        assert_eq!(e.value, 5);
+        assert!(e.detail.contains("5 stale entries"));
     }
 
     #[test]

@@ -23,7 +23,11 @@ use corona_types::id::{ClientId, Epoch, GroupId, ServerId};
 use corona_types::message::{ClientRequest, PeerMessage, ServerEvent};
 use corona_types::policy::{DeliveryScope, Persistence};
 use corona_types::state::{StateUpdate, Timestamp};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Recently sequenced `(origin, local_tag)` forwards remembered for
+/// duplicate suppression (nemesis-duplicated or retried frames).
+const RECENT_FORWARDS: usize = 1024;
 
 /// Outputs of the coordinator core.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +53,11 @@ pub struct CoordinatorCore {
     client_home: HashMap<ClientId, ServerId>,
     /// Servers hosting at least one member, per group.
     hosting: HashMap<GroupId, BTreeSet<ServerId>>,
+    /// Bounded recent-forward set: a duplicated `ForwardBroadcast`
+    /// frame (link-level retry, nemesis duplication) must not be
+    /// sequenced twice.
+    recent_forwards: HashSet<(ServerId, u64)>,
+    recent_order: VecDeque<(ServerId, u64)>,
 }
 
 impl CoordinatorCore {
@@ -74,6 +83,8 @@ impl CoordinatorCore {
             core: ServerCore::with_registry(config, registry),
             client_home: HashMap::new(),
             hosting: HashMap::new(),
+            recent_forwards: HashSet::new(),
+            recent_order: VecDeque::new(),
         }
     }
 
@@ -247,6 +258,12 @@ impl CoordinatorCore {
         local_tag: u64,
         now: Timestamp,
     ) -> Vec<CoordEffect> {
+        // Each origin tags its forwards with a monotone local_tag, so a
+        // repeat of the pair is a transport-level duplicate: the first
+        // copy was already sequenced and fanned out.
+        if !self.note_forward(origin, local_tag) {
+            return Vec::new();
+        }
         match self.core.sequence_broadcast(sender, group, update, now) {
             Ok((logged, side_effects)) => {
                 let mut effects = self.route_effects(side_effects, None);
@@ -280,6 +297,21 @@ impl CoordinatorCore {
                 }]
             }
         }
+    }
+
+    /// Records a `(origin, local_tag)` forward; returns `false` when
+    /// it was already seen (a duplicate to drop).
+    fn note_forward(&mut self, origin: ServerId, local_tag: u64) -> bool {
+        if !self.recent_forwards.insert((origin, local_tag)) {
+            return false;
+        }
+        self.recent_order.push_back((origin, local_tag));
+        if self.recent_order.len() > RECENT_FORWARDS {
+            if let Some(old) = self.recent_order.pop_front() {
+                self.recent_forwards.remove(&old);
+            }
+        }
+        true
     }
 
     fn state_query(&mut self, from: ServerId, group: GroupId) -> Vec<CoordEffect> {

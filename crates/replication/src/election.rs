@@ -59,6 +59,12 @@ pub struct ElectionCore {
     me: ServerId,
     /// All servers in startup order (including `me`).
     servers: Vec<ServerId>,
+    /// High-watermark of the configured roster size. Majority is
+    /// computed over this, never over the pruned live list: a
+    /// partitioned coordinator that reaps its unreachable peers must
+    /// not be able to "win" a majority of the survivors it can still
+    /// see.
+    configured: usize,
     epoch: Epoch,
     role: Role,
     /// Milliseconds of silence after which rank-0 suspects the
@@ -87,9 +93,11 @@ impl ElectionCore {
         } else {
             Role::Follower { coordinator }
         };
+        let configured = servers.len();
         ElectionCore {
             me,
             servers,
+            configured,
             epoch: Epoch::ZERO,
             role,
             base_timeout_ms,
@@ -146,9 +154,18 @@ impl ElectionCore {
             .unwrap_or(0) as u64
     }
 
-    /// Acks needed to win: half + 1 of all servers (counting self).
-    fn majority(&self) -> usize {
-        self.servers.len() / 2 + 1
+    /// Acks needed to win: half + 1 of the *configured* roster
+    /// (counting self). Deliberately not the live list — see
+    /// [`ElectionCore::remove_server`]. The quorum-fencing lease in
+    /// the runtime reuses the same threshold.
+    pub fn majority(&self) -> usize {
+        self.configured / 2 + 1
+    }
+
+    /// The configured roster size majority is computed over (the
+    /// high-watermark of every server list this core has seen).
+    pub fn configured_roster(&self) -> usize {
+        self.configured
     }
 
     /// Records a heartbeat from the coordinator. Returns effects (a
@@ -402,6 +419,7 @@ impl ElectionCore {
             return Vec::new();
         }
         self.epoch = epoch;
+        self.configured = self.configured.max(servers.len());
         self.servers = servers;
         self.last_heartbeat_ms = now_ms;
         if coordinator == self.me {
@@ -416,6 +434,13 @@ impl ElectionCore {
     /// Removes a crashed server from the list (coordinator-side
     /// membership maintenance: "after an interval ... the coordinator
     /// assumes that either the server is disconnected or it is down").
+    ///
+    /// The *majority threshold is unaffected*: it stays anchored to
+    /// the configured roster size. A coordinator cut off from the
+    /// majority would otherwise reap its unreachable peers one by one
+    /// until the survivors it can still see form a "majority" of the
+    /// shrunken list — precisely the split-brain the threshold exists
+    /// to prevent.
     pub fn remove_server(&mut self, server: ServerId) {
         self.servers.retain(|s| *s != server);
     }
@@ -673,11 +698,42 @@ mod tests {
     }
 
     #[test]
-    fn remove_server_shrinks_majority() {
+    fn remove_server_prunes_list_but_not_majority() {
         let servers = cluster(4);
         let mut c1 = ElectionCore::new(sid(1), servers, 100, 0);
         c1.remove_server(sid(4));
         assert_eq!(c1.servers().len(), 3);
+        assert_eq!(c1.configured_roster(), 4, "configured roster is sticky");
+        assert_eq!(c1.majority(), 3, "majority stays over the configured 4");
+    }
+
+    #[test]
+    fn majority_uses_configured_roster_after_removals() {
+        // Regression: majority used to be computed over the live
+        // `servers` list, so a server partitioned together with one
+        // peer could reap the three unreachable ones and then "win"
+        // an election with 2 of 5 acks.
+        let mut c2 = ElectionCore::new(sid(2), cluster(5), 100, 0);
+        c2.remove_server(sid(4));
+        c2.remove_server(sid(5));
+        let claims = c2.on_tick(1_000);
+        assert!(!claims.is_empty(), "silence makes s2 claim");
+        assert!(matches!(c2.role(), Role::Candidate { .. }));
+        let effects = c2.on_ack(sid(3), c2.epoch());
+        assert!(
+            effects.is_empty(),
+            "2 acks of a configured 5 must not win: {effects:?}"
+        );
+        assert!(
+            matches!(c2.role(), Role::Candidate { .. }),
+            "still campaigning, not coordinator"
+        );
+        // With a third ack (a genuine majority of the configured
+        // roster) the claim resolves.
+        let effects = c2.on_ack(sid(1), c2.epoch());
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, ElectionEffect::BecomeCoordinator)));
     }
 
     #[test]

@@ -353,6 +353,54 @@ impl ReplicaCore {
         out
     }
 
+    /// Quarantines every hot-standby log copy, returning the taken
+    /// logs. Called when this server is demoted from a (possibly
+    /// stale) coordinatorship: the quarantined copies may carry a
+    /// divergent suffix sequenced without quorum, so they must not be
+    /// offered to the new coordinator via [`ReplicaCore::resync_messages`]
+    /// (which skips groups without a log) until the runtime has
+    /// reconciled them against the live side.
+    pub fn quarantine_logs(&mut self) -> Vec<(GroupId, GroupLog)> {
+        let mut out = Vec::new();
+        for (gid, group) in self.groups.iter_mut() {
+            if let Some(log) = group.log.take() {
+                out.push((*gid, log));
+            }
+        }
+        out
+    }
+
+    /// Installs a reconciled log for `group` (the merge outcome of a
+    /// quarantined divergent copy against the live coordinator's) and
+    /// replays the window above `replay_from` to the locally homed
+    /// members, in order, so their streams converge on the quorum-side
+    /// history.
+    pub fn install_reconciled(
+        &mut self,
+        group: GroupId,
+        log: GroupLog,
+        replay_from: SeqNo,
+    ) -> Vec<ReplicaEffect> {
+        let mut effects = Vec::new();
+        let Some(local) = self.groups.get_mut(&group) else {
+            return effects;
+        };
+        let recipients: Vec<ClientId> = local.members.keys().copied().collect();
+        if !recipients.is_empty() {
+            for logged in log.suffix_iter().filter(|u| u.seq > replay_from) {
+                effects.push(ReplicaEffect::ToClients {
+                    recipients: recipients.clone(),
+                    event: ServerEvent::Multicast {
+                        group,
+                        logged: logged.clone(),
+                    },
+                });
+            }
+        }
+        local.log = Some(log);
+        effects
+    }
+
     // ----- internals ---------------------------------------------------------
 
     fn request_outcome(
@@ -460,15 +508,20 @@ impl ReplicaCore {
     ) -> Vec<ReplicaEffect> {
         let mut effects = Vec::new();
         let mut needs_refresh = false;
+        let mut duplicate = false;
         if let Some(local) = self.groups.get_mut(&group) {
             // Keep the standby copy current.
             match &mut local.log {
                 Some(log) => {
                     // An append rejection past our tail is a gap (we
                     // missed traffic, e.g. across an election):
-                    // refresh from the coordinator.
-                    needs_refresh =
-                        !log.append_sequenced(logged.clone()) && logged.seq > log.last_seq();
+                    // refresh from the coordinator. A rejection at or
+                    // below the tail is a duplicate (e.g. a retried or
+                    // nemesis-duplicated frame): already delivered, so
+                    // never fan it out again.
+                    let appended = log.append_sequenced(logged.clone());
+                    needs_refresh = !appended && logged.seq > log.last_seq();
+                    duplicate = !appended && !needs_refresh;
                 }
                 None if logged.seq == SeqNo::new(1) => {
                     // First update of a brand-new group: we can build
@@ -485,7 +538,7 @@ impl ReplicaCore {
             // would hand members an out-of-order stream. The
             // `GroupStateReply` repair below delivers the whole missed
             // window (this update included) in sequence order instead.
-            if !needs_refresh {
+            if !needs_refresh && !duplicate {
                 let recipients: Vec<ClientId> = local
                     .members
                     .keys()

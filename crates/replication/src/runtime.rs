@@ -13,13 +13,15 @@
 
 use crate::coordinator::{CoordEffect, CoordinatorCore};
 use crate::election::{ElectionCore, ElectionEffect};
+use crate::merge::{find_divergence, merge, MergeResolution, Side};
 use crate::replica::{ReplicaCore, ReplicaEffect};
 use corona_core::ServerConfig;
 use corona_health::{ConnPressure, HealthRegistry, Watchdogs};
 use corona_metrics::{Counter, Histogram, MetricsSnapshot, Registry};
+use corona_statelog::GroupLog;
 use corona_transport::{Connection, Dialer, Listener};
-use corona_types::error::{CoronaError, Result};
-use corona_types::id::{ClientId, Epoch, ServerId};
+use corona_types::error::{CoronaError, ErrorCode, Result};
+use corona_types::id::{ClientId, Epoch, GroupId, SeqNo, ServerId};
 use corona_types::message::{ClientRequest, PeerMessage, ServerEvent};
 use corona_types::state::Timestamp;
 use corona_types::wire::{Decode, Encode};
@@ -133,8 +135,11 @@ pub struct ReplicatedServer {
 /// `repl.heartbeat_gap_ms` (gap between heartbeats seen from the
 /// coordinator), `repl.elections.rounds` (claim rounds started here),
 /// `repl.elections.won`, `repl.failover_ms` (first local claim to
-/// resolved coordinator), `repl.peer.sent` (all peer messages out) and
-/// `repl.fanout.sequenced` (per-hosting-server `Sequenced` fan-out).
+/// resolved coordinator), `repl.peer.sent` (all peer messages out),
+/// `repl.fanout.sequenced` (per-hosting-server `Sequenced` fan-out),
+/// `repl.fenced.rejects` (sequencing requests refused while the
+/// quorum lease is lost) and `repl.reconciled.groups` (group logs
+/// merged back after a heal).
 struct ReplMetrics {
     heartbeats_sent: Arc<Counter>,
     heartbeats_recv: Arc<Counter>,
@@ -144,6 +149,8 @@ struct ReplMetrics {
     failover_ms: Arc<Histogram>,
     peer_sent: Arc<Counter>,
     fanout_sequenced: Arc<Counter>,
+    fenced_rejects: Arc<Counter>,
+    reconciled_groups: Arc<Counter>,
 }
 
 impl ReplMetrics {
@@ -157,6 +164,8 @@ impl ReplMetrics {
             failover_ms: registry.histogram("repl.failover_ms"),
             peer_sent: registry.counter("repl.peer.sent"),
             fanout_sequenced: registry.counter("repl.fanout.sequenced"),
+            fenced_rejects: registry.counter("repl.fenced.rejects"),
+            reconciled_groups: registry.counter("repl.reconciled.groups"),
         }
     }
 }
@@ -452,6 +461,15 @@ struct Dispatcher {
     /// Last epoch counted as a resolved election by the health plane
     /// (startup epoch pre-counted so boot is not an "election").
     counted_epoch: Option<Epoch>,
+    /// Quorum lease while coordinating: when each follower's last
+    /// `HeartbeatAck` arrived (runtime milliseconds).
+    last_ack_ms: HashMap<ServerId, u64>,
+    /// Whether the coordinator role is write-fenced (lease over a
+    /// majority of the configured roster lost).
+    fenced: bool,
+    /// Group logs quarantined at demotion, awaiting reconciliation
+    /// against the live coordinator's authoritative copies.
+    reconciling: HashMap<GroupId, GroupLog>,
 }
 
 impl Dispatcher {
@@ -476,7 +494,7 @@ impl Dispatcher {
         }
         let metrics = ReplMetrics::new(&registry);
         let watchdogs = Watchdogs::new(config.server_config.watchdog);
-        Dispatcher {
+        let mut dispatcher = Dispatcher {
             me,
             dialer,
             cmd_tx,
@@ -500,8 +518,15 @@ impl Dispatcher {
             health,
             watchdogs,
             counted_epoch: Some(Epoch::ZERO),
+            last_ack_ms: HashMap::new(),
+            fenced: false,
+            reconciling: HashMap::new(),
             config,
+        };
+        if dispatcher.coordinator.is_some() {
+            dispatcher.grant_lease();
         }
+        dispatcher
     }
 
     fn now_ms(&self) -> u64 {
@@ -700,6 +725,7 @@ impl Dispatcher {
             .map(Work::Election)
             .collect();
         if self.election.is_coordinator() {
+            self.check_quorum_lease(now);
             work.extend(
                 self.election
                     .coordinator_heartbeats()
@@ -744,7 +770,22 @@ impl Dispatcher {
                 self.last_heartbeat = Some(Instant::now());
                 let effects = self.election.on_heartbeat(from, epoch, now_ms);
                 self.sync_role();
+                if !self.election.is_coordinator() {
+                    // Ack the coordinator's heartbeat: the acks are its
+                    // quorum lease (see `check_quorum_lease`).
+                    self.send_peer(
+                        from,
+                        PeerMessage::HeartbeatAck {
+                            from: self.me,
+                            epoch: self.election.epoch(),
+                        },
+                        queue,
+                    );
+                }
                 queue.extend(effects.into_iter().map(Work::Election));
+            }
+            PeerMessage::HeartbeatAck { from, .. } => {
+                self.last_ack_ms.insert(from, now_ms);
             }
             PeerMessage::ElectionClaim { candidate, epoch } => {
                 let effects = self.election.on_claim(candidate, epoch, now_ms);
@@ -780,6 +821,17 @@ impl Dispatcher {
             | PeerMessage::ForwardBroadcast { .. }
             | PeerMessage::MemberAnnounce { .. }
             | PeerMessage::GroupHosting { .. }) => {
+                if self.coordinator.is_some() && self.fenced {
+                    // Degraded read-only mode: sequencing and other
+                    // mutations get an explicit `Unavailable` reply
+                    // instead of silently diverging from the quorum
+                    // side (reads, hellos, and bookkeeping still pass).
+                    if let Some((to, reject)) = fenced_reject(&msg) {
+                        self.metrics.fenced_rejects.inc();
+                        self.send_peer(to, reject, queue);
+                        return;
+                    }
+                }
                 if let Some(coord) = &mut self.coordinator {
                     let effects = coord.handle_peer(msg, now);
                     queue.extend(effects.into_iter().map(Work::Coord));
@@ -795,6 +847,21 @@ impl Dispatcher {
                     let effects = self.replica.handle_peer(msg);
                     queue.extend(effects.into_iter().map(Work::Replica));
                 }
+            }
+            // A reply for a quarantined group is the live side's
+            // authoritative history: reconcile the divergent suffix
+            // through the merge policies before anything else sees it.
+            PeerMessage::GroupStateReply {
+                group,
+                persistence,
+                through,
+                state,
+                updates,
+                ..
+            } if self.reconciling.contains_key(&group) => {
+                let effects =
+                    self.reconcile_group(group, persistence, through, state, updates, queue);
+                queue.extend(effects.into_iter().map(Work::Replica));
             }
             PeerMessage::GroupStateReply { .. } => {
                 // Resync input when coordinating; standby install
@@ -843,9 +910,145 @@ impl Dispatcher {
                 self.election.epoch(),
                 Arc::clone(&self.registry),
             ));
+            self.grant_lease();
         } else if !self.election.is_coordinator() && self.coordinator.is_some() {
-            self.coordinator = None;
+            // Demoted: a newer epoch fenced us. Our authoritative logs
+            // and standby copies may carry a suffix sequenced without
+            // quorum, so quarantine them (the resync deliberately
+            // offers no state) until each is reconciled against the
+            // live coordinator's copy via `reconcile_group`.
+            if let Some(coord) = self.coordinator.take() {
+                for gid in coord.authoritative().registry().group_ids() {
+                    if let Some(log) = coord.authoritative().group_log(gid) {
+                        self.reconciling.insert(gid, log.clone());
+                    }
+                }
+            }
+            for (gid, log) in self.replica.quarantine_logs() {
+                self.reconciling.entry(gid).or_insert(log);
+            }
+            self.fenced = false;
+            self.health.set_fenced(!self.reconciling.is_empty());
         }
+    }
+
+    /// Grants a fresh quorum lease on accession: every configured peer
+    /// gets one full lease period to start acking before it counts
+    /// against the majority.
+    fn grant_lease(&mut self) {
+        let now = self.now_ms();
+        for (id, _) in &self.config.servers {
+            if *id != self.me {
+                self.last_ack_ms.insert(*id, now);
+            }
+        }
+        if self.fenced {
+            self.fenced = false;
+            self.health.set_fenced(false);
+        }
+    }
+
+    /// Steady-state quorum check while coordinating: without fresh
+    /// `HeartbeatAck`s from a majority of the *configured* roster
+    /// (counting ourselves), fence writes instead of silently
+    /// diverging on the minority side of a partition.
+    fn check_quorum_lease(&mut self, now_ms: u64) {
+        if self.coordinator.is_none() {
+            return;
+        }
+        let ttl = self.config.base_timeout_ms;
+        let live = 1 + self
+            .config
+            .servers
+            .iter()
+            .filter(|(id, _)| *id != self.me)
+            .filter(|(id, _)| {
+                self.last_ack_ms
+                    .get(id)
+                    .is_some_and(|t| now_ms.saturating_sub(*t) <= ttl)
+            })
+            .count() as u64;
+        let need = self.election.majority() as u64;
+        if let Some(event) = self.watchdogs.note_quorum(live, need, now_ms) {
+            self.health.emit(event);
+        }
+        let fenced = live < need;
+        if fenced != self.fenced {
+            self.fenced = fenced;
+            self.health.set_fenced(fenced);
+            // Tell local clients where the rest of the roster lives so
+            // they can fail over to the quorum side.
+            self.push_roster_all();
+        }
+    }
+
+    /// Reconciles a quarantined (possibly divergent) group log against
+    /// the live coordinator's authoritative copy (§4.2 merge, wired
+    /// in-runtime): find the divergence, adopt the quorum side (or
+    /// fast-forward our own suffix when the live side never
+    /// progressed), replay the reconciled window to locally homed
+    /// clients, and emit `divergence_repaired`.
+    fn reconcile_group(
+        &mut self,
+        group: GroupId,
+        persistence: corona_types::policy::Persistence,
+        through: SeqNo,
+        state: corona_types::state::SharedState,
+        updates: Vec<corona_types::state::LoggedUpdate>,
+        queue: &mut VecDeque<Work>,
+    ) -> Vec<ReplicaEffect> {
+        let Some(stale) = self.reconciling.remove(&group) else {
+            return Vec::new();
+        };
+        let mut live = GroupLog::restore(group, state, through, Vec::new());
+        for u in updates {
+            let _ = live.append_sequenced(u);
+        }
+        let div = find_divergence(&stale, &live);
+        // The live coordinator holds quorum authority; only when it
+        // never progressed past the common point is our suffix a
+        // conflict-free fast-forward worth keeping.
+        let fast_forward = div.side_b.is_empty() && !div.side_a.is_empty();
+        let resolution = if fast_forward {
+            MergeResolution::Adopt(Side::A)
+        } else {
+            MergeResolution::Adopt(Side::B)
+        };
+        let discarded = if fast_forward {
+            0
+        } else {
+            div.side_a.len() as u64
+        };
+        let reconciled = merge(&div, resolution).primary;
+        if div.is_divergent() {
+            let event = Watchdogs::divergence_repaired(group, discarded, self.now_ms());
+            self.health.emit(event);
+        }
+        self.metrics.reconciled_groups.inc();
+        let effects = self
+            .replica
+            .install_reconciled(group, reconciled, div.common_seq);
+        if fast_forward {
+            // The live side is behind: offer the reconciled log so the
+            // coordinator adopts the fresher copy.
+            if let Some(coordinator) = self.election.coordinator() {
+                if let Some(log) = self.replica.standby_log(group) {
+                    let offer = PeerMessage::GroupStateReply {
+                        from: self.me,
+                        group,
+                        persistence,
+                        through: log.checkpoint_seq(),
+                        state: log.checkpoint_state().clone(),
+                        updates: log.suffix_iter().cloned().collect(),
+                    };
+                    self.send_peer(coordinator, offer, queue);
+                }
+            }
+        }
+        if self.reconciling.is_empty() {
+            self.health.set_fenced(false);
+        }
+        effects
     }
 
     fn exec_election(&mut self, eff: ElectionEffect, queue: &mut VecDeque<Work>) {
@@ -873,6 +1076,7 @@ impl Dispatcher {
                     self.election.epoch(),
                     Arc::clone(&self.registry),
                 ));
+                self.grant_lease();
                 self.resynced_epoch = Some(self.election.epoch());
                 // Feed our own replica's knowledge into the fresh
                 // authoritative state.
@@ -888,7 +1092,9 @@ impl Dispatcher {
             ElectionEffect::FollowCoordinator(coordinator) => {
                 self.note_failover_resolved();
                 self.note_election_resolved();
-                self.coordinator = None;
+                // Runs the demotion path (with quarantine) if a stale
+                // coordinator role is still attached.
+                self.sync_role();
                 if self.resynced_epoch != Some(self.election.epoch()) {
                     self.resynced_epoch = Some(self.election.epoch());
                     for msg in self.replica.resync_messages() {
@@ -897,6 +1103,19 @@ impl Dispatcher {
                 }
                 while let Some(msg) = self.coord_backlog.pop_front() {
                     self.send_peer(coordinator, msg, queue);
+                }
+                // Quarantined copies from a stale coordinatorship are
+                // reconciled against the live side's history.
+                let quarantined: Vec<GroupId> = self.reconciling.keys().copied().collect();
+                for group in quarantined {
+                    self.send_peer(
+                        coordinator,
+                        PeerMessage::GroupStateQuery {
+                            from: self.me,
+                            group,
+                        },
+                        queue,
+                    );
                 }
                 self.push_roster_all();
             }
@@ -1165,5 +1384,51 @@ impl Dispatcher {
             .expect("spawn dialed peer reader");
         self.peer_conns.insert(to, (conn_id, conn));
         true
+    }
+}
+
+/// The `Unavailable` reply for a message refused while write-fenced,
+/// or `None` when the message may pass. Degraded read-only mode:
+/// sequencing (`ForwardBroadcast`) and mutating control requests are
+/// refused; reads, hellos, goodbyes, and hosting/membership
+/// bookkeeping stay available.
+fn fenced_reject(msg: &PeerMessage) -> Option<(ServerId, PeerMessage)> {
+    let unavailable =
+        |origin: ServerId, local_tag: u64, client: ClientId| PeerMessage::RequestOutcome {
+            origin,
+            local_tag,
+            client,
+            events: vec![ServerEvent::Error {
+                code: ErrorCode::Unavailable.to_wire(),
+                detail: "coordinator fenced: quorum lease lost".to_string(),
+            }],
+        };
+    match msg {
+        PeerMessage::ForwardBroadcast {
+            origin,
+            sender,
+            local_tag,
+            ..
+        } => Some((*origin, unavailable(*origin, *local_tag, *sender))),
+        PeerMessage::ForwardRequest {
+            origin,
+            client,
+            local_tag,
+            request,
+        } => {
+            let mutates = matches!(
+                request,
+                ClientRequest::CreateGroup { .. }
+                    | ClientRequest::DeleteGroup { .. }
+                    | ClientRequest::Join { .. }
+                    | ClientRequest::Leave { .. }
+                    | ClientRequest::Broadcast { .. }
+                    | ClientRequest::AcquireLock { .. }
+                    | ClientRequest::ReleaseLock { .. }
+                    | ClientRequest::ReduceLog { .. }
+            );
+            mutates.then(|| (*origin, unavailable(*origin, *local_tag, *client)))
+        }
+        _ => None,
     }
 }

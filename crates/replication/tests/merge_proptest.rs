@@ -1,0 +1,182 @@
+//! Property-based tests of partition divergence detection and merge
+//! (§4.2): for arbitrary shared prefixes and divergent suffixes,
+//! `find_divergence` pins the split at the last common update, and
+//! every `MergeResolution` preserves the common prefix, loses nothing
+//! from the side it keeps, and is deterministic (including under
+//! side-swap).
+
+use corona_replication::{find_divergence, merge, Divergence, MergeResolution, Side};
+use corona_statelog::GroupLog;
+use corona_types::id::{ClientId, GroupId, ObjectId, SeqNo};
+use corona_types::state::{SharedState, StateUpdate, Timestamp};
+use proptest::prelude::*;
+
+const G: GroupId = GroupId(1);
+const O: ObjectId = ObjectId(1);
+
+fn push(log: &mut GroupLog, sender: u64, byte: u8) {
+    log.append(
+        ClientId::new(sender),
+        StateUpdate::incremental(O, vec![byte, b';']),
+        Timestamp::ZERO,
+    );
+}
+
+/// Builds the two partition halves: a shared prefix (sender 1), then
+/// side A extends with sender 2 and side B with sender 3. Distinct
+/// senders guarantee the tails never accidentally agree, so the
+/// divergence point is exactly the prefix by construction.
+fn split(prefix: &[u8], a_tail: &[u8], b_tail: &[u8]) -> (GroupLog, GroupLog) {
+    let mut a = GroupLog::new(G, SharedState::new());
+    for p in prefix {
+        push(&mut a, 1, *p);
+    }
+    let mut b = a.clone();
+    for p in a_tail {
+        push(&mut a, 2, *p);
+    }
+    for p in b_tail {
+        push(&mut b, 3, *p);
+    }
+    (a, b)
+}
+
+fn materialized(log: &GroupLog) -> Vec<u8> {
+    log.current_state()
+        .object(O)
+        .map(|s| s.materialize().to_vec())
+        .unwrap_or_default()
+}
+
+/// The byte stream a log *should* materialize to: every payload byte
+/// followed by the `;` delimiter.
+fn expect_stream(parts: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for part in parts {
+        for b in *part {
+            out.push(*b);
+            out.push(b';');
+        }
+    }
+    out
+}
+
+fn divergences_equal(x: &Divergence, y: &Divergence) -> bool {
+    x.group == y.group
+        && x.common_seq == y.common_seq
+        && x.common_state == y.common_state
+        && x.side_a == y.side_a
+        && x.side_b == y.side_b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The divergence point is exactly the shared prefix, and the
+    /// computation is deterministic and symmetric: swapping the
+    /// argument order swaps the sides and changes nothing else.
+    #[test]
+    fn divergence_pins_the_split_and_is_symmetric(
+        prefix in proptest::collection::vec(any::<u8>(), 0..12),
+        a_tail in proptest::collection::vec(any::<u8>(), 0..8),
+        b_tail in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let (a, b) = split(&prefix, &a_tail, &b_tail);
+        let d = find_divergence(&a, &b);
+
+        prop_assert_eq!(d.common_seq, SeqNo::new(prefix.len() as u64));
+        prop_assert_eq!(d.side_a.len(), a_tail.len());
+        prop_assert_eq!(d.side_b.len(), b_tail.len());
+        prop_assert_eq!(
+            materialized(&GroupLog::restore(G, d.common_state.clone(), d.common_seq, Vec::new())),
+            expect_stream(&[&prefix])
+        );
+        prop_assert_eq!(d.is_divergent(), !a_tail.is_empty() || !b_tail.is_empty());
+        prop_assert_eq!(d.is_conflicting(), !a_tail.is_empty() && !b_tail.is_empty());
+
+        // Deterministic: recomputing gives the identical answer.
+        let again = find_divergence(&a, &b);
+        prop_assert!(divergences_equal(&d, &again));
+
+        // Side-swap symmetry: only the side labels move.
+        let swapped = find_divergence(&b, &a);
+        prop_assert_eq!(swapped.common_seq, d.common_seq);
+        prop_assert_eq!(&swapped.common_state, &d.common_state);
+        prop_assert_eq!(&swapped.side_a, &d.side_b);
+        prop_assert_eq!(&swapped.side_b, &d.side_a);
+    }
+
+    /// Every resolution preserves the common prefix; the adopted side
+    /// loses no entry; roll-back keeps exactly the prefix; fork keeps
+    /// both histories under separate group ids. Merged logs always
+    /// satisfy the contiguity invariant.
+    #[test]
+    fn every_resolution_preserves_prefix_and_kept_side(
+        prefix in proptest::collection::vec(any::<u8>(), 0..12),
+        a_tail in proptest::collection::vec(any::<u8>(), 0..8),
+        b_tail in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        let (a, b) = split(&prefix, &a_tail, &b_tail);
+        let d = find_divergence(&a, &b);
+        let plen = prefix.len() as u64;
+
+        // RollBack: exactly the prefix survives.
+        let out = merge(&d, MergeResolution::RollBack);
+        prop_assert_eq!(materialized(&out.primary), expect_stream(&[&prefix]));
+        prop_assert_eq!(out.primary.last_seq(), SeqNo::new(plen));
+        prop_assert!(out.primary.check_invariants());
+        prop_assert!(out.fork.is_none());
+
+        // Adopt: prefix plus the whole kept tail, renumbered
+        // contiguously — no kept-side entry is lost.
+        for (side, tail) in [(Side::A, &a_tail), (Side::B, &b_tail)] {
+            let out = merge(&d, MergeResolution::Adopt(side));
+            prop_assert_eq!(materialized(&out.primary), expect_stream(&[&prefix, tail]));
+            prop_assert_eq!(out.primary.last_seq(), SeqNo::new(plen + tail.len() as u64));
+            prop_assert!(out.primary.check_invariants());
+            prop_assert!(out.fork.is_none());
+        }
+
+        // Fork: both histories survive, fork under the new group id.
+        let fork_gid = GroupId::new(2);
+        let out = merge(&d, MergeResolution::Fork { keep: Side::A, fork_group: fork_gid });
+        prop_assert_eq!(materialized(&out.primary), expect_stream(&[&prefix, &a_tail]));
+        prop_assert_eq!(out.primary.group(), G);
+        let fork = out.fork.expect("fork resolution yields a forked log");
+        prop_assert_eq!(materialized(&fork), expect_stream(&[&prefix, &b_tail]));
+        prop_assert_eq!(fork.group(), fork_gid);
+        prop_assert!(fork.check_invariants());
+
+        // Determinism: re-merging the same divergence reproduces the
+        // same primary, byte for byte.
+        let again = merge(&d, MergeResolution::Adopt(Side::B));
+        let first = merge(&d, MergeResolution::Adopt(Side::B));
+        prop_assert_eq!(materialized(&again.primary), materialized(&first.primary));
+        prop_assert_eq!(again.primary.last_seq(), first.primary.last_seq());
+    }
+
+    /// A side that checkpointed (reduced) its log within the shared
+    /// prefix still yields the same divergence point and the same
+    /// quorum-side merge — reduction must never move the split or drop
+    /// live-side entries.
+    #[test]
+    fn checkpointing_within_prefix_does_not_move_the_split(
+        prefix in proptest::collection::vec(any::<u8>(), 1..10),
+        a_tail in proptest::collection::vec(any::<u8>(), 0..6),
+        b_tail in proptest::collection::vec(any::<u8>(), 0..6),
+        ckpt in any::<u64>(),
+    ) {
+        let (mut a, b) = split(&prefix, &a_tail, &b_tail);
+        let through = 1 + ckpt % prefix.len() as u64;
+        a.reduce(SeqNo::new(through)).expect("reduce within prefix");
+
+        let d = find_divergence(&a, &b);
+        prop_assert_eq!(d.common_seq, SeqNo::new(prefix.len() as u64));
+        prop_assert_eq!(d.side_a.len(), a_tail.len());
+        prop_assert_eq!(d.side_b.len(), b_tail.len());
+
+        let out = merge(&d, MergeResolution::Adopt(Side::B));
+        prop_assert_eq!(materialized(&out.primary), expect_stream(&[&prefix, &b_tail]));
+        prop_assert!(out.primary.check_invariants());
+    }
+}

@@ -37,6 +37,7 @@ pub mod engine;
 pub mod failover;
 pub mod health;
 pub mod hosts;
+pub mod partition;
 
 pub use corona::{
     roundtrip, roundtrip_traced, roundtrip_with_metrics, throughput, ExperimentConfig,
@@ -49,3 +50,4 @@ pub use hosts::{
     HostProfile, NetworkProfile, CAMPUS_BACKBONE, ETHERNET_10MBPS, PENTIUM_II_200, SPARC_20_CLIENT,
     ULTRASPARC_1,
 };
+pub use partition::{partition_run, PartitionRun, PartitionScenario};

@@ -1,0 +1,414 @@
+//! Deterministic partition-and-heal scenario.
+//!
+//! Models the quorum-fenced replication runtime under virtual time: a
+//! three-server star is split so the coordinator lands in the minority,
+//! its heartbeat-ack lease expires and it fences itself read-only, the
+//! majority elects a successor under a higher epoch, and on heal the
+//! stale coordinator quarantines its divergent suffix, adopts the
+//! quorum history, and replays the reconciled window to its local
+//! client.
+//!
+//! Because the run is a pure function of [`PartitionScenario`], the
+//! qualitative claims of the partition design — the minority
+//! coordinator sequences nothing after its lease expires, the
+//! divergent suffix is discarded on heal, and both clients converge to
+//! the same gap-free stream — can be asserted for arbitrary timings in
+//! microseconds of real time.
+
+use crate::engine::{Scheduler, SimModel, SimTime, Simulation};
+
+/// Parameters of the partition-and-heal run (virtual microseconds).
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionScenario {
+    /// Updates produced by the writer attached to the old coordinator.
+    pub writes_a: u64,
+    /// Updates produced by the writer attached to the majority server.
+    pub writes_b: u64,
+    /// Gap between writer sends (each writer independently).
+    pub write_interval: SimTime,
+    /// One-way network delay between any two nodes.
+    pub net_delay: SimTime,
+    /// Coordinator heartbeat period (mirrors `heartbeat_ms`).
+    pub heartbeat_interval: SimTime,
+    /// Quorum-lease time-to-live: the coordinator fences itself when
+    /// no majority of acks is fresher than this (mirrors
+    /// `base_timeout_ms`).
+    pub lease_ttl: SimTime,
+    /// Follower election timeout (rank-scaled in the real runtime;
+    /// must exceed `lease_ttl` so the minority fences before the
+    /// majority elects).
+    pub election_timeout: SimTime,
+    /// Virtual time at which the coordinator is cut off.
+    pub partition_at: SimTime,
+    /// Virtual time at which connectivity returns.
+    pub heal_at: SimTime,
+}
+
+impl Default for PartitionScenario {
+    fn default() -> Self {
+        PartitionScenario {
+            writes_a: 40,
+            writes_b: 40,
+            write_interval: 12_000,
+            net_delay: 1_500,
+            heartbeat_interval: 15_000,
+            lease_ttl: 120_000,
+            election_timeout: 250_000,
+            partition_at: 180_000,
+            heal_at: 900_000,
+        }
+    }
+}
+
+/// What the two locally-homed clients observed across the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionRun {
+    /// Virtual time at which the minority coordinator fenced itself.
+    pub fenced_at: SimTime,
+    /// Virtual time at which the majority elected the successor.
+    pub elected_at: SimTime,
+    /// Updates the minority coordinator sequenced *after* fencing
+    /// (the safety property demands zero).
+    pub sequenced_while_fenced: u64,
+    /// Divergent updates the minority sequenced inside the lease
+    /// window (visible to its client, discarded on heal).
+    pub divergent: u64,
+    /// Entries discarded by the heal-time merge.
+    pub discarded: u64,
+    /// Writes rejected `Unavailable` while fenced.
+    pub rejected: u64,
+    /// Heal-to-reconciled latency (state query + merge + replay).
+    pub reconcile_us: SimTime,
+    /// Final stream at the client homed on the old coordinator,
+    /// last-wins per sequence number.
+    pub view_a: Vec<(u64, u64)>,
+    /// Final stream at the client homed on the majority server.
+    pub view_b: Vec<(u64, u64)>,
+}
+
+impl PartitionRun {
+    /// True when a view is contiguous from sequence 1 with no gap.
+    pub fn is_gap_free(view: &[(u64, u64)]) -> bool {
+        view.iter()
+            .enumerate()
+            .all(|(i, (seq, _))| *seq == i as u64 + 1)
+    }
+
+    /// True when both clients converged to the identical stream.
+    pub fn converged(&self) -> bool {
+        self.view_a == self.view_b
+            && Self::is_gap_free(&self.view_a)
+            && Self::is_gap_free(&self.view_b)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// The coordinator heartbeats and checks its quorum lease.
+    HbTick,
+    /// A heartbeat ack round-trip completes at the coordinator.
+    AckArrive,
+    /// The majority follower checks its election timer.
+    FollowerCheck,
+    /// The writer homed on the old coordinator emits update `id`.
+    WriteA(u64),
+    /// The writer homed on the majority server emits update `id`.
+    WriteB(u64),
+    /// The link is cut.
+    Partition,
+    /// The link returns.
+    Heal,
+    /// The demoted coordinator's state query + merge + replay lands.
+    Reconciled,
+}
+
+struct Model {
+    sc: PartitionScenario,
+    partitioned: bool,
+    /// s1 believes itself coordinator until the heal-time demotion.
+    s1_coordinator: bool,
+    s1_fenced: bool,
+    last_ack: SimTime,
+    s2_coordinator: bool,
+    /// Sequenced history replicated on both sides before the split.
+    prefix: Vec<(u64, u64)>,
+    /// Minority-side suffix (sequenced by s1 inside the lease window).
+    side_a: Vec<(u64, u64)>,
+    /// Majority-side suffix (sequenced by s2 after its election).
+    side_b: Vec<(u64, u64)>,
+    sent_a: u64,
+    sent_b: u64,
+    healed_at: SimTime,
+    /// Virtual time of every minority-side append, for the post-run
+    /// nothing-sequenced-after-the-fence audit.
+    minority_appends: Vec<SimTime>,
+    run: PartitionRun,
+}
+
+impl Model {
+    fn majority_seq(&self) -> u64 {
+        (self.prefix.len() + self.side_b.len()) as u64
+    }
+}
+
+impl SimModel for Model {
+    type Event = Ev;
+
+    fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+        let now = sched.now();
+        match event {
+            Ev::HbTick => {
+                if self.s1_coordinator {
+                    if !self.partitioned {
+                        sched.after(2 * self.sc.net_delay, Ev::AckArrive);
+                    }
+                    if !self.s1_fenced && now.saturating_sub(self.last_ack) > self.sc.lease_ttl {
+                        self.s1_fenced = true;
+                        self.run.fenced_at = now;
+                    }
+                    // The lease only matters up to the heal; letting
+                    // the tick chain die afterwards bounds the run.
+                    if now <= self.sc.heal_at {
+                        sched.after(self.sc.heartbeat_interval, Ev::HbTick);
+                    }
+                }
+            }
+            Ev::AckArrive => {
+                if !self.partitioned {
+                    self.last_ack = now;
+                }
+            }
+            Ev::FollowerCheck => {
+                // The timer chain lives only while the link is down:
+                // a heal before it fires means heartbeats resumed.
+                if !self.s2_coordinator && self.partitioned {
+                    if now.saturating_sub(self.sc.partition_at) > self.sc.election_timeout {
+                        self.s2_coordinator = true;
+                        self.run.elected_at = now;
+                    } else {
+                        sched.after(self.sc.heartbeat_interval, Ev::FollowerCheck);
+                    }
+                }
+            }
+            Ev::WriteA(id) => {
+                if self.s1_coordinator {
+                    if self.s1_fenced {
+                        // Degraded read-only: the client gets an
+                        // explicit Unavailable instead of a sequence
+                        // number that could never commit.
+                        self.run.rejected += 1;
+                    } else if self.partitioned {
+                        let seq = (self.prefix.len() + self.side_a.len()) as u64 + 1;
+                        self.side_a.push((seq, id));
+                        self.minority_appends.push(now);
+                        self.run.view_a.push((seq, id));
+                        self.run.divergent += 1;
+                    } else {
+                        let seq = self.prefix.len() as u64 + 1;
+                        self.prefix.push((seq, id));
+                        self.run.view_a.push((seq, id));
+                        self.run.view_b.push((seq, id));
+                    }
+                } else {
+                    // Demoted: the write forwards to the successor.
+                    let seq = self.majority_seq() + 1;
+                    self.side_b.push((seq, id));
+                    self.run.view_a.push((seq, id));
+                    self.run.view_b.push((seq, id));
+                }
+                if self.sent_a < self.sc.writes_a {
+                    self.sent_a += 1;
+                    sched.after(self.sc.write_interval, Ev::WriteA(1_000 + self.sent_a));
+                }
+            }
+            Ev::WriteB(id) => {
+                if self.s2_coordinator {
+                    let seq = self.majority_seq() + 1;
+                    self.side_b.push((seq, id));
+                    self.run.view_b.push((seq, id));
+                    if !self.s1_coordinator && self.healed_at != SimTime::MAX {
+                        self.run.view_a.push((seq, id));
+                    }
+                } else if !self.partitioned && !self.s1_fenced {
+                    // Forwarded to the live coordinator.
+                    let seq = self.prefix.len() as u64 + 1;
+                    self.prefix.push((seq, id));
+                    self.run.view_a.push((seq, id));
+                    self.run.view_b.push((seq, id));
+                } else {
+                    // Coordinator unreachable and no successor yet:
+                    // the client's failover driver holds and retries.
+                    sched.after(self.sc.write_interval, Ev::WriteB(id));
+                    return;
+                }
+                if self.sent_b < self.sc.writes_b {
+                    self.sent_b += 1;
+                    sched.after(self.sc.write_interval, Ev::WriteB(2_000 + self.sent_b));
+                }
+            }
+            Ev::Partition => {
+                self.partitioned = true;
+                sched.after(self.sc.heartbeat_interval, Ev::FollowerCheck);
+            }
+            Ev::Heal => {
+                self.partitioned = false;
+                self.healed_at = now;
+                if self.s2_coordinator {
+                    // The old coordinator hears the higher epoch,
+                    // demotes, quarantines its suffix, and launches
+                    // the state query that drives the merge.
+                    self.s1_coordinator = false;
+                    self.s1_fenced = false;
+                    sched.after(2 * self.sc.net_delay, Ev::Reconciled);
+                } else {
+                    // Minority rejoined before anyone won an election:
+                    // the suffix was never contested, the lease simply
+                    // refreshes on the next ack round-trip.
+                    for entry in self.side_a.drain(..) {
+                        self.prefix.push(entry);
+                        self.run.view_b.push(entry);
+                    }
+                    self.s1_fenced = false;
+                }
+            }
+            Ev::Reconciled => {
+                // find_divergence + Adopt(majority): the divergent
+                // suffix is discarded, the reconciled window replays
+                // to the locally-homed client (retraction-replay:
+                // last delivery per sequence number wins).
+                self.run.discarded = self.side_a.len() as u64;
+                self.side_a.clear();
+                self.run.view_a.truncate(self.prefix.len());
+                self.run.view_a.extend(self.side_b.iter().copied());
+                self.run.reconcile_us = now - self.healed_at;
+            }
+        }
+    }
+}
+
+/// Runs the partition-and-heal scenario to completion.
+pub fn partition_run(scenario: PartitionScenario) -> PartitionRun {
+    let mut sim = Simulation::new(Model {
+        sc: scenario,
+        partitioned: false,
+        s1_coordinator: true,
+        s1_fenced: false,
+        last_ack: 0,
+        s2_coordinator: false,
+        prefix: Vec::new(),
+        side_a: Vec::new(),
+        side_b: Vec::new(),
+        sent_a: 1,
+        sent_b: 1,
+        healed_at: SimTime::MAX,
+        minority_appends: Vec::new(),
+        run: PartitionRun {
+            fenced_at: SimTime::MAX,
+            elected_at: SimTime::MAX,
+            sequenced_while_fenced: 0,
+            divergent: 0,
+            discarded: 0,
+            rejected: 0,
+            reconcile_us: 0,
+            view_a: Vec::new(),
+            view_b: Vec::new(),
+        },
+    });
+    sim.seed(scenario.heartbeat_interval, Ev::HbTick);
+    sim.seed(scenario.write_interval, Ev::WriteA(1_001));
+    sim.seed(scenario.write_interval + 1, Ev::WriteB(2_001));
+    sim.seed(scenario.partition_at, Ev::Partition);
+    sim.seed(scenario.heal_at, Ev::Heal);
+    sim.run_to_completion();
+    let mut model = sim.into_model();
+    // Post-run audit: the minority log must not have grown after the
+    // lease was lost.
+    model.run.sequenced_while_fenced = model
+        .minority_appends
+        .iter()
+        .filter(|t| **t > model.run.fenced_at)
+        .count() as u64;
+    // Last-wins compaction of the retraction-replay stream.
+    model.run.view_a = last_wins(&model.run.view_a);
+    model.run.view_b = last_wins(&model.run.view_b);
+    model.run
+}
+
+fn last_wins(stream: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (seq, id) in stream {
+        map.insert(*seq, *id);
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minority_coordinator_fences_and_sequences_nothing_after() {
+        let sc = PartitionScenario::default();
+        let run = partition_run(sc);
+        assert!(
+            run.fenced_at >= sc.partition_at && run.fenced_at < sc.heal_at,
+            "fence inside the partition window: {run:?}"
+        );
+        assert!(
+            run.fenced_at <= sc.partition_at + sc.lease_ttl + 2 * sc.heartbeat_interval,
+            "fence within one lease + heartbeat slack: {}",
+            run.fenced_at
+        );
+        assert_eq!(run.sequenced_while_fenced, 0, "{run:?}");
+        assert!(run.rejected > 0, "fenced writes must be rejected");
+    }
+
+    #[test]
+    fn fence_precedes_election_when_lease_is_shorter() {
+        let sc = PartitionScenario::default();
+        assert!(sc.lease_ttl < sc.election_timeout);
+        let run = partition_run(sc);
+        assert!(
+            run.fenced_at <= run.elected_at,
+            "the minority must fence before the majority elects: {run:?}"
+        );
+    }
+
+    #[test]
+    fn divergent_suffix_is_discarded_and_views_converge() {
+        let run = partition_run(PartitionScenario::default());
+        assert!(run.divergent > 0, "the lease window admits a suffix");
+        assert_eq!(run.discarded, run.divergent, "{run:?}");
+        assert!(run.converged(), "{run:?}");
+        assert!(run.reconcile_us > 0);
+        // Nothing sequenced by the majority was lost: every B write
+        // that was sequenced appears in the final stream.
+        let ids: Vec<u64> = run.view_b.iter().map(|(_, id)| *id).collect();
+        assert!(ids.windows(2).all(|w| w[0] != w[1]), "no duplicates");
+    }
+
+    #[test]
+    fn short_blip_before_election_merges_back_without_discard() {
+        let sc = PartitionScenario {
+            heal_at: 220_000, // before the 250 ms election timeout
+            ..PartitionScenario::default()
+        };
+        let run = partition_run(sc);
+        assert_eq!(run.discarded, 0, "uncontested suffix survives: {run:?}");
+        assert_eq!(run.elected_at, SimTime::MAX, "no election fired");
+        assert!(run.converged(), "{run:?}");
+    }
+
+    #[test]
+    fn run_is_a_pure_function_of_the_scenario() {
+        let sc = PartitionScenario {
+            writes_a: 80,
+            writes_b: 70,
+            heal_at: 1_400_000,
+            ..PartitionScenario::default()
+        };
+        let a = partition_run(sc);
+        let b = partition_run(sc);
+        assert_eq!(a, b, "identical scenarios must replay identically");
+    }
+}

@@ -35,12 +35,17 @@
 
 pub mod mem;
 pub mod metered;
+pub mod nemesis;
 pub mod reactor;
 pub mod tcp;
 pub mod traits;
 
 pub use mem::{MemConnection, MemDialer, MemListener, MemNetwork};
 pub use metered::{ConnTraffic, MeteredConnection, TransportMetrics};
+pub use nemesis::{
+    FaultRng, LinkFaults, Nemesis, NemesisConnection, NemesisDialer, NemesisEvent, NemesisListener,
+    NemesisMetrics,
+};
 pub use reactor::{Reactor, ReactorConnection, ReactorDialer, ReactorListener};
 pub use tcp::{TcpAcceptor, TcpConnection, TcpDialer};
 pub use traits::{

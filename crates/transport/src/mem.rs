@@ -5,15 +5,21 @@
 //!
 //! * **blocked pairs / partitions** — traffic between the nodes is
 //!   silently dropped (a network black hole, as a real partition
-//!   appears to TCP until timeouts fire);
+//!   appears to TCP until timeouts fire); [`MemNetwork::block_directed`]
+//!   drops one direction only (an asymmetric partition);
 //! * **sever** — existing connections between two nodes are torn down
-//!   (the "fail-stop crash" view of a peer).
+//!   (the "fail-stop crash" view of a peer);
+//! * **seeded link faults** — per-link drop/delay/duplicate/reorder
+//!   with the same [`LinkFaults`] vocabulary as the nemesis layer
+//!   (see [`MemNetwork::set_link_faults`]), decided by one seeded
+//!   [`FaultRng`] so runs reproduce from their seed.
 //!
-//! No timing is simulated here — delivery is immediate and ordered —
-//! which keeps multi-threaded integration tests deterministic. The
-//! `corona-sim` crate models latency separately for the performance
-//! experiments.
+//! No timing is simulated here — delivery is immediate and ordered
+//! unless a fault rule says otherwise — which keeps multi-threaded
+//! integration tests deterministic. The `corona-sim` crate models
+//! latency separately for the performance experiments.
 
+use crate::nemesis::{FaultRng, LinkFaults};
 use crate::traits::{Connection, Dialer, Listener, TransportError, DEFAULT_SEND_CAPACITY};
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, Sender, TryRecvError};
@@ -41,6 +47,10 @@ struct ConnShared {
     tx_ad: Mutex<Option<Sender<Bytes>>>,
     dialer_node: String,
     acceptor_node: String,
+    /// One-slot reorder buffers (held-back frame awaiting the next
+    /// send), one per direction.
+    hold_da: Mutex<Option<Bytes>>,
+    hold_ad: Mutex<Option<Bytes>>,
     net: Weak<NetInner>,
 }
 
@@ -57,6 +67,12 @@ impl ConnShared {
 struct Rules {
     /// Unordered node pairs whose traffic is dropped.
     blocked: HashSet<(String, String)>,
+    /// Ordered `(from, to)` pairs whose traffic is dropped in that
+    /// direction only (asymmetric partitions: one side deaf, the
+    /// other still heard).
+    blocked_directed: HashSet<(String, String)>,
+    /// Unordered node pairs with a seeded fault mix.
+    faults: HashMap<(String, String), LinkFaults>,
 }
 
 impl Rules {
@@ -71,13 +87,41 @@ impl Rules {
     fn is_blocked(&self, a: &str, b: &str) -> bool {
         self.blocked.contains(&Rules::key(a, b))
     }
+
+    /// Whether frames travelling `from -> to` are dropped (either by a
+    /// bidirectional block or a directed one).
+    fn is_blocked_from(&self, from: &str, to: &str) -> bool {
+        self.is_blocked(from, to)
+            || self
+                .blocked_directed
+                .contains(&(from.to_string(), to.to_string()))
+    }
+
+    fn faults_for(&self, a: &str, b: &str) -> LinkFaults {
+        self.faults
+            .get(&Rules::key(a, b))
+            .copied()
+            .unwrap_or(LinkFaults::NONE)
+    }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct NetInner {
     listeners: Mutex<HashMap<String, Sender<MemConnection>>>,
     rules: Mutex<Rules>,
     conns: Mutex<Vec<Weak<ConnShared>>>,
+    rng: Mutex<FaultRng>,
+}
+
+impl Default for NetInner {
+    fn default() -> Self {
+        NetInner {
+            listeners: Mutex::new(HashMap::new()),
+            rules: Mutex::new(Rules::default()),
+            conns: Mutex::new(Vec::new()),
+            rng: Mutex::new(FaultRng::new(0)),
+        }
+    }
 }
 
 /// A process-local network of named nodes.
@@ -121,7 +165,7 @@ impl MemNetwork {
     /// [`TransportError::Io`] if no listener exists at `addr`, the
     /// route is blocked, or the listener has shut down.
     pub fn dial_from(&self, from_node: &str, addr: &str) -> Result<MemConnection, TransportError> {
-        if self.inner.rules.lock().is_blocked(from_node, addr) {
+        if self.inner.rules.lock().is_blocked_from(from_node, addr) {
             return Err(TransportError::Io(format!(
                 "route {from_node} -> {addr} is partitioned"
             )));
@@ -141,6 +185,8 @@ impl MemNetwork {
             tx_ad: Mutex::new(Some(tx_ad)),
             dialer_node: from_node.to_string(),
             acceptor_node: addr.to_string(),
+            hold_da: Mutex::new(None),
+            hold_ad: Mutex::new(None),
             net: Arc::downgrade(&self.inner),
         });
         self.inner.conns.lock().push(Arc::downgrade(&shared));
@@ -182,6 +228,27 @@ impl MemNetwork {
         self.inner.rules.lock().blocked.remove(&Rules::key(a, b));
     }
 
+    /// Drops frames travelling `from -> to` only; the reverse
+    /// direction keeps flowing. This models asymmetric partitions
+    /// (a router that forwards one way, a half-configured firewall):
+    /// the victim's own frames are heard, but it hears nothing back.
+    pub fn block_directed(&self, from: &str, to: &str) {
+        self.inner
+            .rules
+            .lock()
+            .blocked_directed
+            .insert((from.to_string(), to.to_string()));
+    }
+
+    /// Restores the `from -> to` direction.
+    pub fn unblock_directed(&self, from: &str, to: &str) {
+        self.inner
+            .rules
+            .lock()
+            .blocked_directed
+            .remove(&(from.to_string(), to.to_string()));
+    }
+
     /// Partitions the network into node groups: traffic between
     /// different groups is dropped, traffic within a group flows.
     /// Replaces all previous block rules.
@@ -200,9 +267,35 @@ impl MemNetwork {
     }
 
     /// Clears every block rule ("the network connectivity ... is
-    /// re-established", §4.2).
+    /// re-established", §4.2). Seeded link faults are untouched; use
+    /// [`MemNetwork::clear_link_faults`] for those.
     pub fn heal(&self) {
-        self.inner.rules.lock().blocked.clear();
+        let mut rules = self.inner.rules.lock();
+        rules.blocked.clear();
+        rules.blocked_directed.clear();
+    }
+
+    /// Re-seeds the fault generator; runs with the same seed and the
+    /// same send order observe identical fault decisions.
+    pub fn seed_faults(&self, seed: u64) {
+        *self.inner.rng.lock() = FaultRng::new(seed);
+    }
+
+    /// Applies a seeded fault mix to the unordered link `a`–`b` (both
+    /// directions). Uses the same [`LinkFaults`] vocabulary as the
+    /// nemesis layer.
+    pub fn set_link_faults(&self, a: &str, b: &str, faults: LinkFaults) {
+        let mut rules = self.inner.rules.lock();
+        if faults.is_none() {
+            rules.faults.remove(&Rules::key(a, b));
+        } else {
+            rules.faults.insert(Rules::key(a, b), faults);
+        }
+    }
+
+    /// Clears the fault mix on the link `a`–`b`.
+    pub fn clear_link_faults(&self, a: &str, b: &str) {
+        self.inner.rules.lock().faults.remove(&Rules::key(a, b));
     }
 
     /// Forcibly closes every live connection between `a` and `b`
@@ -266,23 +359,17 @@ impl MemConnection {
             Side::Acceptor => &self.shared.dialer_node,
         }
     }
-}
 
-impl Connection for MemConnection {
-    fn send(&self, frame: Bytes) -> Result<(), TransportError> {
-        if self.shared.closed.load(Ordering::Acquire) {
-            return Err(TransportError::Closed);
+    /// The reorder hold slot for this endpoint's transmit direction.
+    fn hold(&self) -> &Mutex<Option<Bytes>> {
+        match self.side {
+            Side::Dialer => &self.shared.hold_da,
+            Side::Acceptor => &self.shared.hold_ad,
         }
-        // Partition black hole: accept and drop.
-        if let Some(net) = self.shared.net.upgrade() {
-            if net
-                .rules
-                .lock()
-                .is_blocked(self.local_node(), self.remote_node())
-            {
-                return Ok(());
-            }
-        }
+    }
+
+    /// Capacity-checked enqueue into this endpoint's transmit channel.
+    fn enqueue(&self, frame: Bytes) -> Result<(), TransportError> {
         let guard = match self.side {
             Side::Dialer => self.shared.tx_da.lock(),
             Side::Acceptor => self.shared.tx_ad.lock(),
@@ -296,6 +383,65 @@ impl Connection for MemConnection {
             }
             None => Err(TransportError::Closed),
         }
+    }
+}
+
+impl Connection for MemConnection {
+    fn send(&self, frame: Bytes) -> Result<(), TransportError> {
+        if self.shared.closed.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
+        let Some(net) = self.shared.net.upgrade() else {
+            return self.enqueue(frame);
+        };
+        // Partition black hole: accept and drop.
+        let faults = {
+            let rules = net.rules.lock();
+            if rules.is_blocked_from(self.local_node(), self.remote_node()) {
+                return Ok(());
+            }
+            rules.faults_for(self.local_node(), self.remote_node())
+        };
+        if faults.is_none() {
+            // Flush any frame held by a since-cleared reorder rule
+            // (it is older, so it goes first).
+            let prior = self.hold().lock().take();
+            if let Some(h) = prior {
+                self.enqueue(h)?;
+            }
+            return self.enqueue(frame);
+        }
+        let (drop_it, dup_it, reorder_it) = {
+            let mut rng = net.rng.lock();
+            (
+                rng.chance(faults.drop_per_mille),
+                rng.chance(faults.dup_per_mille),
+                rng.chance(faults.reorder_per_mille),
+            )
+        };
+        if faults.delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(faults.delay_ms));
+        }
+        if drop_it {
+            return Ok(());
+        }
+        let mut hold = self.hold().lock();
+        if reorder_it && hold.is_none() {
+            *hold = Some(frame);
+            return Ok(());
+        }
+        let prior = hold.take();
+        drop(hold);
+        // The current frame goes first; a held frame follows it,
+        // completing the adjacent swap.
+        self.enqueue(frame.clone())?;
+        if let Some(h) = prior {
+            let _ = self.enqueue(h);
+        }
+        if dup_it {
+            let _ = self.enqueue(frame);
+        }
+        Ok(())
     }
 
     fn recv(&self) -> Result<Bytes, TransportError> {
@@ -477,6 +623,34 @@ mod tests {
     }
 
     #[test]
+    fn directed_block_drops_one_direction_only() {
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let client = net.dial_from("c", "s").unwrap();
+        let server_conn = listener.accept().unwrap();
+
+        net.block_directed("s", "c");
+        client.send(Bytes::from_static(b"up")).unwrap();
+        assert_eq!(server_conn.recv().unwrap().as_ref(), b"up");
+        server_conn.send(Bytes::from_static(b"down")).unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            TransportError::Timeout,
+            "blocked direction must black-hole"
+        );
+
+        net.unblock_directed("s", "c");
+        server_conn.send(Bytes::from_static(b"down2")).unwrap();
+        assert_eq!(client.recv().unwrap().as_ref(), b"down2");
+
+        // heal() clears directed rules too.
+        net.block_directed("s", "c");
+        net.heal();
+        server_conn.send(Bytes::from_static(b"down3")).unwrap();
+        assert_eq!(client.recv().unwrap().as_ref(), b"down3");
+    }
+
+    #[test]
     fn blocked_route_refuses_new_dials() {
         let net = MemNetwork::new();
         let _listener = net.listen("s").unwrap();
@@ -594,6 +768,103 @@ mod tests {
             server_conn.send(Bytes::from_static(b"x")).unwrap_err(),
             TransportError::Closed
         );
+    }
+
+    #[test]
+    fn seeded_link_faults_drop_deterministically() {
+        let run = || {
+            let net = MemNetwork::new();
+            net.seed_faults(99);
+            let listener = net.listen("s").unwrap();
+            let client = net.dial_from("c", "s").unwrap();
+            let server_conn = listener.accept().unwrap();
+            net.set_link_faults(
+                "c",
+                "s",
+                LinkFaults {
+                    drop_per_mille: 250,
+                    ..LinkFaults::NONE
+                },
+            );
+            for i in 0..100u32 {
+                client.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            }
+            let mut got = Vec::new();
+            while let Ok(Some(f)) = server_conn.try_recv() {
+                got.push(u32::from_le_bytes(f.as_ref().try_into().unwrap()));
+            }
+            got
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same survivors");
+        assert!(a.len() < 100, "a 25% drop rate over 100 frames fires");
+        let sorted = {
+            let mut s = a.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(a, sorted, "drops never reorder survivors");
+    }
+
+    #[test]
+    fn seeded_duplicate_and_reorder_lose_nothing() {
+        let net = MemNetwork::new();
+        net.seed_faults(7);
+        let listener = net.listen("s").unwrap();
+        let client = net.dial_from("c", "s").unwrap();
+        let server_conn = listener.accept().unwrap();
+        net.set_link_faults(
+            "c",
+            "s",
+            LinkFaults {
+                dup_per_mille: 200,
+                reorder_per_mille: 200,
+                ..LinkFaults::NONE
+            },
+        );
+        let mut reordered = false;
+        for i in 0..200u32 {
+            client.send(Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+        }
+        // Clearing the rule flushes a held frame on the next send.
+        net.clear_link_faults("c", "s");
+        client
+            .send(Bytes::from(200u32.to_le_bytes().to_vec()))
+            .unwrap();
+        let mut got = Vec::new();
+        while let Ok(Some(f)) = server_conn.try_recv() {
+            got.push(u32::from_le_bytes(f.as_ref().try_into().unwrap()));
+        }
+        for w in got.windows(2) {
+            if w[1] < w[0] {
+                reordered = true;
+            }
+        }
+        let unique: HashSet<u32> = got.iter().copied().collect();
+        assert_eq!(unique.len(), 201, "every frame arrives at least once");
+        assert!(got.len() > 201, "duplicates arrived");
+        assert!(reordered, "adjacent swaps observed");
+    }
+
+    #[test]
+    fn link_delay_is_applied() {
+        let net = MemNetwork::new();
+        let listener = net.listen("s").unwrap();
+        let client = net.dial_from("c", "s").unwrap();
+        let server_conn = listener.accept().unwrap();
+        net.set_link_faults(
+            "c",
+            "s",
+            LinkFaults {
+                delay_ms: 10,
+                ..LinkFaults::NONE
+            },
+        );
+        let t0 = std::time::Instant::now();
+        client.send(Bytes::from_static(b"slow")).unwrap();
+        assert_eq!(server_conn.recv().unwrap().as_ref(), b"slow");
+        assert!(t0.elapsed() >= Duration::from_millis(10));
     }
 
     #[test]

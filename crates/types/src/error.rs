@@ -40,6 +40,11 @@ pub enum ErrorCode {
     BadRequest = 11,
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown = 12,
+    /// The server has lost its quorum lease and is fenced: it refuses
+    /// to sequence new updates until a majority of the configured
+    /// roster is reachable again. Clients should retry against the
+    /// roster (another server may hold the coordinator role).
+    Unavailable = 13,
     /// Catch-all for codes introduced by newer protocol revisions.
     Unknown = 0xFFFF,
 }
@@ -60,6 +65,7 @@ impl ErrorCode {
             10 => ErrorCode::Unsupported,
             11 => ErrorCode::BadRequest,
             12 => ErrorCode::ShuttingDown,
+            13 => ErrorCode::Unavailable,
             _ => ErrorCode::Unknown,
         }
     }
@@ -85,6 +91,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Unsupported => "unsupported protocol feature",
             ErrorCode::BadRequest => "malformed request",
             ErrorCode::ShuttingDown => "server shutting down",
+            ErrorCode::Unavailable => "server fenced: quorum unavailable",
             ErrorCode::Unknown => "unknown error code",
         };
         f.write_str(s)
@@ -284,6 +291,7 @@ mod tests {
             ErrorCode::Unsupported,
             ErrorCode::BadRequest,
             ErrorCode::ShuttingDown,
+            ErrorCode::Unavailable,
         ] {
             assert_eq!(ErrorCode::from_wire(code.to_wire()), code);
         }

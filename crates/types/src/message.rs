@@ -877,6 +877,16 @@ pub enum PeerMessage {
         /// Checkpointed through this sequence number.
         through: SeqNo,
     },
+    /// A follower acknowledges a coordinator heartbeat. The coordinator
+    /// counts fresh acks to maintain its quorum lease: without acks
+    /// from a majority of the configured roster it fences itself and
+    /// stops sequencing (partition write fencing).
+    HeartbeatAck {
+        /// The acknowledging server.
+        from: ServerId,
+        /// Epoch the acknowledging server is following.
+        epoch: Epoch,
+    },
 }
 
 impl Encode for PeerMessage {
@@ -1042,6 +1052,11 @@ impl Encode for PeerMessage {
                 group.encode(buf);
                 through.encode(buf);
             }
+            PeerMessage::HeartbeatAck { from, epoch } => {
+                buf.put_u8(17);
+                from.encode(buf);
+                epoch.encode(buf);
+            }
         }
     }
 }
@@ -1138,6 +1153,10 @@ impl Decode for PeerMessage {
                 persistence: Persistence::decode(reader)?,
                 info: MemberInfo::decode(reader)?,
                 notify: reader.read_bool()?,
+            }),
+            17 => Ok(PeerMessage::HeartbeatAck {
+                from: ServerId::decode(reader)?,
+                epoch: Epoch::decode(reader)?,
             }),
             tag => Err(CodecError::InvalidTag {
                 context: "PeerMessage",
@@ -1432,6 +1451,10 @@ mod tests {
             PeerMessage::CheckpointAnnounce {
                 group: GroupId::new(1),
                 through: SeqNo::new(50),
+            },
+            PeerMessage::HeartbeatAck {
+                from: ServerId::new(3),
+                epoch: Epoch(4),
             },
         ];
         for msg in messages {

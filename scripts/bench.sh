@@ -83,9 +83,20 @@ single=$(printf '%s\n' "$out" | sed -n 's/^METRICS single //p')
 replicated=$(printf '%s\n' "$out" | sed -n 's/^METRICS replicated //p')
 traces=$(printf '%s\n' "$out" | sed -n 's/^TRACE //p' | join_lines)
 health=$(printf '%s\n' "$out" | sed -n 's/^HEALTH //p')
-printf '{"bench":"table2","metrics":{"single":%s,"replicated":%s},"trace":[%s],"health":%s}\n' \
-    "$single" "$replicated" "$traces" "$health" >BENCH_table2.json
+partition_heal=$(printf '%s\n' "$out" | sed -n 's/^PARTITION_HEAL //p')
+# Partition-heal recovery (heal -> reconciled -> client streams
+# resumed) is the regression baseline for later partition work.
+case "$partition_heal" in
+*'"p50_ms":'*'"p99_ms":'*) ;;
+*)
+    echo "==> FAIL: table2_replicated emitted no partition-heal recovery percentiles" >&2
+    exit 1
+    ;;
+esac
+printf '{"bench":"table2","metrics":{"single":%s,"replicated":%s},"trace":[%s],"health":%s,"partition_heal":%s}\n' \
+    "$single" "$replicated" "$traces" "$health" "$partition_heal" >BENCH_table2.json
 echo "==> wrote BENCH_table2.json"
+echo "==> partition-heal recovery: $(printf '%s' "$partition_heal" | sed -n 's/.*\("p50_ms":[0-9]*,"p99_ms":[0-9]*\).*/\1/p')"
 case "$health" in
 *'"max_sustainable_clients":'*) ;;
 *)

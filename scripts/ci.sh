@@ -22,6 +22,17 @@ for seed in 1 2 3; do
         supervised_clients_survive_server_kill -- --exact
 done
 
+echo "==> chaos matrix: partition/heal/flap/storm under fixed chaos seeds"
+# Symmetric and asymmetric partitions, divergent-suffix heal
+# reconciliation, flapping links, duplicate/reorder storms — over the
+# in-memory transport and real TCP + nemesis. Seeds feed every fault
+# generator; the assertions are seed-independent invariants (quorum
+# fencing, epoch fencing, gap- and duplicate-free client streams).
+for seed in 1 2 3; do
+    echo "    -- CORONA_CHAOS_SEED=$seed"
+    CORONA_CHAOS_SEED=$seed cargo test -q --offline --test chaos_matrix
+done
+
 echo "==> reactor transport gate: conformance suite + full stack + C5k smoke"
 # Every Connection/Listener/Dialer contract, run against the reactor
 # in both roles (and mixed with the threaded transport), then the
